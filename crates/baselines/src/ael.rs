@@ -1,0 +1,136 @@
+//! AEL — Abstracting Execution Logs (Jiang et al., QSIC 2008).
+//!
+//! Logs are first *categorised* by (token count, number of masked variable tokens), then
+//! within each category *bins* are formed by exact equality of the constant tokens, and
+//! finally bins whose constant parts differ in at most a small number of positions are
+//! *merged* (the reconcile step).
+
+use crate::traits::{tokenize_simple, LogParser};
+use std::collections::HashMap;
+
+/// The AEL parser.
+#[derive(Debug)]
+pub struct Ael {
+    /// Maximum number of differing constant positions for two bins to be merged.
+    pub merge_tolerance: usize,
+    templates: Vec<String>,
+}
+
+impl Default for Ael {
+    fn default() -> Self {
+        Ael {
+            merge_tolerance: 1,
+            templates: Vec::new(),
+        }
+    }
+}
+
+impl LogParser for Ael {
+    fn name(&self) -> &str {
+        "AEL"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        // Categorize step: (#tokens, #variable tokens).
+        let mut categories: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (idx, tokens) in tokenized.iter().enumerate() {
+            let vars = tokens.iter().filter(|t| *t == "<*>").count();
+            categories.entry((tokens.len(), vars)).or_default().push(idx);
+        }
+        let mut assignment = vec![0usize; records.len()];
+        let mut next_group = 0usize;
+        let mut all_templates = Vec::new();
+        let mut sorted_categories: Vec<_> = categories.into_iter().collect();
+        sorted_categories.sort_by_key(|(k, _)| *k);
+        for (_, members) in sorted_categories {
+            // Bin step: exact equality of token sequences.
+            let mut bins: Vec<(Vec<String>, Vec<usize>)> = Vec::new();
+            for &idx in &members {
+                let tokens = &tokenized[idx];
+                match bins.iter_mut().find(|(key, _)| key == tokens) {
+                    Some((_, bin_members)) => bin_members.push(idx),
+                    None => bins.push((tokens.clone(), vec![idx])),
+                }
+            }
+            // Reconcile step: merge bins whose templates differ in few positions.
+            let mut bin_group: Vec<usize> = (0..bins.len()).collect();
+            for i in 0..bins.len() {
+                for j in (i + 1)..bins.len() {
+                    let differing = bins[i]
+                        .0
+                        .iter()
+                        .zip(&bins[j].0)
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    if differing <= self.merge_tolerance {
+                        let target = bin_group[i];
+                        let source = bin_group[j];
+                        for g in bin_group.iter_mut() {
+                            if *g == source {
+                                *g = target;
+                            }
+                        }
+                    }
+                }
+            }
+            // Assign group ids per merged bin cluster.
+            let mut cluster_to_group: HashMap<usize, usize> = HashMap::new();
+            for (bin_idx, (template, bin_members)) in bins.iter().enumerate() {
+                let cluster = bin_group[bin_idx];
+                let group = *cluster_to_group.entry(cluster).or_insert_with(|| {
+                    let g = next_group;
+                    next_group += 1;
+                    all_templates.push(template.join(" "));
+                    g
+                });
+                for &idx in bin_members {
+                    assignment[idx] = group;
+                }
+            }
+        }
+        self.templates = all_templates;
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_variables_are_abstracted_into_one_group() {
+        let mut ael = Ael::default();
+        let groups = ael.parse(&vec![
+            "request 1 served in 10 ms".into(),
+            "request 2 served in 20 ms".into(),
+            "cache flush completed without errors now".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn reconcile_merges_nearly_identical_bins() {
+        let mut ael = Ael::default();
+        let groups = ael.parse(&vec![
+            "session opened for alice".into(),
+            "session opened for bob".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+    }
+
+    #[test]
+    fn different_categories_stay_apart() {
+        let mut ael = Ael::default();
+        let groups = ael.parse(&vec![
+            "one two three".into(),
+            "one two three four".into(),
+        ]);
+        assert_ne!(groups[0], groups[1]);
+    }
+}

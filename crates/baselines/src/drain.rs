@@ -1,0 +1,173 @@
+//! Drain (He et al., ICWS 2017): online log parsing with a fixed-depth parse tree.
+//!
+//! Incoming logs descend a tree keyed first by token count, then by the first
+//! `depth` tokens (tokens containing digits are replaced by a wildcard key), reaching a
+//! leaf holding a list of log groups. The log joins the group whose template has the
+//! highest token-wise similarity above `similarity_threshold`; otherwise a new group is
+//! created. The matched group's template is updated by wildcarding disagreeing positions.
+
+use crate::traits::{tokenize_simple, LogParser};
+use std::collections::HashMap;
+
+/// One log group at a Drain leaf.
+#[derive(Debug, Clone)]
+struct LogGroup {
+    template: Vec<String>,
+    group_id: usize,
+}
+
+/// The Drain parser.
+#[derive(Debug)]
+pub struct Drain {
+    /// Number of prefix tokens used as internal tree levels.
+    pub depth: usize,
+    /// Minimum similarity for joining an existing group.
+    pub similarity_threshold: f64,
+    /// Maximum children per internal node before falling back to a wildcard branch.
+    pub max_children: usize,
+    // prefix-key path → groups at that leaf.
+    leaves: HashMap<(usize, Vec<String>), Vec<LogGroup>>,
+    next_group: usize,
+    templates: Vec<String>,
+}
+
+impl Default for Drain {
+    fn default() -> Self {
+        Drain {
+            depth: 4,
+            similarity_threshold: 0.5,
+            max_children: 100,
+            leaves: HashMap::new(),
+            next_group: 0,
+            templates: Vec::new(),
+        }
+    }
+}
+
+impl Drain {
+    fn prefix_key(&self, tokens: &[String]) -> Vec<String> {
+        tokens
+            .iter()
+            .take(self.depth)
+            .map(|t| {
+                if t.chars().any(|c| c.is_ascii_digit()) {
+                    "<*>".to_string()
+                } else {
+                    t.clone()
+                }
+            })
+            .collect()
+    }
+
+    fn similarity(template: &[String], tokens: &[String]) -> f64 {
+        if template.len() != tokens.len() || template.is_empty() {
+            return 0.0;
+        }
+        let same = template
+            .iter()
+            .zip(tokens)
+            .filter(|(a, b)| *a == *b && *a != "<*>")
+            .count();
+        same as f64 / template.len() as f64
+    }
+
+    fn parse_one(&mut self, record: &str) -> usize {
+        let tokens = tokenize_simple(record);
+        let key = (tokens.len(), self.prefix_key(&tokens));
+        let threshold = self.similarity_threshold;
+        let groups = self.leaves.entry(key).or_default();
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, group) in groups.iter().enumerate() {
+            let sim = Self::similarity(&group.template, &tokens);
+            if best.map(|(_, s)| sim > s).unwrap_or(true) {
+                best = Some((idx, sim));
+            }
+        }
+        match best {
+            Some((idx, sim)) if sim >= threshold => {
+                // Update the template: disagreeing positions become wildcards.
+                let group = &mut groups[idx];
+                for (t, token) in group.template.iter_mut().zip(&tokens) {
+                    if t != token {
+                        *t = "<*>".to_string();
+                    }
+                }
+                group.group_id
+            }
+            _ => {
+                let group_id = self.next_group;
+                self.next_group += 1;
+                groups.push(LogGroup {
+                    template: tokens,
+                    group_id,
+                });
+                group_id
+            }
+        }
+    }
+}
+
+impl LogParser for Drain {
+    fn name(&self) -> &str {
+        "Drain"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let ids: Vec<usize> = records.iter().map(|r| self.parse_one(r)).collect();
+        self.templates = self
+            .leaves
+            .values()
+            .flatten()
+            .map(|g| g.template.join(" "))
+            .collect();
+        ids
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_structure_groups_together() {
+        let mut drain = Drain::default();
+        let records: Vec<String> = vec![
+            "Receiving block blk_1 src 10.0.0.1 dest 10.0.0.2".into(),
+            "Receiving block blk_2 src 10.0.0.3 dest 10.0.0.4".into(),
+            "Deleting block blk_3 file /data/1".into(),
+        ];
+        let groups = drain.parse(&records);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn different_lengths_never_group() {
+        let mut drain = Drain::default();
+        let groups = drain.parse(&vec!["a b c".into(), "a b".into()]);
+        assert_ne!(groups[0], groups[1]);
+    }
+
+    #[test]
+    fn template_positions_become_wildcards() {
+        let mut drain = Drain::default();
+        drain.parse(&vec![
+            "session opened for user alice".into(),
+            "session opened for user bob".into(),
+        ]);
+        let templates = drain.templates();
+        assert!(templates.iter().any(|t| t == "session opened for user <*>"));
+    }
+
+    #[test]
+    fn streaming_is_consistent_across_batches() {
+        let mut drain = Drain::default();
+        let first = drain.parse(&vec!["job 1 finished ok".into()]);
+        let second = drain.parse(&vec!["job 2 finished ok".into()]);
+        assert_eq!(first[0], second[0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! IPLoM — Iterative Partitioning Log Mining (Makanju et al., KDD 2009).
+//!
+//! Three partitioning steps are applied in sequence:
+//! 1. partition by token count,
+//! 2. partition by the value at the position with the fewest distinct tokens,
+//! 3. partition by the bijection/mapping relation between the two most informative
+//!    positions (simplified here to the pair of positions with the lowest distinct counts).
+//!
+//! Partitions whose size falls below a support threshold stay as they are (they become
+//! their own groups), mirroring the original algorithm's partition-support check.
+
+use crate::traits::{tokenize_simple, LogParser};
+use std::collections::HashMap;
+
+/// The IPLoM parser.
+#[derive(Debug)]
+pub struct Iplom {
+    /// Partitions smaller than this fraction of their parent are not split further.
+    pub partition_support: f64,
+    /// Positions whose distinct-value ratio exceeds this are treated as variable columns
+    /// and never used for partitioning.
+    pub upper_bound: f64,
+    templates: Vec<String>,
+}
+
+impl Default for Iplom {
+    fn default() -> Self {
+        Iplom {
+            partition_support: 0.0,
+            upper_bound: 0.9,
+            templates: Vec::new(),
+        }
+    }
+}
+
+impl Iplom {
+    /// Choose the split position: fewest distinct values among positions that are not
+    /// (nearly) all-distinct. Returns `None` when no usable position exists.
+    fn split_position(&self, members: &[usize], tokenized: &[Vec<String>]) -> Option<usize> {
+        let len = tokenized[members[0]].len();
+        let n = members.len();
+        let mut best: Option<(usize, usize)> = None;
+        for position in 0..len {
+            let mut distinct: HashMap<&str, ()> = HashMap::new();
+            for &m in members {
+                distinct.insert(tokenized[m][position].as_str(), ());
+            }
+            let count = distinct.len();
+            if count <= 1 {
+                continue; // constant column: no information.
+            }
+            if count as f64 / n as f64 > self.upper_bound {
+                continue; // variable column.
+            }
+            if best.map(|(_, c)| count < c).unwrap_or(true) {
+                best = Some((position, count));
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+}
+
+impl LogParser for Iplom {
+    fn name(&self) -> &str {
+        "IPLoM"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        // Step 1: partition by token count.
+        let mut by_length: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (idx, tokens) in tokenized.iter().enumerate() {
+            by_length.entry(tokens.len()).or_default().push(idx);
+        }
+        let mut assignment = vec![0usize; records.len()];
+        let mut next_group = 0usize;
+        let mut templates = Vec::new();
+        let mut lengths: Vec<_> = by_length.into_iter().collect();
+        lengths.sort_by_key(|(l, _)| *l);
+        for (_, members) in lengths {
+            if members.is_empty() {
+                continue;
+            }
+            // Step 2: partition by the value at the most constant non-trivial position.
+            let second_level: Vec<Vec<usize>> = match self.split_position(&members, &tokenized) {
+                Some(position) => {
+                    let mut parts: HashMap<&str, Vec<usize>> = HashMap::new();
+                    for &m in &members {
+                        parts.entry(tokenized[m][position].as_str()).or_default().push(m);
+                    }
+                    let mut values: Vec<_> = parts.into_iter().collect();
+                    values.sort_by_key(|(v, _)| v.to_string());
+                    values.into_iter().map(|(_, p)| p).collect()
+                }
+                None => vec![members.clone()],
+            };
+            for part in second_level {
+                // Step 3: one more partitioning pass inside each part (the simplified
+                // search-for-mapping step); parts below the support threshold stay whole.
+                let support_ok =
+                    part.len() as f64 >= self.partition_support * members.len() as f64;
+                let third_level: Vec<Vec<usize>> = if support_ok && part.len() > 1 {
+                    match self.split_position(&part, &tokenized) {
+                        Some(position) => {
+                            let mut parts: HashMap<&str, Vec<usize>> = HashMap::new();
+                            for &m in &part {
+                                parts
+                                    .entry(tokenized[m][position].as_str())
+                                    .or_default()
+                                    .push(m);
+                            }
+                            let mut values: Vec<_> = parts.into_iter().collect();
+                            values.sort_by_key(|(v, _)| v.to_string());
+                            values.into_iter().map(|(_, p)| p).collect()
+                        }
+                        None => vec![part],
+                    }
+                } else {
+                    vec![part]
+                };
+                for group_members in third_level {
+                    let group = next_group;
+                    next_group += 1;
+                    // Render the group's template for the qualitative output.
+                    let first = &tokenized[group_members[0]];
+                    let template: Vec<String> = (0..first.len())
+                        .map(|i| {
+                            let all_same = group_members
+                                .iter()
+                                .all(|&m| tokenized[m][i] == first[i]);
+                            if all_same {
+                                first[i].clone()
+                            } else {
+                                "<*>".to_string()
+                            }
+                        })
+                        .collect();
+                    templates.push(template.join(" "));
+                    for &m in &group_members {
+                        assignment[m] = group;
+                    }
+                }
+            }
+        }
+        self.templates = templates;
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_by_structure() {
+        let mut iplom = Iplom::default();
+        let groups = iplom.parse(&vec![
+            "state changed from active to idle".into(),
+            "state changed from idle to active".into(),
+            "disk sda1 is now offline today ok".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn numeric_variables_do_not_split_groups() {
+        let mut iplom = Iplom::default();
+        let groups = iplom.parse(&vec![
+            "worker 12 finished task 9".into(),
+            "worker 99 finished task 3".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+    }
+
+    #[test]
+    fn templates_wildcard_varying_positions() {
+        let mut iplom = Iplom::default();
+        iplom.parse(&vec![
+            "user alice deleted file report.pdf".into(),
+            "user bob deleted file budget.xls".into(),
+        ]);
+        assert!(iplom
+            .templates()
+            .iter()
+            .any(|t| t.starts_with("user") && t.contains("deleted file")));
+    }
+}

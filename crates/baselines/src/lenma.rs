@@ -1,0 +1,139 @@
+//! LenMa (Shima, 2016): clustering by word-length vectors. Each log is represented by the
+//! vector of its token lengths; a log joins the cluster (of the same token count) whose
+//! length vector has the highest cosine similarity, provided it exceeds a threshold.
+
+use crate::traits::{tokenize_simple, LogParser};
+
+#[derive(Debug, Clone)]
+struct LenCluster {
+    lengths: Vec<f64>,
+    template: Vec<String>,
+    group_id: usize,
+}
+
+/// The LenMa parser.
+#[derive(Debug)]
+pub struct LenMa {
+    /// Minimum cosine similarity between length vectors to join a cluster.
+    pub threshold: f64,
+    clusters: Vec<LenCluster>,
+    next_group: usize,
+}
+
+impl Default for LenMa {
+    fn default() -> Self {
+        LenMa {
+            threshold: 0.8,
+            clusters: Vec::new(),
+            next_group: 0,
+        }
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+impl LenMa {
+    fn parse_one(&mut self, record: &str) -> usize {
+        let tokens = tokenize_simple(record);
+        let lengths: Vec<f64> = tokens.iter().map(|t| t.len() as f64).collect();
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, cluster) in self.clusters.iter().enumerate() {
+            if cluster.lengths.len() != lengths.len() {
+                continue;
+            }
+            // Positions where the constant token matches exactly boost confidence; the
+            // original method combines cosine similarity of length vectors with the count
+            // of exactly-matching words.
+            let sim = cosine(&cluster.lengths, &lengths);
+            let exact = cluster
+                .template
+                .iter()
+                .zip(&tokens)
+                .filter(|(a, b)| *a == *b)
+                .count() as f64
+                / lengths.len() as f64;
+            let score = (sim + exact) / 2.0;
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((idx, score));
+            }
+        }
+        match best {
+            Some((idx, score)) if score >= self.threshold => {
+                let cluster = &mut self.clusters[idx];
+                // Update the representative length vector (running average) and template.
+                for (l, new) in cluster.lengths.iter_mut().zip(&lengths) {
+                    *l = (*l + *new) / 2.0;
+                }
+                for (t, token) in cluster.template.iter_mut().zip(&tokens) {
+                    if t != token {
+                        *t = "<*>".to_string();
+                    }
+                }
+                cluster.group_id
+            }
+            _ => {
+                let group_id = self.next_group;
+                self.next_group += 1;
+                self.clusters.push(LenCluster {
+                    lengths,
+                    template: tokens,
+                    group_id,
+                });
+                group_id
+            }
+        }
+    }
+}
+
+impl LogParser for LenMa {
+    fn name(&self) -> &str {
+        "LenMa"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        records.iter().map(|r| self.parse_one(r)).collect()
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.clusters.iter().map(|c| c.template.join(" ")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        assert!((cosine(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(cosine(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn similar_word_lengths_cluster_together() {
+        let mut lenma = LenMa::default();
+        let groups = lenma.parse(&vec![
+            "Accepted password for alice from 10.0.0.1".into(),
+            "Accepted password for carol from 10.0.0.9".into(),
+            "kernel panic not syncing now stop".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn different_token_counts_never_cluster() {
+        let mut lenma = LenMa::default();
+        let groups = lenma.parse(&vec!["a bb ccc".into(), "a bb".into()]);
+        assert_ne!(groups[0], groups[1]);
+    }
+}

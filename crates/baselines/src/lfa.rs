@@ -1,0 +1,101 @@
+//! LFA — Log File Abstraction (Nagappan & Vouk, MSR 2010): token-frequency analysis
+//! within each log line. Tokens whose corpus frequency is low relative to the most
+//! frequent token of their line are treated as variables; the remaining constant skeleton
+//! is the template.
+
+use crate::traits::{tokenize_simple, GroupInterner, LogParser};
+use std::collections::HashMap;
+
+/// The LFA parser.
+#[derive(Debug, Default)]
+pub struct Lfa {
+    templates: Vec<String>,
+}
+
+impl LogParser for Lfa {
+    fn name(&self) -> &str {
+        "LFA"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        // Global token frequencies.
+        let mut frequency: HashMap<&str, u64> = HashMap::new();
+        for tokens in &tokenized {
+            for t in tokens {
+                *frequency.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut interner = GroupInterner::new();
+        let mut seen_templates: HashMap<String, ()> = HashMap::new();
+        let assignment: Vec<usize> = tokenized
+            .iter()
+            .map(|tokens| {
+                if tokens.is_empty() {
+                    return interner.intern("<empty>");
+                }
+                let max_freq = tokens
+                    .iter()
+                    .map(|t| frequency[t.as_str()])
+                    .max()
+                    .unwrap_or(1);
+                // A token is constant when its frequency is at least half the line's
+                // maximum (the line-level frequency-jump heuristic of the paper).
+                let template: Vec<&str> = tokens
+                    .iter()
+                    .map(|t| {
+                        if frequency[t.as_str()] * 2 >= max_freq {
+                            t.as_str()
+                        } else {
+                            "<*>"
+                        }
+                    })
+                    .collect();
+                let key = format!("{}|{}", tokens.len(), template.join(" "));
+                seen_templates.insert(template.join(" "), ());
+                interner.intern(&key)
+            })
+            .collect();
+        self.templates = seen_templates.into_keys().collect();
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_skeleton_with_rare_values_groups_together() {
+        let mut lfa = Lfa::default();
+        let mut records: Vec<String> = (0..20)
+            .map(|i| format!("connection from host-{i:04} established"))
+            .collect();
+        records.push("completely unrelated single log".into());
+        let groups = lfa.parse(&records);
+        assert_eq!(groups[0], groups[1]);
+        assert_eq!(groups[0], groups[19]);
+        assert_ne!(groups[0], groups[20]);
+    }
+
+    #[test]
+    fn assignment_length_matches_input() {
+        let mut lfa = Lfa::default();
+        let records: Vec<String> = vec!["a b".into(), "".into(), "c d e".into()];
+        assert_eq!(lfa.parse(&records).len(), 3);
+    }
+
+    #[test]
+    fn templates_are_collected() {
+        let mut lfa = Lfa::default();
+        lfa.parse(&vec![
+            "job started on node1".into(),
+            "job started on node2".into(),
+        ]);
+        assert!(!lfa.templates().is_empty());
+    }
+}

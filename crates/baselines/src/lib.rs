@@ -1,0 +1,163 @@
+//! `baselines` — from-scratch implementations of the log parsers ByteBrain is compared
+//! against in the paper's evaluation (§5.1.2).
+//!
+//! Syntax-based baselines (all implemented from their published descriptions):
+//!
+//! | Parser | Family | Module |
+//! |---|---|---|
+//! | Drain | fixed-depth parse tree | [`drain`] |
+//! | Spell | longest-common-subsequence streaming | [`spell`] |
+//! | AEL | abstraction of execution logs (bins + merge) | [`ael`] |
+//! | IPLoM | iterative partitioning | [`iplom`] |
+//! | LenMa | word-length vectors | [`lenma`] |
+//! | LFA | token frequency within a line | [`lfa`] |
+//! | LogCluster | frequent-word clustering | [`logcluster`] |
+//! | SLCT | frequent (position, word) pairs | [`slct`] |
+//! | LogMine | max-distance agglomerative clustering | [`logmine`] |
+//! | LogSig | signature search with fixed group count | [`logsig`] |
+//! | SHISO | incremental similarity tree | [`shiso`] |
+//! | Logram | n-gram dictionaries | [`logram`] |
+//! | MoLFI | search over template candidates | [`molfi`] |
+//!
+//! Semantic / LLM baselines (UniParser, LogPPT, LILAC) are **simulated** ([`semantic_sim`])
+//! because shipping a neural network or an LLM is outside the scope of this reproduction:
+//! the simulation parses with access to ground-truth templates (high accuracy) while
+//! charging a configurable per-inference cost (low throughput), and LILAC additionally
+//! caches templates so repeated patterns skip the cost — exactly the role these baselines
+//! play in the paper's comparison. See `DESIGN.md` §3.
+//!
+//! All parsers implement the [`LogParser`] trait: `parse` maps every record to an opaque
+//! group id, which is what the Grouping Accuracy metric consumes.
+
+pub mod ael;
+pub mod drain;
+pub mod iplom;
+pub mod lenma;
+pub mod lfa;
+pub mod logcluster;
+pub mod logmine;
+pub mod logram;
+pub mod logsig;
+pub mod molfi;
+pub mod semantic_sim;
+pub mod shiso;
+pub mod slct;
+pub mod spell;
+pub mod traits;
+
+pub use semantic_sim::{SemanticKind, SimulatedSemanticParser};
+pub use traits::{tokenize_simple, LogParser};
+
+/// Construct every syntax-based baseline with its default parameters, keyed by the name
+/// used in the paper's tables.
+pub fn all_syntax_baselines() -> Vec<Box<dyn LogParser>> {
+    vec![
+        Box::new(drain::Drain::default()),
+        Box::new(spell::Spell::default()),
+        Box::new(ael::Ael::default()),
+        Box::new(iplom::Iplom::default()),
+        Box::new(lenma::LenMa::default()),
+        Box::new(lfa::Lfa::default()),
+        Box::new(logcluster::LogCluster::default()),
+        Box::new(slct::Slct::default()),
+        Box::new(logmine::LogMine::default()),
+        Box::new(logsig::LogSig::default()),
+        Box::new(shiso::Shiso::default()),
+        Box::new(logram::Logram::default()),
+        Box::new(molfi::Molfi::default()),
+    ]
+}
+
+#[cfg(test)]
+mod conformance {
+    use super::*;
+
+    fn workload() -> (Vec<String>, Vec<usize>) {
+        // A small workload with unambiguous structure: three templates.
+        let mut records = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            records.push(format!("Accepted password for user{} from 10.0.0.{} port 22", i % 5, i));
+            labels.push(0);
+            records.push(format!("Connection closed by 10.0.0.{}", i));
+            labels.push(1);
+            if i % 2 == 0 {
+                records.push(format!("Failed none for invalid user test{} from 10.0.0.{} port 22", i, i));
+                labels.push(2);
+            }
+        }
+        (records, labels)
+    }
+
+    #[test]
+    fn every_baseline_assigns_every_record_to_a_group() {
+        let (records, _) = workload();
+        for mut parser in all_syntax_baselines() {
+            let groups = parser.parse(&records);
+            assert_eq!(
+                groups.len(),
+                records.len(),
+                "{} returned the wrong number of assignments",
+                parser.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_baseline_separates_logs_of_different_lengths() {
+        let records = vec![
+            "alpha beta gamma".to_string(),
+            "alpha beta".to_string(),
+            "alpha beta gamma".to_string(),
+        ];
+        for mut parser in all_syntax_baselines() {
+            let groups = parser.parse(&records);
+            assert_eq!(groups[0], groups[2], "{}", parser.name());
+        }
+    }
+
+    #[test]
+    fn reasonable_baselines_reach_decent_accuracy_on_the_easy_workload() {
+        let (records, labels) = workload();
+        // Only the well-behaved parsers are held to an accuracy bar here; weaker ones
+        // (LogSig with a wrong k, LFA, …) legitimately score lower, as in the paper.
+        // (parser, minimum GA): IPLoM's positional partitioning legitimately over-splits
+        // on low-cardinality variable columns, so its bar is lower (as in the paper).
+        let cases: Vec<(Box<dyn LogParser>, f64)> = vec![
+            (Box::new(drain::Drain::default()), 0.6),
+            (Box::new(spell::Spell::default()), 0.6),
+            (Box::new(ael::Ael::default()), 0.6),
+            (Box::new(iplom::Iplom::default()), 0.45),
+        ];
+        for (mut parser, minimum) in cases {
+            let groups = parser.parse(&records);
+            let ga = grouping_accuracy_local(&groups, &labels);
+            assert!(
+                ga >= minimum,
+                "{} grouping accuracy too low: {ga}",
+                parser.name()
+            );
+        }
+    }
+
+    /// Minimal GA implementation to avoid a circular dev-dependency on the eval crate.
+    fn grouping_accuracy_local(predicted: &[usize], truth: &[usize]) -> f64 {
+        use std::collections::HashMap;
+        let mut predicted_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut truth_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..predicted.len() {
+            predicted_groups.entry(predicted[i]).or_default().push(i);
+            truth_groups.entry(truth[i]).or_default().push(i);
+        }
+        let mut correct = 0usize;
+        for members in truth_groups.values() {
+            let p = predicted[members[0]];
+            if members.iter().all(|&i| predicted[i] == p)
+                && predicted_groups[&p].len() == members.len()
+            {
+                correct += members.len();
+            }
+        }
+        correct as f64 / predicted.len() as f64
+    }
+}

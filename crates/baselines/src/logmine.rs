@@ -1,0 +1,136 @@
+//! LogMine (Hamooni et al., CIKM 2016): hierarchical clustering with a max-distance
+//! threshold followed by pattern generation. This implementation performs the paper's
+//! one-pass "friends-of-friends" clustering: a log joins the first cluster whose
+//! representative is within the distance threshold, otherwise it starts a new cluster;
+//! the per-cluster pattern is then produced by positional alignment (same-length logs)
+//! with disagreeing positions wildcarded.
+
+use crate::traits::{tokenize_simple, LogParser};
+
+#[derive(Debug, Clone)]
+struct MineCluster {
+    representative: Vec<String>,
+    template: Vec<String>,
+    group_id: usize,
+}
+
+/// The LogMine parser.
+#[derive(Debug)]
+pub struct LogMine {
+    /// Maximum normalized distance for joining a cluster (0 = identical, 1 = disjoint).
+    pub max_distance: f64,
+    clusters: Vec<MineCluster>,
+    next_group: usize,
+}
+
+impl Default for LogMine {
+    fn default() -> Self {
+        LogMine {
+            max_distance: 0.5,
+            clusters: Vec::new(),
+            next_group: 0,
+        }
+    }
+}
+
+/// Normalized token distance between two equal-length logs (fraction of differing
+/// positions); logs of different lengths are at distance 1.
+fn distance(a: &[String], b: &[String]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return 1.0;
+    }
+    let differing = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    differing as f64 / a.len() as f64
+}
+
+impl LogMine {
+    fn parse_one(&mut self, record: &str) -> usize {
+        let tokens = tokenize_simple(record);
+        for cluster in &mut self.clusters {
+            if distance(&cluster.representative, &tokens) <= self.max_distance {
+                for (t, token) in cluster.template.iter_mut().zip(&tokens) {
+                    if t != token {
+                        *t = "<*>".to_string();
+                    }
+                }
+                return cluster.group_id;
+            }
+        }
+        let group_id = self.next_group;
+        self.next_group += 1;
+        self.clusters.push(MineCluster {
+            representative: tokens.clone(),
+            template: tokens,
+            group_id,
+        });
+        group_id
+    }
+}
+
+impl LogParser for LogMine {
+    fn name(&self) -> &str {
+        "LogMine"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        records.iter().map(|r| self.parse_one(r)).collect()
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.clusters.iter().map(|c| c.template.join(" ")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_properties() {
+        let a: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["x", "z"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(distance(&a, &a), 0.0);
+        assert_eq!(distance(&a, &b), 0.5);
+        assert_eq!(distance(&a, &[]), 1.0);
+    }
+
+    #[test]
+    fn close_logs_share_a_cluster() {
+        let mut lm = LogMine::default();
+        let groups = lm.parse(&vec![
+            "volume vol1 mounted at /data read-write".into(),
+            "volume vol2 mounted at /backup read-write".into(),
+            "scheduler tick took 14 microseconds total".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn templates_wildcard_differences() {
+        let mut lm = LogMine::default();
+        lm.parse(&vec![
+            "volume vol1 mounted at /data read-write".into(),
+            "volume vol2 mounted at /backup read-write".into(),
+        ]);
+        let templates = lm.templates();
+        assert!(templates[0].starts_with("volume <*> mounted at"));
+    }
+
+    #[test]
+    fn stricter_threshold_creates_more_clusters() {
+        let records: Vec<String> = vec![
+            "op read on table users ok".into(),
+            "op write on table orders ok".into(),
+            "op read on table events ok".into(),
+        ];
+        let loose = LogMine::default().parse(&records);
+        let strict = LogMine {
+            max_distance: 0.1,
+            ..LogMine::default()
+        }
+        .parse(&records);
+        let count = |v: &[usize]| v.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(count(&strict) >= count(&loose));
+    }
+}

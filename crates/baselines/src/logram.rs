@@ -1,0 +1,145 @@
+//! Logram (Dai et al., TSE 2020): n-gram dictionaries for variable identification. The
+//! corpus's 2-gram and 3-gram frequencies are collected; a token is considered part of the
+//! constant template when the n-grams it participates in are frequent, and a variable
+//! otherwise. Logs sharing the resulting constant skeleton form a group.
+
+use crate::traits::{tokenize_simple, GroupInterner, LogParser};
+use std::collections::HashMap;
+
+/// The Logram parser.
+#[derive(Debug)]
+pub struct Logram {
+    /// Minimum frequency of a 2-gram for its tokens to be considered constant.
+    pub bigram_threshold: u64,
+    /// Minimum frequency of a 3-gram for its middle token to be considered constant.
+    pub trigram_threshold: u64,
+    templates: Vec<String>,
+}
+
+impl Default for Logram {
+    fn default() -> Self {
+        Logram {
+            bigram_threshold: 4,
+            trigram_threshold: 3,
+            templates: Vec::new(),
+        }
+    }
+}
+
+impl LogParser for Logram {
+    fn name(&self) -> &str {
+        "Logram"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        // Build the n-gram dictionaries.
+        let mut bigrams: HashMap<(&str, &str), u64> = HashMap::new();
+        let mut trigrams: HashMap<(&str, &str, &str), u64> = HashMap::new();
+        for tokens in &tokenized {
+            for w in tokens.windows(2) {
+                *bigrams.entry((w[0].as_str(), w[1].as_str())).or_insert(0) += 1;
+            }
+            for w in tokens.windows(3) {
+                *trigrams
+                    .entry((w[0].as_str(), w[1].as_str(), w[2].as_str()))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut interner = GroupInterner::new();
+        let mut templates: HashMap<String, ()> = HashMap::new();
+        let assignment = tokenized
+            .iter()
+            .map(|tokens| {
+                let n = tokens.len();
+                let template: Vec<&str> = (0..n)
+                    .map(|i| {
+                        let token = tokens[i].as_str();
+                        if token == "<*>" {
+                            return "<*>";
+                        }
+                        // Check the trigram centred on i when it exists, otherwise fall
+                        // back to the bigrams the token participates in.
+                        let constant = if i >= 1 && i + 1 < n {
+                            trigrams
+                                .get(&(
+                                    tokens[i - 1].as_str(),
+                                    token,
+                                    tokens[i + 1].as_str(),
+                                ))
+                                .copied()
+                                .unwrap_or(0)
+                                >= self.trigram_threshold
+                        } else {
+                            let left = if i >= 1 {
+                                bigrams
+                                    .get(&(tokens[i - 1].as_str(), token))
+                                    .copied()
+                                    .unwrap_or(0)
+                            } else {
+                                0
+                            };
+                            let right = if i + 1 < n {
+                                bigrams
+                                    .get(&(token, tokens[i + 1].as_str()))
+                                    .copied()
+                                    .unwrap_or(0)
+                            } else {
+                                0
+                            };
+                            left.max(right) >= self.bigram_threshold
+                        };
+                        if constant {
+                            token
+                        } else {
+                            "<*>"
+                        }
+                    })
+                    .collect();
+                let rendered = template.join(" ");
+                let key = format!("{n}|{rendered}");
+                templates.insert(rendered, ());
+                interner.intern(&key)
+            })
+            .collect();
+        self.templates = templates.into_keys().collect();
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_ngrams_define_constants() {
+        let mut logram = Logram::default();
+        let records: Vec<String> = (0..30)
+            .map(|i| format!("allocating buffer of size {} for stream s{}", 1024 + i, i))
+            .collect();
+        let groups = logram.parse(&records);
+        assert!(groups.iter().all(|&g| g == groups[0]));
+    }
+
+    #[test]
+    fn infrequent_statements_do_not_merge_with_frequent_ones() {
+        let mut logram = Logram::default();
+        let mut records: Vec<String> = (0..30)
+            .map(|i| format!("allocating buffer of size {} for stream s{}", 1024 + i, i))
+            .collect();
+        records.push("unexpected checksum mismatch detected during scrub pass".into());
+        let groups = logram.parse(&records);
+        assert_ne!(groups[0], groups[30]);
+    }
+
+    #[test]
+    fn assignment_covers_every_record() {
+        let mut logram = Logram::default();
+        let records: Vec<String> = vec!["a b c".into(), "d".into(), "".into()];
+        assert_eq!(logram.parse(&records).len(), 3);
+    }
+}

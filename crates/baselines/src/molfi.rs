@@ -1,0 +1,174 @@
+//! MoLFI (Messaoudi et al., ICPC 2018): multi-objective search over candidate template
+//! sets. The original uses NSGA-II to trade off template frequency against specificity.
+//! This implementation keeps the search-based flavour at a fraction of the cost: candidate
+//! templates are generated per length group by wildcarding random position subsets, scored
+//! by the same two objectives (coverage and specificity), and a greedy pass keeps the
+//! non-dominated candidates that together cover the group.
+
+use crate::traits::{tokenize_simple, LogParser};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The MoLFI parser (simplified search).
+#[derive(Debug)]
+pub struct Molfi {
+    /// Number of random candidates generated per length group.
+    pub candidates_per_group: usize,
+    /// RNG seed (the search is randomised, as in the original).
+    pub seed: u64,
+    templates: Vec<String>,
+}
+
+impl Default for Molfi {
+    fn default() -> Self {
+        Molfi {
+            candidates_per_group: 24,
+            seed: 0x401F1,
+            templates: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    template: Vec<String>,
+    coverage: usize,
+    specificity: usize,
+}
+
+fn matches(template: &[String], tokens: &[String]) -> bool {
+    template.len() == tokens.len()
+        && template
+            .iter()
+            .zip(tokens)
+            .all(|(t, token)| t == "<*>" || t == token)
+}
+
+impl LogParser for Molfi {
+    fn name(&self) -> &str {
+        "MoLFI"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        let mut by_length: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (idx, tokens) in tokenized.iter().enumerate() {
+            by_length.entry(tokens.len()).or_default().push(idx);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut assignment = vec![usize::MAX; records.len()];
+        let mut next_group = 0usize;
+        let mut all_templates = Vec::new();
+        let mut lengths: Vec<_> = by_length.into_iter().collect();
+        lengths.sort_by_key(|(l, _)| *l);
+        for (length, members) in lengths {
+            if length == 0 {
+                for &m in &members {
+                    assignment[m] = next_group;
+                }
+                next_group += 1;
+                continue;
+            }
+            // Generate candidates: pick a member log and wildcard a random subset of
+            // positions (the original's mutation operator).
+            let mut candidates: Vec<Candidate> = Vec::new();
+            for _ in 0..self.candidates_per_group {
+                let base = &tokenized[members[rng.gen_range(0..members.len())]];
+                let template: Vec<String> = base
+                    .iter()
+                    .map(|t| {
+                        if rng.gen_bool(0.4) || t == "<*>" {
+                            "<*>".to_string()
+                        } else {
+                            t.clone()
+                        }
+                    })
+                    .collect();
+                let coverage = members
+                    .iter()
+                    .filter(|&&m| matches(&template, &tokenized[m]))
+                    .count();
+                let specificity = template.iter().filter(|t| *t != "<*>").count();
+                if coverage > 0 && specificity > 0 {
+                    candidates.push(Candidate {
+                        template,
+                        coverage,
+                        specificity,
+                    });
+                }
+            }
+            // Greedy selection of non-dominated candidates by (coverage, specificity).
+            candidates.sort_by(|a, b| {
+                (b.coverage * b.specificity)
+                    .cmp(&(a.coverage * a.specificity))
+                    .then(b.specificity.cmp(&a.specificity))
+            });
+            for candidate in candidates {
+                let unassigned: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| assignment[m] == usize::MAX && matches(&candidate.template, &tokenized[m]))
+                    .collect();
+                if unassigned.len() > 1 {
+                    for m in unassigned {
+                        assignment[m] = next_group;
+                    }
+                    all_templates.push(candidate.template.join(" "));
+                    next_group += 1;
+                }
+            }
+            // Whatever the search failed to cover falls back to exact-text groups.
+            let mut fallback: HashMap<&[String], usize> = HashMap::new();
+            for &m in &members {
+                if assignment[m] == usize::MAX {
+                    let group = *fallback.entry(tokenized[m].as_slice()).or_insert_with(|| {
+                        let g = next_group;
+                        next_group += 1;
+                        g
+                    });
+                    assignment[m] = group;
+                }
+            }
+        }
+        self.templates = all_templates;
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_record_is_assigned() {
+        let mut molfi = Molfi::default();
+        let records: Vec<String> = (0..50)
+            .map(|i| format!("thread {} acquired mutex m{}", i, i % 5))
+            .collect();
+        let groups = molfi.parse(&records);
+        assert_eq!(groups.len(), 50);
+        assert!(groups.iter().all(|&g| g != usize::MAX));
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let records: Vec<String> = (0..30)
+            .map(|i| format!("thread {} acquired mutex m{}", i, i % 5))
+            .collect();
+        let a = Molfi::default().parse(&records);
+        let b = Molfi::default().parse(&records);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_lengths_are_never_merged() {
+        let mut molfi = Molfi::default();
+        let groups = molfi.parse(&vec!["x y z".into(), "x y".into()]);
+        assert_ne!(groups[0], groups[1]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Simulated semantic / LLM baselines (UniParser, LogPPT, LILAC).
+//!
+//! The paper uses these methods as accuracy-upper-bound / throughput-lower-bound
+//! comparators: they reach near-perfect grouping accuracy but are 10²–10³× slower because
+//! every log (or at least every novel template) requires a model inference. Shipping an
+//! actual neural network or LLM is outside the scope of this reproduction, so the
+//! simulation reproduces exactly that role (see `DESIGN.md` §3):
+//!
+//! * **Accuracy**: the simulated parser groups logs using a supplied ground-truth oracle
+//!   (template labels produced by the dataset generator), optionally corrupted with a
+//!   small error rate so the scores resemble the published numbers rather than being a
+//!   perfect 1.0.
+//! * **Cost**: each "inference" spends a configurable busy-wait budget. UniParser/LogPPT
+//!   pay it for *every* log; LILAC maintains an adaptive parsing cache and only pays for
+//!   logs whose template key is not yet cached, which is why it is markedly faster than
+//!   the other two while keeping the same accuracy.
+
+use crate::traits::{tokenize_simple, LogParser};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Which published method the simulation stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticKind {
+    /// UniParser (custom deep-learning model, per-log inference).
+    UniParser,
+    /// LogPPT (prompt-tuned RoBERTa, per-log inference, slower).
+    LogPpt,
+    /// LILAC (LLM with adaptive parsing cache, per-new-template inference).
+    Lilac,
+}
+
+impl SemanticKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemanticKind::UniParser => "UniParser",
+            SemanticKind::LogPpt => "LogPPT",
+            SemanticKind::Lilac => "LILAC",
+        }
+    }
+
+    /// Default per-inference cost used by the throughput experiments. The absolute values
+    /// are not meaningful (they depend on the machine); the *ratios* to ByteBrain are what
+    /// the figures need, and these defaults land each method 2–3 orders of magnitude
+    /// below ByteBrain, as in Fig. 6.
+    pub fn default_inference_cost(&self) -> Duration {
+        match self {
+            SemanticKind::UniParser => Duration::from_micros(400),
+            SemanticKind::LogPpt => Duration::from_micros(800),
+            SemanticKind::Lilac => Duration::from_micros(2_000),
+        }
+    }
+
+    /// Error rate applied to the oracle so accuracy resembles the published numbers.
+    pub fn default_error_rate(&self) -> f64 {
+        match self {
+            SemanticKind::UniParser => 0.01,
+            SemanticKind::LogPpt => 0.05,
+            SemanticKind::Lilac => 0.02,
+        }
+    }
+}
+
+/// A simulated semantic parser.
+#[derive(Debug)]
+pub struct SimulatedSemanticParser {
+    kind: SemanticKind,
+    /// Ground-truth labels for the records that will be parsed (the "oracle").
+    oracle: Vec<usize>,
+    /// Per-inference busy-wait cost.
+    pub inference_cost: Duration,
+    /// Fraction of logs whose label is deliberately corrupted.
+    pub error_rate: f64,
+    cache: HashMap<String, usize>,
+    inferences: u64,
+}
+
+impl SimulatedSemanticParser {
+    /// Create a simulation of `kind` with the ground-truth labels of the corpus it will
+    /// parse.
+    pub fn new(kind: SemanticKind, oracle: Vec<usize>) -> Self {
+        SimulatedSemanticParser {
+            kind,
+            oracle,
+            inference_cost: kind.default_inference_cost(),
+            error_rate: kind.default_error_rate(),
+            cache: HashMap::new(),
+            inferences: 0,
+        }
+    }
+
+    /// Number of simulated model inferences performed so far.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Override the per-inference cost (used to shorten test run times).
+    pub fn with_inference_cost(mut self, cost: Duration) -> Self {
+        self.inference_cost = cost;
+        self
+    }
+
+    fn spend_inference(&mut self) {
+        self.inferences += 1;
+        if self.inference_cost.is_zero() {
+            return;
+        }
+        // Busy-wait: sleeping would under-represent CPU cost at microsecond scales.
+        let start = Instant::now();
+        while start.elapsed() < self.inference_cost {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Cache key: the masked token skeleton of the log (what LILAC's adaptive parsing
+    /// cache keys on).
+    fn cache_key(record: &str) -> String {
+        tokenize_simple(record).join(" ")
+    }
+}
+
+impl LogParser for SimulatedSemanticParser {
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        assert_eq!(
+            records.len(),
+            self.oracle.len(),
+            "the oracle must describe exactly the records being parsed"
+        );
+        // Error model: semantic parsers typically fail on a few *templates* (usually rare,
+        // oddly-structured ones), not on random individual logs. Corrupt the smallest
+        // ground-truth groups until roughly `error_rate` of the logs are affected; the
+        // affected groups are split in two, which strict GA counts as fully wrong.
+        let mut group_sizes: HashMap<usize, usize> = HashMap::new();
+        for &label in &self.oracle {
+            *group_sizes.entry(label).or_insert(0) += 1;
+        }
+        let mut by_size: Vec<(usize, usize)> = group_sizes.into_iter().collect();
+        by_size.sort_by_key(|&(label, size)| (size, label));
+        let budget = (self.error_rate * records.len() as f64).floor() as usize;
+        let mut corrupted_groups: HashMap<usize, ()> = HashMap::new();
+        let mut affected = 0usize;
+        for (label, size) in by_size {
+            if affected + size > budget {
+                break;
+            }
+            affected += size;
+            corrupted_groups.insert(label, ());
+        }
+
+        let mut out = Vec::with_capacity(records.len());
+        for (idx, record) in records.iter().enumerate() {
+            let truth = self.oracle[idx];
+            let label = match self.kind {
+                SemanticKind::Lilac => {
+                    let key = Self::cache_key(record);
+                    if let Some(&cached) = self.cache.get(&key) {
+                        cached
+                    } else {
+                        self.spend_inference();
+                        self.cache.insert(key, truth);
+                        truth
+                    }
+                }
+                _ => {
+                    self.spend_inference();
+                    truth
+                }
+            };
+            let label = if corrupted_groups.contains_key(&truth) && idx % 2 == 0 {
+                // Split the corrupted group: half of its logs land in a spurious group.
+                usize::MAX - truth
+            } else {
+                label
+            };
+            out.push(label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<String>, Vec<usize>) {
+        let mut records = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            records.push(format!("alloc page {} for proc {}", i, i % 7));
+            labels.push(0);
+            records.push(format!("free page {} of proc {}", i, i % 7));
+            labels.push(1);
+        }
+        (records, labels)
+    }
+
+    #[test]
+    fn oracle_accuracy_is_near_perfect() {
+        let (records, labels) = corpus();
+        let mut parser = SimulatedSemanticParser::new(SemanticKind::UniParser, labels.clone())
+            .with_inference_cost(Duration::ZERO);
+        let predicted = parser.parse(&records);
+        let agree = predicted
+            .iter()
+            .zip(&labels)
+            .filter(|(p, t)| p == t)
+            .count();
+        assert!(agree as f64 / labels.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn lilac_cache_limits_inference_count() {
+        let (records, labels) = corpus();
+        let mut lilac = SimulatedSemanticParser::new(SemanticKind::Lilac, labels.clone())
+            .with_inference_cost(Duration::ZERO);
+        lilac.parse(&records);
+        // Two templates → far fewer inferences than logs (cache keyed on the masked
+        // skeleton, which collapses the numeric variables).
+        assert!(lilac.inferences() < 20, "inferences: {}", lilac.inferences());
+
+        let mut uniparser = SimulatedSemanticParser::new(SemanticKind::UniParser, labels)
+            .with_inference_cost(Duration::ZERO);
+        uniparser.parse(&records);
+        assert_eq!(uniparser.inferences(), records.len() as u64);
+    }
+
+    #[test]
+    fn inference_cost_slows_parsing_down() {
+        let (records, labels) = corpus();
+        let mut slow = SimulatedSemanticParser::new(SemanticKind::LogPpt, labels)
+            .with_inference_cost(Duration::from_micros(50));
+        let start = Instant::now();
+        slow.parse(&records);
+        assert!(start.elapsed() >= Duration::from_micros(50 * records.len() as u64 / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle")]
+    fn mismatched_oracle_length_panics() {
+        let mut parser = SimulatedSemanticParser::new(SemanticKind::UniParser, vec![0]);
+        parser.parse(&vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(SemanticKind::UniParser.name(), "UniParser");
+        assert_eq!(SemanticKind::LogPpt.name(), "LogPPT");
+        assert_eq!(SemanticKind::Lilac.name(), "LILAC");
+    }
+}

@@ -1,0 +1,187 @@
+//! SHISO (Mizutani, SCC 2013): incremental mining of log formats with a similarity tree.
+//! Each new log is compared against the format nodes of a growing tree; if the character-
+//! class similarity with some node exceeds a threshold the log joins it (refining the
+//! format), otherwise a new child node is created under the closest node.
+
+use crate::traits::{tokenize_simple, LogParser};
+
+#[derive(Debug, Clone)]
+struct FormatNode {
+    format: Vec<String>,
+    group_id: usize,
+    children: Vec<usize>,
+}
+
+/// The SHISO parser.
+#[derive(Debug)]
+pub struct Shiso {
+    /// Similarity threshold for joining an existing format node.
+    pub threshold: f64,
+    /// Maximum children per node before new formats are attached to the best child.
+    pub max_children: usize,
+    nodes: Vec<FormatNode>,
+    roots: Vec<usize>,
+    next_group: usize,
+}
+
+impl Default for Shiso {
+    fn default() -> Self {
+        Shiso {
+            threshold: 0.6,
+            max_children: 4,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            next_group: 0,
+        }
+    }
+}
+
+/// Character-class vector of a token: counts of (lowercase, uppercase, digit, other).
+fn char_classes(token: &str) -> [f64; 4] {
+    let mut v = [0.0f64; 4];
+    for c in token.chars() {
+        if c.is_ascii_lowercase() {
+            v[0] += 1.0;
+        } else if c.is_ascii_uppercase() {
+            v[1] += 1.0;
+        } else if c.is_ascii_digit() {
+            v[2] += 1.0;
+        } else {
+            v[3] += 1.0;
+        }
+    }
+    v
+}
+
+/// SHISO's token similarity: 1 − normalized Euclidean distance between class vectors,
+/// with an exact-match bonus.
+fn token_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let ca = char_classes(a);
+    let cb = char_classes(b);
+    let dist: f64 = ca
+        .iter()
+        .zip(&cb)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let scale = (a.len() + b.len()) as f64;
+    (1.0 - dist / scale.max(1.0)).max(0.0) * 0.5
+}
+
+fn format_similarity(format: &[String], tokens: &[String]) -> f64 {
+    if format.len() != tokens.len() || format.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = format
+        .iter()
+        .zip(tokens)
+        .map(|(f, t)| {
+            if f == "<*>" {
+                0.5
+            } else {
+                token_similarity(f, t)
+            }
+        })
+        .sum();
+    total / format.len() as f64
+}
+
+impl Shiso {
+    fn parse_one(&mut self, record: &str) -> usize {
+        let tokens = tokenize_simple(record);
+        // Search the whole tree (breadth-first over roots then children) for the most
+        // similar node; the tree mostly bounds the search in the original algorithm.
+        let mut best: Option<(usize, f64)> = None;
+        let mut stack: Vec<usize> = self.roots.clone();
+        while let Some(idx) = stack.pop() {
+            let sim = format_similarity(&self.nodes[idx].format, &tokens);
+            if best.map(|(_, s)| sim > s).unwrap_or(true) {
+                best = Some((idx, sim));
+            }
+            stack.extend(&self.nodes[idx].children);
+        }
+        match best {
+            Some((idx, sim)) if sim >= self.threshold => {
+                let node = &mut self.nodes[idx];
+                for (f, t) in node.format.iter_mut().zip(&tokens) {
+                    if f != t {
+                        *f = "<*>".to_string();
+                    }
+                }
+                node.group_id
+            }
+            best => {
+                let group_id = self.next_group;
+                self.next_group += 1;
+                let new_idx = self.nodes.len();
+                self.nodes.push(FormatNode {
+                    format: tokens,
+                    group_id,
+                    children: Vec::new(),
+                });
+                match best {
+                    Some((parent, _)) if self.nodes[parent].children.len() < self.max_children => {
+                        self.nodes[parent].children.push(new_idx);
+                    }
+                    _ => self.roots.push(new_idx),
+                }
+                group_id
+            }
+        }
+    }
+}
+
+impl LogParser for Shiso {
+    fn name(&self) -> &str {
+        "SHISO"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        records.iter().map(|r| self.parse_one(r)).collect()
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.format.join(" ")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_tokens_have_similarity_one() {
+        assert_eq!(token_similarity("abc", "abc"), 1.0);
+        assert!(token_similarity("abc", "abd") < 1.0);
+    }
+
+    #[test]
+    fn same_shape_logs_group_together() {
+        let mut shiso = Shiso::default();
+        let groups = shiso.parse(&vec![
+            "started process 4521 on core 2".into(),
+            "started process 9987 on core 1".into(),
+            "filesystem check completed cleanly today ok".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn incremental_parsing_is_stateful() {
+        let mut shiso = Shiso::default();
+        let a = shiso.parse(&vec!["mount /dev/sda1 on /data succeeded".into()]);
+        let b = shiso.parse(&vec!["mount /dev/sdb2 on /backup succeeded".into()]);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn different_lengths_never_group() {
+        let mut shiso = Shiso::default();
+        let groups = shiso.parse(&vec!["a b c".into(), "a b".into()]);
+        assert_ne!(groups[0], groups[1]);
+    }
+}

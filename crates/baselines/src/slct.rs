@@ -1,0 +1,112 @@
+//! SLCT — Simple Logfile Clustering Tool (Vaarandi, IPOM 2003): frequent (position, word)
+//! pairs form cluster candidates. A log's template keeps the words whose (position, word)
+//! pair is frequent and wildcards everything else; logs sharing a template form a cluster.
+
+use crate::traits::{tokenize_simple, GroupInterner, LogParser};
+use std::collections::HashMap;
+
+/// The SLCT parser.
+#[derive(Debug)]
+pub struct Slct {
+    /// Minimum absolute support of a (position, word) pair to be considered frequent.
+    pub min_support: u64,
+    templates: Vec<String>,
+}
+
+impl Default for Slct {
+    fn default() -> Self {
+        Slct {
+            min_support: 3,
+            templates: Vec::new(),
+        }
+    }
+}
+
+impl LogParser for Slct {
+    fn name(&self) -> &str {
+        "SLCT"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        let tokenized: Vec<Vec<String>> = records.iter().map(|r| tokenize_simple(r)).collect();
+        // Pass 1: support of every (position, word) pair.
+        let mut support: HashMap<(usize, &str), u64> = HashMap::new();
+        for tokens in &tokenized {
+            for (i, t) in tokens.iter().enumerate() {
+                *support.entry((i, t.as_str())).or_insert(0) += 1;
+            }
+        }
+        // Pass 2: build each log's cluster candidate from its frequent pairs.
+        let mut interner = GroupInterner::new();
+        let mut templates: HashMap<String, ()> = HashMap::new();
+        let assignment = tokenized
+            .iter()
+            .map(|tokens| {
+                let template: Vec<&str> = tokens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        if support[&(i, t.as_str())] >= self.min_support {
+                            t.as_str()
+                        } else {
+                            "<*>"
+                        }
+                    })
+                    .collect();
+                let rendered = template.join(" ");
+                let key = format!("{}|{}", tokens.len(), rendered);
+                templates.insert(rendered, ());
+                interner.intern(&key)
+            })
+            .collect();
+        self.templates = templates.into_keys().collect();
+        assignment
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.templates.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_positions_form_the_template() {
+        let mut slct = Slct::default();
+        let records: Vec<String> = (0..20)
+            .map(|i| format!("interface eth{} link became ready", i))
+            .collect();
+        let groups = slct.parse(&records);
+        assert!(groups.iter().all(|&g| g == groups[0]));
+        assert!(slct
+            .templates()
+            .iter()
+            .any(|t| t.contains("interface <*> link became ready")));
+    }
+
+    #[test]
+    fn low_support_logs_are_not_merged_with_frequent_clusters() {
+        let mut slct = Slct::default();
+        let mut records: Vec<String> = (0..20)
+            .map(|i| format!("interface eth{i} link became ready"))
+            .collect();
+        records.push("kernel watchdog barked loudly today".into());
+        let groups = slct.parse(&records);
+        assert_ne!(groups[0], groups[20]);
+    }
+
+    #[test]
+    fn support_threshold_is_respected() {
+        let mut slct = Slct {
+            min_support: 100,
+            templates: Vec::new(),
+        };
+        // Nothing reaches support 100, so every position is a wildcard and grouping falls
+        // back to token count.
+        let groups = slct.parse(&vec!["a b c".into(), "d e f".into(), "g h".into()]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+}

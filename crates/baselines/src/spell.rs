@@ -1,0 +1,168 @@
+//! Spell (Du & Li, ICDM 2016): streaming parsing based on the longest common subsequence
+//! (LCS). Each incoming log is compared against existing LCS objects; if the LCS with some
+//! object covers at least half of the log's tokens, the log joins it and the object's
+//! template is refined to the LCS; otherwise a new object is created.
+
+use crate::traits::{tokenize_simple, LogParser};
+
+#[derive(Debug, Clone)]
+struct LcsObject {
+    template: Vec<String>,
+    group_id: usize,
+}
+
+/// The Spell parser.
+#[derive(Debug)]
+pub struct Spell {
+    /// Minimum fraction of the log's tokens the LCS must cover to join an object.
+    pub tau: f64,
+    objects: Vec<LcsObject>,
+    next_group: usize,
+}
+
+impl Default for Spell {
+    fn default() -> Self {
+        Spell {
+            tau: 0.5,
+            objects: Vec::new(),
+            next_group: 0,
+        }
+    }
+}
+
+/// Longest common subsequence of two token slices.
+fn lcs(a: &[String], b: &[String]) -> Vec<String> {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(dp[0][0]);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(a[i].clone());
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+impl Spell {
+    fn parse_one(&mut self, record: &str) -> usize {
+        let tokens = tokenize_simple(record);
+        let meaningful: Vec<&String> = tokens.iter().filter(|t| *t != "<*>").collect();
+        let mut best: Option<(usize, usize)> = None; // (object index, lcs length)
+        for (idx, object) in self.objects.iter().enumerate() {
+            // Cheap pre-filter: templates whose length differs wildly cannot have a
+            // sufficiently long LCS.
+            if object.template.len() * 2 < meaningful.len()
+                || meaningful.len() * 2 < object.template.len()
+            {
+                continue;
+            }
+            let owned: Vec<String> = meaningful.iter().map(|s| (*s).clone()).collect();
+            let common = lcs(&object.template, &owned);
+            if common.len() * 2 >= tokens.len()
+                && best.map(|(_, len)| common.len() > len).unwrap_or(true)
+            {
+                best = Some((idx, common.len()));
+            }
+        }
+        match best {
+            Some((idx, _)) if (self.objects[idx].template.len() as f64)
+                >= self.tau * tokens.len() as f64 =>
+            {
+                let owned: Vec<String> = meaningful.iter().map(|s| (*s).clone()).collect();
+                let refined = lcs(&self.objects[idx].template, &owned);
+                if !refined.is_empty() {
+                    self.objects[idx].template = refined;
+                }
+                self.objects[idx].group_id
+            }
+            _ => {
+                let group_id = self.next_group;
+                self.next_group += 1;
+                self.objects.push(LcsObject {
+                    template: meaningful.iter().map(|s| (*s).clone()).collect(),
+                    group_id,
+                });
+                group_id
+            }
+        }
+    }
+}
+
+impl LogParser for Spell {
+    fn name(&self) -> &str {
+        "Spell"
+    }
+
+    fn parse(&mut self, records: &[String]) -> Vec<usize> {
+        records.iter().map(|r| self.parse_one(r)).collect()
+    }
+
+    fn templates(&self) -> Vec<String> {
+        self.objects.iter().map(|o| o.template.join(" ")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basics() {
+        let a: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["x", "q", "z"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lcs(&a, &b), vec!["x".to_string(), "z".to_string()]);
+        assert!(lcs(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn same_statement_different_variables_groups_together() {
+        let mut spell = Spell::default();
+        let groups = spell.parse(&vec![
+            "Verification succeeded for blk_1".into(),
+            "Verification succeeded for blk_2".into(),
+            "Deleting block blk_3 file /x".into(),
+        ]);
+        assert_eq!(groups[0], groups[1]);
+        assert_ne!(groups[0], groups[2]);
+    }
+
+    #[test]
+    fn templates_shrink_to_the_common_subsequence() {
+        let mut spell = Spell::default();
+        spell.parse(&vec![
+            "session opened for user root by uid 0".into(),
+            "session opened for user guest by uid 1000".into(),
+        ]);
+        let templates = spell.templates();
+        assert!(templates
+            .iter()
+            .any(|t| t.contains("session opened for user") && !t.contains("root")));
+    }
+
+    #[test]
+    fn unrelated_logs_get_new_groups() {
+        let mut spell = Spell::default();
+        let groups = spell.parse(&vec![
+            "alpha beta gamma delta".into(),
+            "completely different content here".into(),
+        ]);
+        assert_ne!(groups[0], groups[1]);
+    }
+}

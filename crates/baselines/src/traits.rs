@@ -1,0 +1,105 @@
+//! The `LogParser` trait shared by every baseline, plus the simple whitespace tokenizer
+//! the original baseline implementations use (they split on whitespace after a light
+//! preprocessing pass, unlike ByteBrain's richer delimiter set).
+
+use std::collections::HashMap;
+
+/// A log parser evaluated by grouping accuracy: `parse` assigns every record an opaque
+/// group id; records with equal ids are considered to share a template.
+pub trait LogParser: Send {
+    /// Parser name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Parse a batch of records and return one group id per record.
+    fn parse(&mut self, records: &[String]) -> Vec<usize>;
+
+    /// The templates the parser produced for the last `parse` call, if it materialises
+    /// them (used for qualitative output; group ids are what accuracy uses).
+    fn templates(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Whitespace tokenization with light masking of obvious numerals, shared by the baseline
+/// implementations (mirrors the Logparser toolkit's preprocessing, which masks numbers,
+/// IP addresses and similar purely-numeric tokens before running each parser).
+pub fn tokenize_simple(record: &str) -> Vec<String> {
+    record
+        .split_whitespace()
+        .map(|t| {
+            let has_digit = t.chars().any(|c| c.is_ascii_digit());
+            let numericish = has_digit
+                && t.chars()
+                    .all(|c| c.is_ascii_digit() || matches!(c, '.' | ':' | '-' | '/' | ','));
+            if numericish {
+                "<*>".to_string()
+            } else {
+                t.to_string()
+            }
+        })
+        .collect()
+}
+
+/// Intern helper: map template strings to stable group ids.
+#[derive(Debug, Default)]
+pub struct GroupInterner {
+    ids: HashMap<String, usize>,
+}
+
+impl GroupInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the id for `key`, allocating a new one if needed.
+    pub fn intern(&mut self, key: &str) -> usize {
+        let next = self.ids.len();
+        *self.ids.entry(key.to_string()).or_insert(next)
+    }
+
+    /// Number of distinct keys seen.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no key has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tokenizer_masks_pure_numbers() {
+        let tokens = tokenize_simple("request 42 served in 7 ms");
+        assert_eq!(tokens, vec!["request", "<*>", "served", "in", "<*>", "ms"]);
+    }
+
+    #[test]
+    fn simple_tokenizer_masks_ips_and_times() {
+        let tokens = tokenize_simple("from 10.0.0.5 at 12:30:45 code -1");
+        assert_eq!(tokens, vec!["from", "<*>", "at", "<*>", "code", "<*>"]);
+    }
+
+    #[test]
+    fn simple_tokenizer_keeps_mixed_tokens() {
+        let tokens = tokenize_simple("block blk_123 on node-7 level warn");
+        assert_eq!(tokens, vec!["block", "blk_123", "on", "node-7", "level", "warn"]);
+    }
+
+    #[test]
+    fn interner_assigns_stable_ids() {
+        let mut interner = GroupInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("template a");
+        let b = interner.intern("template b");
+        let a2 = interner.intern("template a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+}

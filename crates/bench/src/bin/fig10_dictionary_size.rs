@@ -1,0 +1,45 @@
+//! Fig. 10 — storage cost of ordinal encoding: the size of the token→id dictionary as a
+//! function of log volume. Hash encoding needs no dictionary at all, so this is exactly
+//! the storage ByteBrain saves.
+
+use bench::{loghub2_scale, maybe_write};
+use datasets::{loghub2_dataset_names, LabeledDataset};
+use eval::report::{ExperimentRecord, TextTable};
+use logtok::{OrdinalEncoder, Preprocessor};
+
+fn main() {
+    let scale = loghub2_scale();
+    let preprocessor = Preprocessor::default_pipeline();
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "Log size (bytes)",
+        "Distinct tokens",
+        "Dictionary size (bytes)",
+        "Dictionary / log size",
+    ]);
+    let mut record = ExperimentRecord::new("fig10", "ordinal-encoding dictionary size");
+    for dataset in loghub2_dataset_names() {
+        let ds = LabeledDataset::loghub2(dataset, scale);
+        let mut encoder = OrdinalEncoder::new();
+        for r in &ds.records {
+            let tokens = preprocessor.tokens_of(r);
+            encoder.encode_sequence(&tokens);
+        }
+        let log_bytes = ds.total_bytes();
+        let dict_bytes = encoder.dictionary_size_bytes();
+        record.insert(&format!("{dataset}_log_bytes"), log_bytes as f64);
+        record.insert(&format!("{dataset}_dict_bytes"), dict_bytes as f64);
+        table.add_row(vec![
+            dataset.to_string(),
+            log_bytes.to_string(),
+            encoder.vocabulary_size().to_string(),
+            dict_bytes.to_string(),
+            format!("{:.4}", dict_bytes as f64 / log_bytes as f64),
+        ]);
+        eprintln!("[fig10] finished {dataset}");
+    }
+    println!("Fig. 10: token dictionary size required by ordinal encoding ({scale} logs per dataset).");
+    println!("Hash encoding (ByteBrain's default) stores no dictionary, so the third column is the saving.\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

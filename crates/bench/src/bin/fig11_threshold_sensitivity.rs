@@ -1,0 +1,53 @@
+//! Fig. 11 — parameter sensitivity: grouping accuracy as the query-time saturation
+//! threshold sweeps from 0.1 to 0.9, on LogHub and LogHub-2.0-scale corpora.
+
+use bench::{eval_bytebrain, loghub2_scale, maybe_write};
+use bytebrain::TrainConfig;
+use datasets::LabeledDataset;
+use eval::report::{fmt2, ExperimentRecord, TextTable};
+
+fn main() {
+    let thresholds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let datasets = [
+        "Apache",
+        "BGL",
+        "HDFS",
+        "HPC",
+        "Hadoop",
+        "HealthApp",
+        "Mac",
+        "OpenSSH",
+        "OpenStack",
+        "Spark",
+        "Thunderbird",
+        "Zookeeper",
+    ];
+    let scale = loghub2_scale().min(20_000);
+    let mut record = ExperimentRecord::new("fig11", "GA vs saturation threshold");
+    for (suite, use_loghub2) in [("LogHub", false), ("LogHub-2.0", true)] {
+        let mut headers = vec!["Dataset".to_string()];
+        headers.extend(thresholds.iter().map(|t| format!("{t:.1}")));
+        let mut table = TextTable::new(headers);
+        for dataset in datasets {
+            let ds = if use_loghub2 {
+                LabeledDataset::loghub2(dataset, scale)
+            } else {
+                LabeledDataset::loghub(dataset)
+            };
+            let mut row = vec![dataset.to_string()];
+            for &threshold in &thresholds {
+                let outcome = eval_bytebrain(&ds, TrainConfig::default(), threshold);
+                row.push(fmt2(outcome.accuracy));
+                record.insert(
+                    &format!("{suite}_{dataset}_{threshold}"),
+                    outcome.accuracy,
+                );
+            }
+            table.add_row(row);
+            eprintln!("[fig11] finished {suite}/{dataset}");
+        }
+        println!("Fig. 11 ({suite}): group accuracy vs saturation threshold\n");
+        println!("{}", table.render());
+    }
+    maybe_write(&record);
+}

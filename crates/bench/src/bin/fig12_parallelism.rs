@@ -1,0 +1,57 @@
+//! Fig. 12 — throughput vs. degree of parallelism (1–16 workers) on LogHub-2.0-scale
+//! corpora, sorted by dataset size. Large datasets benefit; small ones plateau early.
+
+use bench::{eval_bytebrain, loghub2_scale, maybe_write, DEFAULT_THRESHOLD};
+use bytebrain::TrainConfig;
+use datasets::LabeledDataset;
+use eval::report::{fmt_sci, ExperimentRecord, TextTable};
+
+fn main() {
+    let workers = [1usize, 2, 4, 8, 16];
+    let datasets = [
+        "Apache",
+        "Zookeeper",
+        "Mac",
+        "HealthApp",
+        "Hadoop",
+        "HPC",
+        "OpenStack",
+        "OpenSSH",
+        "BGL",
+        "HDFS",
+        "Spark",
+        "Thunderbird",
+    ];
+    let scale = loghub2_scale();
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(workers.iter().map(|w| format!("{w} workers")));
+    headers.push("speedup 16/1".to_string());
+    let mut table = TextTable::new(headers);
+    let mut record = ExperimentRecord::new("fig12", "throughput vs parallelism");
+    for dataset in datasets {
+        let ds = LabeledDataset::loghub2(dataset, scale);
+        let mut row = vec![dataset.to_string()];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for (i, &w) in workers.iter().enumerate() {
+            let outcome = eval_bytebrain(
+                &ds,
+                TrainConfig::default().with_parallelism(w),
+                DEFAULT_THRESHOLD,
+            );
+            let tp = outcome.throughput.logs_per_second;
+            row.push(fmt_sci(tp));
+            record.insert(&format!("{dataset}_{w}"), tp);
+            if i == 0 {
+                first = tp;
+            }
+            last = tp;
+        }
+        row.push(format!("{:.2}x", if first > 0.0 { last / first } else { 0.0 }));
+        table.add_row(row);
+        eprintln!("[fig12] finished {dataset}");
+    }
+    println!("Fig. 12: throughput vs parallelism ({scale} logs per dataset)\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

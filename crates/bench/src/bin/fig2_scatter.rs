@@ -1,0 +1,50 @@
+//! Fig. 2 — throughput vs. group-accuracy scatter: one point per method, averaged over a
+//! representative set of datasets. ByteBrain must land in the top-right corner (high
+//! throughput, near-SOTA accuracy).
+
+use bench::{eval_all_methods, loghub2_scale, maybe_write};
+use datasets::LabeledDataset;
+use eval::report::{fmt2, fmt_sci, ExperimentRecord, TextTable};
+use std::collections::HashMap;
+
+fn main() {
+    let scale = loghub2_scale().min(20_000);
+    let datasets = ["HDFS", "Apache", "OpenSSH", "Zookeeper", "Spark", "BGL"];
+    let mut accuracy: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut throughput: HashMap<String, Vec<f64>> = HashMap::new();
+    for dataset in datasets {
+        eprintln!("[fig2] evaluating {dataset}");
+        let ds = LabeledDataset::loghub2(dataset, scale);
+        for outcome in eval_all_methods(&ds, true) {
+            accuracy.entry(outcome.parser.clone()).or_default().push(outcome.accuracy);
+            throughput
+                .entry(outcome.parser)
+                .or_default()
+                .push(outcome.throughput.logs_per_second);
+        }
+    }
+    let mut table = TextTable::new(vec!["Method", "Throughput (logs/s)", "Group Accuracy"]);
+    let mut record = ExperimentRecord::new("fig2", "accuracy vs throughput scatter");
+    let mut rows: Vec<(String, f64, f64)> = accuracy
+        .iter()
+        .map(|(method, accs)| {
+            let mean_acc = accs.iter().sum::<f64>() / accs.len() as f64;
+            let tps = &throughput[method];
+            let mean_tp = tps.iter().sum::<f64>() / tps.len() as f64;
+            (method.clone(), mean_tp, mean_acc)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (method, tp, acc) in &rows {
+        table.add_row(vec![method.clone(), fmt_sci(*tp), fmt2(*acc)]);
+        record.insert(&format!("{method}_throughput"), *tp);
+        record.insert(&format!("{method}_accuracy"), *acc);
+    }
+    println!("Fig. 2: throughput vs accuracy (averaged over {} datasets, {scale} logs each)\n", datasets.len());
+    println!("{}", table.render());
+    // The headline claim: ByteBrain is the fastest method while staying near the best accuracy.
+    if let Some((fastest, _, _)) = rows.first() {
+        println!("Fastest method: {fastest}");
+    }
+    maybe_write(&record);
+}

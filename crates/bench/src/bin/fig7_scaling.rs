@@ -1,0 +1,39 @@
+//! Fig. 7 — ByteBrain running time vs. number of logs: the relationship must be
+//! near-linear across datasets.
+
+use bench::{eval_bytebrain, maybe_write, DEFAULT_THRESHOLD};
+use bytebrain::TrainConfig;
+use datasets::LabeledDataset;
+use eval::report::{ExperimentRecord, TextTable};
+
+fn main() {
+    let sizes = [5_000usize, 10_000, 20_000, 40_000, 80_000];
+    let datasets = ["HDFS", "BGL", "Spark", "Apache", "Zookeeper"];
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("{s} logs (s)")));
+    headers.push("time ratio 80k/5k".to_string());
+    let mut table = TextTable::new(headers);
+    let mut record = ExperimentRecord::new("fig7", "running time vs number of logs");
+    for dataset in datasets {
+        let mut row = vec![dataset.to_string()];
+        let mut first = 0.0f64;
+        let mut last = 0.0f64;
+        for (i, &n) in sizes.iter().enumerate() {
+            let ds = LabeledDataset::loghub2(dataset, n);
+            let outcome = eval_bytebrain(&ds, TrainConfig::default(), DEFAULT_THRESHOLD);
+            row.push(format!("{:.3}", outcome.throughput.seconds));
+            record.insert(&format!("{dataset}_{n}_seconds"), outcome.throughput.seconds);
+            if i == 0 {
+                first = outcome.throughput.seconds;
+            }
+            last = outcome.throughput.seconds;
+        }
+        let ratio = if first > 0.0 { last / first } else { 0.0 };
+        row.push(format!("{ratio:.1}x (ideal linear: {:.1}x)", sizes[sizes.len() - 1] as f64 / sizes[0] as f64));
+        table.add_row(row);
+        eprintln!("[fig7] finished {dataset}");
+    }
+    println!("Fig. 7: ByteBrain running time scaling with log volume\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

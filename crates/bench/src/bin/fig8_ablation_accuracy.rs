@@ -1,0 +1,49 @@
+//! Fig. 8 — ablation study (accuracy): grouping accuracy of every ByteBrain variant on
+//! LogHub (2k logs/dataset) and LogHub-2.0-scale corpora.
+
+use bench::{eval_bytebrain_variant, loghub2_scale, maybe_write};
+use bytebrain::AblationConfig;
+use datasets::{dataset_names, loghub2_dataset_names, LabeledDataset};
+use eval::report::{fmt2, ExperimentRecord, TextTable};
+
+fn main() {
+    // The accuracy-relevant variants of Fig. 8.
+    let variant_names = [
+        "ByteBrain",
+        "w/ naive match",
+        "w/o variable in saturation",
+        "w/o position importance",
+        "w/o confidence factor",
+        "random centroid selection",
+    ];
+    let all_variants = AblationConfig::named_variants();
+    let scale = loghub2_scale().min(20_000);
+    let mut table = TextTable::new(vec!["Variant", "LogHub avg GA", "LogHub-2.0 avg GA"]);
+    let mut record = ExperimentRecord::new("fig8", "ablation study: accuracy");
+    for name in variant_names {
+        let (_, ablation) = all_variants
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("variant exists");
+        let mut loghub_scores = Vec::new();
+        for dataset in dataset_names() {
+            let ds = LabeledDataset::loghub(dataset);
+            loghub_scores.push(eval_bytebrain_variant(&ds, name, *ablation, 1).accuracy);
+        }
+        let mut loghub2_scores = Vec::new();
+        for dataset in loghub2_dataset_names() {
+            let ds = LabeledDataset::loghub2(dataset, scale);
+            loghub2_scores.push(eval_bytebrain_variant(&ds, name, *ablation, 1).accuracy);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let a = mean(&loghub_scores);
+        let b = mean(&loghub2_scores);
+        record.insert(&format!("{name}_loghub"), a);
+        record.insert(&format!("{name}_loghub2"), b);
+        table.add_row(vec![name.to_string(), fmt2(a), fmt2(b)]);
+        eprintln!("[fig8] finished variant {name}");
+    }
+    println!("Fig. 8: ablation study — grouping accuracy per variant\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

@@ -1,0 +1,64 @@
+//! Fig. 9 — ablation study (efficiency): throughput of every ByteBrain variant on the four
+//! largest datasets (BGL, HDFS, Spark, Thunderbird), with LILAC and UniParser as the
+//! baseline reference points.
+
+use bench::{eval_bytebrain_variant, eval_semantic, loghub2_scale, maybe_write};
+use baselines::SemanticKind;
+use bytebrain::AblationConfig;
+use datasets::LabeledDataset;
+use eval::report::{fmt_sci, ExperimentRecord, TextTable};
+
+fn main() {
+    let datasets = ["BGL", "HDFS", "Spark", "Thunderbird"];
+    let scale = loghub2_scale();
+    let variant_names = [
+        "ByteBrain",
+        "w/o early stopping",
+        "w/o ensure saturation increase",
+        "w/o position importance",
+        "ordinal encoding",
+        "w/o balanced group",
+        "w/o variable in saturation",
+        "w/o deduplication&related techs",
+    ];
+    let all_variants = AblationConfig::named_variants();
+    let mut headers = vec!["Variant".to_string()];
+    headers.extend(datasets.iter().map(|d| d.to_string()));
+    let mut table = TextTable::new(headers);
+    let mut record = ExperimentRecord::new("fig9", "ablation study: throughput");
+    for name in variant_names {
+        let (_, ablation) = all_variants
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("variant exists");
+        let mut row = vec![name.to_string()];
+        for dataset in datasets {
+            let ds = LabeledDataset::loghub2(dataset, scale);
+            let outcome = eval_bytebrain_variant(&ds, name, *ablation, 1);
+            row.push(fmt_sci(outcome.throughput.logs_per_second));
+            record.insert(
+                &format!("{name}_{dataset}"),
+                outcome.throughput.logs_per_second,
+            );
+        }
+        table.add_row(row);
+        eprintln!("[fig9] finished variant {name}");
+    }
+    // Reference baselines, as in the figure.
+    for kind in [SemanticKind::Lilac, SemanticKind::UniParser] {
+        let mut row = vec![kind.name().to_string()];
+        for dataset in datasets {
+            let ds = LabeledDataset::loghub2(dataset, scale.min(10_000));
+            let outcome = eval_semantic(&ds, kind);
+            row.push(fmt_sci(outcome.throughput.logs_per_second));
+            record.insert(
+                &format!("{}_{dataset}", kind.name()),
+                outcome.throughput.logs_per_second,
+            );
+        }
+        table.add_row(row);
+    }
+    println!("Fig. 9: ablation study — throughput (logs/second) on the four largest datasets ({scale} logs each)\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

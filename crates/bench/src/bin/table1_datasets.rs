@@ -1,0 +1,52 @@
+//! Table 1 — LogHub and LogHub-2.0 dataset statistics.
+//!
+//! Prints, for every dataset family, the statistics of the synthetic corpora used by the
+//! other experiments (#logs, size, #templates), alongside the counts the paper reports
+//! for the original corpora so the calibration is visible.
+
+use bench::{loghub2_scale, maybe_write};
+use datasets::{dataset_names, dataset_spec, DatasetStats, LabeledDataset};
+use eval::report::{ExperimentRecord, TextTable};
+
+fn main() {
+    let scale = loghub2_scale();
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "LogHub #Logs",
+        "LogHub Size",
+        "LogHub #Templates (paper)",
+        "LogHub-2.0 #Logs (here)",
+        "LogHub-2.0 Size",
+        "LogHub-2.0 #Templates (paper)",
+    ]);
+    let mut record = ExperimentRecord::new("table1", "dataset statistics");
+    for name in dataset_names() {
+        let spec = dataset_spec(name).expect("catalog entry");
+        let small = LabeledDataset::loghub(name);
+        let small_stats = DatasetStats::of(&small);
+        let (large_logs, large_size) = if spec.loghub2_logs.is_some() {
+            let large = LabeledDataset::loghub2(name, scale);
+            let stats = DatasetStats::of(&large);
+            (stats.num_logs.to_string(), stats.size_human())
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        record.insert(&format!("{name}_loghub_templates"), spec.loghub_templates as f64);
+        record.insert(&format!("{name}_loghub_size_bytes"), small_stats.size_bytes as f64);
+        table.add_row(vec![
+            name.to_string(),
+            small_stats.num_logs.to_string(),
+            small_stats.size_human(),
+            spec.loghub_templates.to_string(),
+            large_logs,
+            large_size,
+            spec.loghub2_templates
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("Table 1: dataset statistics (synthetic corpora; template counts from the paper)");
+    println!("LogHub-2.0 scale: {scale} logs per dataset (BYTEBRAIN_LOGHUB2_LOGS to change)\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

@@ -1,0 +1,48 @@
+//! Table 2 — Grouping Accuracy comparison on LogHub (2,000 logs per dataset, all methods).
+
+use bench::{eval_all_methods, maybe_write, paper_method_order};
+use datasets::{dataset_names, LabeledDataset};
+use eval::report::{fmt2, ExperimentRecord, TextTable};
+use std::collections::HashMap;
+
+fn main() {
+    let datasets = dataset_names();
+    let methods = paper_method_order();
+    // accuracy[method][dataset]
+    let mut accuracy: HashMap<String, HashMap<String, f64>> = HashMap::new();
+    for dataset in &datasets {
+        eprintln!("[table2] evaluating {dataset}");
+        let ds = LabeledDataset::loghub(dataset);
+        for outcome in eval_all_methods(&ds, true) {
+            accuracy
+                .entry(outcome.parser.clone())
+                .or_default()
+                .insert(dataset.to_string(), outcome.accuracy);
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["Method".to_string()];
+    headers.extend(datasets.iter().map(|d| d.to_string()));
+    headers.push("Average".to_string());
+    let mut table = TextTable::new(headers);
+    let mut record = ExperimentRecord::new("table2", "grouping accuracy on LogHub");
+    for method in &methods {
+        let Some(per_dataset) = accuracy.get(*method) else {
+            continue;
+        };
+        let mut row = vec![method.to_string()];
+        let mut values = Vec::new();
+        for dataset in &datasets {
+            let value = per_dataset.get(*dataset).copied().unwrap_or(f64::NAN);
+            values.push(value);
+            row.push(fmt2(value));
+        }
+        let mean = values.iter().copied().sum::<f64>() / values.len() as f64;
+        row.push(fmt2(mean));
+        record.insert(&format!("{method}_average"), mean);
+        table.add_row(row);
+    }
+    println!("Table 2: Group Accuracy on LogHub (synthetic, 2,000 logs per dataset)\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

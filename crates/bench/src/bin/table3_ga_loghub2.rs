@@ -1,0 +1,48 @@
+//! Table 3 — Grouping Accuracy comparison on LogHub-2.0-scale corpora (all methods).
+
+use bench::{eval_all_methods, loghub2_scale, maybe_write, paper_method_order};
+use datasets::{loghub2_dataset_names, LabeledDataset};
+use eval::report::{fmt2, ExperimentRecord, TextTable};
+use std::collections::HashMap;
+
+fn main() {
+    let scale = loghub2_scale();
+    let datasets = loghub2_dataset_names();
+    let methods = paper_method_order();
+    let mut accuracy: HashMap<String, HashMap<String, f64>> = HashMap::new();
+    for dataset in &datasets {
+        eprintln!("[table3] evaluating {dataset} at {scale} logs");
+        let ds = LabeledDataset::loghub2(dataset, scale);
+        for outcome in eval_all_methods(&ds, true) {
+            accuracy
+                .entry(outcome.parser.clone())
+                .or_default()
+                .insert(dataset.to_string(), outcome.accuracy);
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["Method".to_string()];
+    headers.extend(datasets.iter().map(|d| d.to_string()));
+    headers.push("Average".to_string());
+    let mut table = TextTable::new(headers);
+    let mut record = ExperimentRecord::new("table3", "grouping accuracy on LogHub-2.0 scale");
+    for method in &methods {
+        let Some(per_dataset) = accuracy.get(*method) else {
+            continue;
+        };
+        let mut row = vec![method.to_string()];
+        let mut values = Vec::new();
+        for dataset in &datasets {
+            let value = per_dataset.get(*dataset).copied().unwrap_or(f64::NAN);
+            values.push(value);
+            row.push(fmt2(value));
+        }
+        let mean = values.iter().copied().sum::<f64>() / values.len() as f64;
+        row.push(fmt2(mean));
+        record.insert(&format!("{method}_average"), mean);
+        table.add_row(row);
+    }
+    println!("Table 3: Group Accuracy on LogHub-2.0-style corpora ({scale} logs per dataset)\n");
+    println!("{}", table.render());
+    maybe_write(&record);
+}

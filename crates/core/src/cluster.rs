@@ -1,0 +1,517 @@
+//! Hierarchical clustering of one initial group (§4.3–§4.7).
+//!
+//! Every initial group becomes the root of a clustering tree. A node is split by the
+//! *single clustering process* (§4.4): a K-Means-style iteration using the positional
+//! similarity distance, seeded K-Means++-style, that grows the number of clusters whenever
+//! a cluster's saturation fails to improve on its parent. Nodes stop splitting when their
+//! saturation reaches the target (§4.5), when an early-stop rule applies (§4.7), or when a
+//! split cannot separate the members any further.
+
+use crate::config::TrainConfig;
+use crate::distance::ClusterProfile;
+use crate::saturation::{breakdown, saturation};
+use crate::tree::TemplateToken;
+use logtok::UniqueLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of the per-group clustering tree, using indices local to the group.
+#[derive(Debug, Clone)]
+pub struct LocalNode {
+    /// Indices (into the group's unique-log slice) of the member logs.
+    pub members: Vec<usize>,
+    /// Parent node index within the local tree.
+    pub parent: Option<usize>,
+    /// Child node indices within the local tree.
+    pub children: Vec<usize>,
+    /// Saturation score.
+    pub saturation: f64,
+    /// Depth within the group tree (root = 0).
+    pub depth: usize,
+    /// Rendered template.
+    pub template: Vec<TemplateToken>,
+    /// Total raw-record count covered.
+    pub log_count: u64,
+}
+
+/// Build the clustering tree for one initial group. `logs` are the group's unique logs
+/// (all with the same token count); the returned vector's first element is the root.
+pub fn cluster_group(logs: &[UniqueLog], config: &TrainConfig, seed: u64) -> Vec<LocalNode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_members: Vec<usize> = (0..logs.len()).collect();
+    let mut nodes: Vec<LocalNode> = Vec::new();
+    let root = make_node(logs, all_members, None, 0, config);
+    nodes.push(root);
+    let mut work = vec![0usize];
+
+    while let Some(node_idx) = work.pop() {
+        let (members, node_saturation, depth) = {
+            let n = &nodes[node_idx];
+            (n.members.clone(), n.saturation, n.depth)
+        };
+        if members.len() <= 1
+            || node_saturation >= config.saturation_target
+            || depth >= config.max_depth
+        {
+            continue;
+        }
+        let Some(clusters) = split_members(logs, &members, node_saturation, config, &mut rng)
+        else {
+            continue;
+        };
+        for cluster in clusters {
+            let child_idx = nodes.len();
+            let child = make_node(logs, cluster, Some(node_idx), depth + 1, config);
+            // Saturation must not decrease from parent to child; clamp for the pathological
+            // cases where floating point noise or a forced split would violate it.
+            let child_saturation = child.saturation.max(node_saturation);
+            nodes.push(LocalNode {
+                saturation: child_saturation,
+                ..child
+            });
+            nodes[node_idx].children.push(child_idx);
+            work.push(child_idx);
+        }
+    }
+    nodes
+}
+
+/// Construct a node (template + saturation) for a set of member logs.
+fn make_node(
+    logs: &[UniqueLog],
+    members: Vec<usize>,
+    parent: Option<usize>,
+    depth: usize,
+    config: &TrainConfig,
+) -> LocalNode {
+    let num_positions = members
+        .first()
+        .map(|&i| logs[i].encoded.len())
+        .unwrap_or(0);
+    let profile = ClusterProfile::from_logs(num_positions, members.iter().map(|&i| &logs[i].encoded));
+    let node_saturation = saturation(&profile, &config.ablation);
+    let template = render_template(logs, &members, &profile);
+    let log_count = members.iter().map(|&i| logs[i].encoded.count).sum();
+    LocalNode {
+        members,
+        parent,
+        children: Vec::new(),
+        saturation: node_saturation,
+        depth,
+        template,
+        log_count,
+    }
+}
+
+/// Render the template of a member set: constant positions keep their token text, others
+/// become wildcards.
+fn render_template(
+    logs: &[UniqueLog],
+    members: &[usize],
+    profile: &ClusterProfile,
+) -> Vec<TemplateToken> {
+    let Some(&first) = members.first() else {
+        return Vec::new();
+    };
+    let example = &logs[first].encoded;
+    (0..profile.num_positions())
+        .map(|i| {
+            if profile.distinct_at(i) <= 1 {
+                TemplateToken::Const(example.tokens[i].clone())
+            } else {
+                TemplateToken::Wildcard
+            }
+        })
+        .collect()
+}
+
+/// The single clustering process (§4.4). Returns the member partition, or `None` when the
+/// node should stay a leaf (early stop, or no meaningful split exists).
+fn split_members(
+    logs: &[UniqueLog],
+    members: &[usize],
+    parent_saturation: f64,
+    config: &TrainConfig,
+    rng: &mut StdRng,
+) -> Option<Vec<Vec<usize>>> {
+    let ablation = &config.ablation;
+    let num_positions = logs[members[0]].encoded.len();
+    if num_positions == 0 {
+        return None;
+    }
+    let parent_profile =
+        ClusterProfile::from_logs(num_positions, members.iter().map(|&i| &logs[i].encoded));
+
+    // Early-stop rules (§4.7).
+    if ablation.early_stopping {
+        // (1) Few logs: two or fewer distinct logs form one cluster each.
+        if members.len() <= 2 {
+            return if members.len() == 2 {
+                Some(vec![vec![members[0]], vec![members[1]]])
+            } else {
+                None
+            };
+        }
+        let parts = breakdown(&parent_profile);
+        // (2) A single unresolved position cannot increase saturation by splitting.
+        if parts.unresolved.len() == 1 && parts.completely_distinct.is_empty() {
+            return None;
+        }
+        // (3) Completely distinct unresolved positions: every log is inherently its own
+        // cluster.
+        if !parts.unresolved.is_empty() && parts.unresolved.len() == parts.completely_distinct.len()
+        {
+            return Some(members.iter().map(|&m| vec![m]).collect());
+        }
+    } else if members.len() <= 1 {
+        return None;
+    }
+
+    // --- K-Means-style refinement -------------------------------------------------------
+    // Seeding: first centre random; second centre farthest from the first (K-Means++-like)
+    // unless the ablation asks for random centroid selection.
+    let first = members[rng.gen_range(0..members.len())];
+    let second = if ablation.kmeanspp_centroids {
+        let seed_profile = ClusterProfile::from_logs(num_positions, [&logs[first].encoded]);
+        *members
+            .iter()
+            .filter(|&&m| m != first)
+            .max_by(|&&a, &&b| {
+                let da = seed_profile.distance(&logs[a].encoded, ablation.position_importance);
+                let db = seed_profile.distance(&logs[b].encoded, ablation.position_importance);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })?
+    } else {
+        // Random distinct member.
+        let candidates: Vec<usize> = members.iter().copied().filter(|&m| m != first).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates[rng.gen_range(0..candidates.len())]
+    };
+
+    let mut profiles: Vec<ClusterProfile> = vec![
+        ClusterProfile::from_logs(num_positions, [&logs[first].encoded]),
+        ClusterProfile::from_logs(num_positions, [&logs[second].encoded]),
+    ];
+    let mut assignment: Vec<Option<usize>> = vec![None; members.len()];
+
+    for _iteration in 0..config.max_cluster_iters {
+        // Assignment step.
+        let mut changed = false;
+        let mut new_profiles: Vec<ClusterProfile> = profiles
+            .iter()
+            .map(|_| ClusterProfile::new(num_positions))
+            .collect();
+        for (slot, &member) in members.iter().enumerate() {
+            let log = &logs[member].encoded;
+            let mut best = Vec::new();
+            let mut best_distance = f64::INFINITY;
+            for (cluster_idx, profile) in profiles.iter().enumerate() {
+                if profile.is_empty() {
+                    continue;
+                }
+                let d = profile.distance(log, ablation.position_importance);
+                if d < best_distance - 1e-12 {
+                    best_distance = d;
+                    best.clear();
+                    best.push(cluster_idx);
+                } else if (d - best_distance).abs() <= 1e-12 {
+                    best.push(cluster_idx);
+                }
+            }
+            let chosen = if best.is_empty() {
+                0
+            } else if best.len() == 1 || !ablation.balanced_grouping {
+                best[0]
+            } else {
+                // Balanced grouping (§4.6): break ties uniformly at random.
+                best[rng.gen_range(0..best.len())]
+            };
+            if assignment[slot] != Some(chosen) {
+                changed = true;
+                assignment[slot] = Some(chosen);
+            }
+            new_profiles[chosen].add(log);
+        }
+        profiles = new_profiles;
+
+        // Growth step: when a non-trivial cluster fails to improve on the parent's
+        // saturation, add a cluster seeded by the member farthest from every centre.
+        let mut needs_growth = false;
+        if ablation.ensure_saturation_increase {
+            for profile in &profiles {
+                if profile.unique_count() > 1
+                    && saturation(profile, ablation) <= parent_saturation + 1e-12
+                {
+                    needs_growth = true;
+                    break;
+                }
+            }
+        }
+        let position_bound = num_positions + 1;
+        if needs_growth && profiles.len() < position_bound.min(members.len()) {
+            let farthest = members
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let da = min_distance(&profiles, &logs[a].encoded, ablation.position_importance);
+                    let db = min_distance(&profiles, &logs[b].encoded, ablation.position_importance);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("members is non-empty");
+            profiles.push(ClusterProfile::from_logs(
+                num_positions,
+                [&logs[farthest].encoded],
+            ));
+            // Re-run assignment against the enlarged cluster set.
+            continue;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Materialise the partition, dropping empty clusters.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); profiles.len()];
+    for (slot, &member) in members.iter().enumerate() {
+        let cluster = assignment[slot].unwrap_or(0);
+        clusters[cluster].push(member);
+    }
+    clusters.retain(|c| !c.is_empty());
+    if clusters.len() < 2 {
+        return None;
+    }
+    if config.ablation.ensure_saturation_increase {
+        // Reject splits that fail to improve any child: they would only deepen the tree
+        // without adding precision.
+        let improved = clusters.iter().any(|cluster| {
+            let profile = ClusterProfile::from_logs(
+                num_positions,
+                cluster.iter().map(|&i| &logs[i].encoded),
+            );
+            saturation(&profile, ablation) > parent_saturation + 1e-12
+        });
+        if !improved {
+            return None;
+        }
+    }
+    Some(clusters)
+}
+
+fn min_distance(profiles: &[ClusterProfile], log: &logtok::EncodedLog, importance: bool) -> f64 {
+    profiles
+        .iter()
+        .filter(|p| !p.is_empty())
+        .map(|p| p.distance(log, importance))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+
+    fn unique(tokens: &[&str], count: u64) -> UniqueLog {
+        let mut encoded = logtok::EncodedLog::from_tokens(tokens);
+        encoded.count = count;
+        UniqueLog {
+            encoded,
+            record_indices: Vec::new(),
+        }
+    }
+
+    fn config() -> TrainConfig {
+        TrainConfig::default()
+    }
+
+    #[test]
+    fn fig5_set1_stays_a_single_node() {
+        let logs = vec![
+            unique(&["UserService", "createUser", "token", "abc123", "success"], 1),
+            unique(&["UserService", "createUser", "token", "xyz789", "success"], 1),
+            unique(&["UserService", "createUser", "token", "def456", "success"], 1),
+        ];
+        let tree = cluster_group(&logs, &config(), 1);
+        assert_eq!(tree.len(), 1, "a fully-saturated root must not split");
+        assert!((tree[0].saturation - 1.0).abs() < 1e-9);
+        assert_eq!(tree[0].template_text_for_test(), "UserService createUser token * success");
+    }
+
+    impl LocalNode {
+        fn template_text_for_test(&self) -> String {
+            self.template
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    }
+
+    #[test]
+    fn fig5_set2_splits_until_saturated() {
+        let logs = vec![
+            unique(&["UserService", "createUser", "token", "abc123", "success"], 1),
+            unique(&["UserService", "deleteUser", "token", "xyz789", "failed"], 1),
+            unique(&["UserService", "queryUser", "token", "def456", "success"], 1),
+        ];
+        let tree = cluster_group(&logs, &config(), 1);
+        assert!(tree.len() > 1, "the mixed set must split");
+        // Children always have saturation >= their parent.
+        for (idx, node) in tree.iter().enumerate() {
+            if let Some(parent) = node.parent {
+                assert!(
+                    node.saturation >= tree[parent].saturation - 1e-12,
+                    "node {idx} has lower saturation than its parent"
+                );
+            }
+        }
+        // All leaves are fully saturated.
+        for node in tree.iter().filter(|n| n.children.is_empty()) {
+            assert!(node.saturation >= 0.99, "leaf saturation {}", node.saturation);
+        }
+    }
+
+    #[test]
+    fn two_distinct_actions_separate_into_two_clusters() {
+        let logs = vec![
+            unique(&["release", "lock", "1"], 5),
+            unique(&["release", "lock", "2"], 5),
+            unique(&["release", "lock", "3"], 5),
+            unique(&["acquire", "lock", "4"], 5),
+            unique(&["acquire", "lock", "5"], 5),
+            unique(&["acquire", "lock", "6"], 5),
+        ];
+        let tree = cluster_group(&logs, &config(), 3);
+        // Some descendant must have the "release lock *" template and another "acquire lock *".
+        let texts: Vec<String> = tree.iter().map(|n| n.template_text_for_test()).collect();
+        assert!(
+            texts.iter().any(|t| t == "release lock *"),
+            "missing release template in {texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t == "acquire lock *"),
+            "missing acquire template in {texts:?}"
+        );
+    }
+
+    #[test]
+    fn root_covers_all_records() {
+        let logs = vec![
+            unique(&["a", "b", "c"], 10),
+            unique(&["a", "x", "c"], 20),
+            unique(&["a", "y", "z"], 30),
+        ];
+        let tree = cluster_group(&logs, &config(), 5);
+        assert_eq!(tree[0].log_count, 60);
+        assert_eq!(tree[0].members.len(), 3);
+        // Children partition the parent's members.
+        for node in &tree {
+            if !node.children.is_empty() {
+                let child_total: usize = node
+                    .children
+                    .iter()
+                    .map(|&c| tree[c].members.len())
+                    .sum();
+                assert_eq!(child_total, node.members.len());
+            }
+        }
+    }
+
+    #[test]
+    fn single_log_group_is_one_leaf() {
+        let logs = vec![unique(&["only", "log"], 1)];
+        let tree = cluster_group(&logs, &config(), 1);
+        assert_eq!(tree.len(), 1);
+        assert!(tree[0].children.is_empty());
+        assert_eq!(tree[0].saturation, 1.0);
+    }
+
+    #[test]
+    fn two_log_group_splits_into_singletons_when_unrelated() {
+        let logs = vec![
+            unique(&["alpha", "beta"], 1),
+            unique(&["gamma", "delta"], 1),
+        ];
+        let tree = cluster_group(&logs, &config(), 1);
+        // Early-stop rule 1: each log its own cluster (or stays one node if saturated).
+        let leaves: Vec<&LocalNode> = tree.iter().filter(|n| n.children.is_empty()).collect();
+        assert!(leaves.len() >= 1);
+        for leaf in leaves {
+            assert!(leaf.saturation >= tree[0].saturation);
+        }
+    }
+
+    #[test]
+    fn deep_recursion_is_bounded() {
+        // Many logs sharing no structure: the tree must stay bounded and finite.
+        let logs: Vec<UniqueLog> = (0..64)
+            .map(|i| unique(&[&format!("tok{i}"), &format!("val{}", i % 7), "end"], 1))
+            .collect();
+        let shallow = TrainConfig {
+            max_depth: 3,
+            ..TrainConfig::default()
+        };
+        let tree = cluster_group(&logs, &shallow, 7);
+        for node in &tree {
+            assert!(node.depth <= 4);
+        }
+    }
+
+    #[test]
+    fn disabling_early_stop_still_terminates() {
+        let logs = vec![
+            unique(&["a", "1"], 1),
+            unique(&["a", "2"], 1),
+            unique(&["b", "3"], 1),
+        ];
+        let mut cfg = config();
+        cfg.ablation.early_stopping = false;
+        let tree = cluster_group(&logs, &cfg, 11);
+        assert!(!tree.is_empty());
+        assert!(tree.len() < 20);
+    }
+
+    #[test]
+    fn without_saturation_guarantee_splits_are_still_partitions() {
+        let logs = vec![
+            unique(&["put", "key", "1"], 1),
+            unique(&["put", "key", "2"], 1),
+            unique(&["get", "key", "3"], 1),
+            unique(&["get", "key", "4"], 1),
+        ];
+        let mut cfg = config();
+        cfg.ablation.ensure_saturation_increase = false;
+        let tree = cluster_group(&logs, &cfg, 13);
+        for node in &tree {
+            if !node.children.is_empty() {
+                let mut members: Vec<usize> = node
+                    .children
+                    .iter()
+                    .flat_map(|&c| tree[c].members.clone())
+                    .collect();
+                members.sort_unstable();
+                let mut expected = node.members.clone();
+                expected.sort_unstable();
+                assert_eq!(members, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let logs = vec![
+            unique(&["svc", "start", "a"], 1),
+            unique(&["svc", "start", "b"], 1),
+            unique(&["svc", "stop", "a"], 1),
+            unique(&["svc", "stop", "b"], 1),
+        ];
+        let t1 = cluster_group(&logs, &config(), 99);
+        let t2 = cluster_group(&logs, &config(), 99);
+        assert_eq!(t1.len(), t2.len());
+        for (a, b) in t1.iter().zip(t2.iter()) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.template, b.template);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Positional similarity distance (§4.4, Eq. 2) and the per-cluster token statistics it
+//! is computed from.
+//!
+//! Hash-encoded tokens are identifiers with no numerical meaning, so Euclidean distance
+//! over the encodings (as used by SPINE's bag-of-words K-means) is meaningless. Instead,
+//! the distance between a log `L` and a cluster `C` combines, for every token position:
+//!
+//! * the frequency `f_i(L, C)` of `L`'s token at position `i` among the cluster's logs
+//!   (high frequency ⇒ the token is representative of the position), and
+//! * a position importance weight `w_i = 1 / (n_i − 1)` where `n_i` is the number of
+//!   distinct tokens the cluster has at position `i` (high variability ⇒ the position is
+//!   probably a variable ⇒ it should influence the distance less).
+//!
+//! The weighted average `Σ w_i · f_i / Σ w_i` is a *similarity* in `[0, 1]`; the distance
+//! is its complement, and each log is assigned to the minimum-distance (maximum
+//! similarity) cluster.
+
+use logtok::EncodedLog;
+use std::collections::HashMap;
+
+/// Per-position token statistics of a cluster of equal-length logs.
+#[derive(Debug, Clone)]
+pub struct ClusterProfile {
+    /// Per position: token hash → weighted occurrence count.
+    positions: Vec<HashMap<u64, u64>>,
+    /// Sum of the `count` fields of the member logs (i.e. raw records, not unique logs).
+    total_weight: u64,
+    /// Number of unique (deduplicated) member logs.
+    unique_count: usize,
+}
+
+impl ClusterProfile {
+    /// Empty profile for logs with `num_positions` tokens.
+    pub fn new(num_positions: usize) -> Self {
+        ClusterProfile {
+            positions: vec![HashMap::new(); num_positions],
+            total_weight: 0,
+            unique_count: 0,
+        }
+    }
+
+    /// Build a profile from a set of member logs (all must have the same length).
+    pub fn from_logs<'a, I>(num_positions: usize, logs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a EncodedLog>,
+    {
+        let mut profile = ClusterProfile::new(num_positions);
+        for log in logs {
+            profile.add(log);
+        }
+        profile
+    }
+
+    /// Add one unique log (weighted by its duplicate count) to the profile.
+    pub fn add(&mut self, log: &EncodedLog) {
+        debug_assert_eq!(log.len(), self.positions.len());
+        for (i, &token) in log.encoded.iter().enumerate() {
+            *self.positions[i].entry(token).or_insert(0) += log.count;
+        }
+        self.total_weight += log.count;
+        self.unique_count += 1;
+    }
+
+    /// Remove one unique log from the profile (inverse of [`ClusterProfile::add`]).
+    pub fn remove(&mut self, log: &EncodedLog) {
+        debug_assert_eq!(log.len(), self.positions.len());
+        for (i, &token) in log.encoded.iter().enumerate() {
+            if let Some(count) = self.positions[i].get_mut(&token) {
+                *count = count.saturating_sub(log.count);
+                if *count == 0 {
+                    self.positions[i].remove(&token);
+                }
+            }
+        }
+        self.total_weight = self.total_weight.saturating_sub(log.count);
+        self.unique_count = self.unique_count.saturating_sub(1);
+    }
+
+    /// Number of token positions.
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Total weighted number of logs (raw records).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Number of unique member logs.
+    pub fn unique_count(&self) -> usize {
+        self.unique_count
+    }
+
+    /// Number of distinct tokens at position `i`.
+    pub fn distinct_at(&self, i: usize) -> usize {
+        self.positions[i].len()
+    }
+
+    /// Weighted count of `token` at position `i`.
+    pub fn count_at(&self, i: usize, token: u64) -> u64 {
+        self.positions[i].get(&token).copied().unwrap_or(0)
+    }
+
+    /// The single token at position `i` when the position is constant, `None` otherwise.
+    pub fn constant_token_at(&self, i: usize) -> Option<u64> {
+        if self.positions[i].len() == 1 {
+            self.positions[i].keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// True when the profile contains no logs.
+    pub fn is_empty(&self) -> bool {
+        self.unique_count == 0
+    }
+
+    /// Positional similarity (Eq. 2) between `log` and this cluster, in `[0, 1]`.
+    ///
+    /// `position_importance = false` corresponds to the "w/o position importance"
+    /// ablation variant: every position weight becomes 1.
+    pub fn similarity(&self, log: &EncodedLog, position_importance: bool) -> f64 {
+        debug_assert_eq!(log.len(), self.num_positions());
+        if self.total_weight == 0 || self.positions.is_empty() {
+            return 0.0;
+        }
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for (i, &token) in log.encoded.iter().enumerate() {
+            let n_i = self.positions[i].len();
+            let weight = if position_importance {
+                // `1/(n_i − 1)` from the paper; clamp the denominator so constant
+                // positions (n_i = 1) get the maximum weight instead of dividing by zero.
+                1.0 / ((n_i.saturating_sub(1)).max(1) as f64)
+            } else {
+                1.0
+            };
+            let frequency = self.count_at(i, token) as f64 / self.total_weight as f64;
+            weighted_sum += weight * frequency;
+            weight_total += weight;
+        }
+        if weight_total == 0.0 {
+            0.0
+        } else {
+            weighted_sum / weight_total
+        }
+    }
+
+    /// Positional similarity distance: `1 − similarity`.
+    pub fn distance(&self, log: &EncodedLog, position_importance: bool) -> f64 {
+        1.0 - self.similarity(log, position_importance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(tokens: &[&str]) -> EncodedLog {
+        EncodedLog::from_tokens(tokens)
+    }
+
+    fn log_n(tokens: &[&str], count: u64) -> EncodedLog {
+        let mut l = EncodedLog::from_tokens(tokens);
+        l.count = count;
+        l
+    }
+
+    #[test]
+    fn identical_log_has_similarity_one() {
+        let a = log(&["open", "file", "x"]);
+        let profile = ClusterProfile::from_logs(3, [&a]);
+        assert!((profile.similarity(&a, true) - 1.0).abs() < 1e-9);
+        assert!(profile.distance(&a, true).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_log_has_similarity_zero() {
+        let a = log(&["open", "file", "x"]);
+        let b = log(&["close", "socket", "y"]);
+        let profile = ClusterProfile::from_logs(3, [&a]);
+        assert!(profile.similarity(&b, true).abs() < 1e-9);
+        assert!((profile.distance(&b, true) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partially_matching_log_is_in_between() {
+        let a = log(&["open", "file", "x"]);
+        let b = log(&["open", "file", "y"]);
+        let profile = ClusterProfile::from_logs(3, [&a]);
+        let s = profile.similarity(&b, true);
+        assert!(s > 0.5 && s < 1.0, "similarity was {s}");
+    }
+
+    #[test]
+    fn variable_positions_are_downweighted() {
+        // Cluster where the last position is highly variable: its weight should be low,
+        // so a log matching the constant prefix is *more* similar with importance on.
+        let members = [
+            log(&["get", "user", "a"]),
+            log(&["get", "user", "b"]),
+            log(&["get", "user", "c"]),
+            log(&["get", "user", "d"]),
+        ];
+        let profile = ClusterProfile::from_logs(3, members.iter());
+        let candidate = log(&["get", "user", "zzz"]);
+        let with = profile.similarity(&candidate, true);
+        let without = profile.similarity(&candidate, false);
+        assert!(with > without);
+        assert!(with > 0.8, "constant prefix should dominate, got {with}");
+    }
+
+    #[test]
+    fn duplicate_counts_weight_frequencies() {
+        let common = log_n(&["status", "ok"], 99);
+        let rare = log_n(&["status", "failed"], 1);
+        let profile = ClusterProfile::from_logs(2, [&common, &rare]);
+        let s_ok = profile.similarity(&log(&["status", "ok"]), true);
+        let s_failed = profile.similarity(&log(&["status", "failed"]), true);
+        assert!(s_ok > s_failed);
+        assert_eq!(profile.total_weight(), 100);
+        assert_eq!(profile.unique_count(), 2);
+    }
+
+    #[test]
+    fn add_then_remove_restores_profile() {
+        let a = log(&["a", "b"]);
+        let b = log(&["a", "c"]);
+        let mut profile = ClusterProfile::from_logs(2, [&a]);
+        let before_distinct = profile.distinct_at(1);
+        profile.add(&b);
+        assert_eq!(profile.distinct_at(1), 2);
+        profile.remove(&b);
+        assert_eq!(profile.distinct_at(1), before_distinct);
+        assert_eq!(profile.unique_count(), 1);
+    }
+
+    #[test]
+    fn constant_token_detection() {
+        let members = [log(&["put", "x"]), log(&["put", "y"])];
+        let profile = ClusterProfile::from_logs(2, members.iter());
+        assert!(profile.constant_token_at(0).is_some());
+        assert!(profile.constant_token_at(1).is_none());
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let profile = ClusterProfile::new(3);
+        assert!(profile.is_empty());
+        assert_eq!(profile.similarity(&log(&["a", "b", "c"]), true), 0.0);
+    }
+
+    #[test]
+    fn assignment_prefers_structurally_closer_cluster() {
+        // Two clusters: "release lock <id>" vs "acquire lock <id>"; a new release log must
+        // be closer to the release cluster (the Fig. 1 scenario).
+        let release = [
+            log(&["release", "lock", "2337"]),
+            log(&["release", "lock", "187"]),
+        ];
+        let acquire = [
+            log(&["acquire", "lock", "23"]),
+            log(&["acquire", "lock", "1661"]),
+        ];
+        let c_release = ClusterProfile::from_logs(3, release.iter());
+        let c_acquire = ClusterProfile::from_logs(3, acquire.iter());
+        let new_log = log(&["release", "lock", "62"]);
+        assert!(c_release.distance(&new_log, true) < c_acquire.distance(&new_log, true));
+    }
+}

@@ -1,0 +1,54 @@
+//! `bytebrain` — the core ByteBrain-LogParser algorithm (§3–§4 of the paper).
+//!
+//! The parser works in two phases:
+//!
+//! 1. **Offline training** ([`train`]): raw logs are preprocessed (masking, tokenization,
+//!    deduplication, hash encoding — provided by the `logtok` crate), grouped by token
+//!    count and prefix ([`grouping`]), and then hierarchically clustered into a tree of
+//!    templates ([`cluster`], [`tree`]). Each tree node carries a *saturation score*
+//!    ([`saturation`]) that strictly increases with depth and quantifies how precisely the
+//!    node's logs have been resolved into constants and variables.
+//! 2. **Online matching** ([`matcher`]): incoming logs are matched position-by-position
+//!    against the stored template texts in descending saturation order; unmatched logs
+//!    become temporary single-log templates that the next training cycle absorbs.
+//!
+//! Query-time precision control ([`query`]) walks from the matched (most precise) template
+//! up the tree to the coarsest ancestor whose saturation still meets a user threshold, so
+//! precision can be changed per query without reparsing any data.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bytebrain::{ByteBrainParser, TrainConfig};
+//!
+//! let logs = vec![
+//!     "Accepted password for alice from 10.0.0.5 port 22".to_string(),
+//!     "Accepted password for bob from 10.0.0.9 port 22".to_string(),
+//!     "Connection closed by 10.0.0.5".to_string(),
+//! ];
+//! let mut parser = ByteBrainParser::new(TrainConfig::default());
+//! parser.train(&logs);
+//! let result = parser.match_log("Accepted password for carol from 10.0.0.7 port 22");
+//! assert!(result.template.contains("Accepted password for"));
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod distance;
+pub mod grouping;
+pub mod matcher;
+pub mod merge;
+pub mod model;
+pub mod parallel;
+pub mod parser;
+pub mod query;
+pub mod saturation;
+pub mod train;
+pub mod tree;
+
+pub use config::{AblationConfig, TrainConfig};
+pub use matcher::MatchResult;
+pub use model::ParserModel;
+pub use parser::ByteBrainParser;
+pub use query::merge_consecutive_wildcards;
+pub use tree::{NodeId, TemplateToken, TreeNode};

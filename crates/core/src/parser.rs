@@ -1,0 +1,274 @@
+//! High-level parser facade combining training, matching, querying and merging.
+
+use crate::config::TrainConfig;
+use crate::matcher::{match_batch, match_record, MatchResult};
+use crate::merge::merge_models;
+use crate::model::ParserModel;
+use crate::query::{presentation_template, resolve_with_threshold};
+use crate::train::{train, TrainOutcome};
+use crate::tree::NodeId;
+use logtok::Preprocessor;
+
+/// The ByteBrain log parser: owns the preprocessing pipeline, the trained model, and the
+/// configuration. This is the type examples and the service layer interact with.
+#[derive(Debug)]
+pub struct ByteBrainParser {
+    config: TrainConfig,
+    preprocessor: Preprocessor,
+    model: ParserModel,
+    /// Per-record node assignment of the *last* training batch (used by the "w/ naive
+    /// match" ablation variant and by grouping-accuracy evaluation on training data).
+    last_training_assignment: Vec<NodeId>,
+}
+
+impl ByteBrainParser {
+    /// Create an untrained parser.
+    pub fn new(config: TrainConfig) -> Self {
+        let preprocessor = Preprocessor::new(config.preprocess.clone());
+        ByteBrainParser {
+            config,
+            preprocessor,
+            model: ParserModel::new(),
+            last_training_assignment: Vec::new(),
+        }
+    }
+
+    /// Parser with the default configuration.
+    pub fn default_parser() -> Self {
+        Self::new(TrainConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The current model (empty before the first training cycle).
+    pub fn model(&self) -> &ParserModel {
+        &self.model
+    }
+
+    /// The preprocessing pipeline (shared between training and matching).
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
+    }
+
+    /// Train on a batch of raw records, replacing any existing model.
+    pub fn train(&mut self, records: &[String]) -> &ParserModel {
+        let TrainOutcome {
+            model,
+            training_assignment,
+            ..
+        } = train(records, &self.config);
+        self.model = model;
+        self.last_training_assignment = training_assignment;
+        &self.model
+    }
+
+    /// Train on a new batch and merge the result into the existing model (periodic
+    /// retraining in production, §3). `similarity_threshold` controls when templates from
+    /// the two models are considered the same.
+    pub fn train_incremental(&mut self, records: &[String], similarity_threshold: f64) {
+        let outcome = train(records, &self.config);
+        if self.model.is_empty() {
+            self.model = outcome.model;
+        } else {
+            self.model = merge_models(&self.model, &outcome.model, similarity_threshold);
+        }
+        self.last_training_assignment = outcome.training_assignment;
+    }
+
+    /// Match one raw log against the model. Unmatched logs are inserted as temporary
+    /// templates (§3 "Online Matching") so subsequent identical logs match.
+    pub fn match_log(&mut self, record: &str) -> MatchResult {
+        let result = match_record(&self.model, &self.preprocessor, record);
+        if result.is_matched() {
+            return result;
+        }
+        let tokens = self.preprocessor.tokens_of(record);
+        let id = self.model.insert_temporary(&tokens);
+        MatchResult {
+            node: Some(id),
+            saturation: 1.0,
+            template: self.model.nodes[id.0].template_text(),
+        }
+    }
+
+    /// Match one raw log without inserting temporary templates (read-only).
+    pub fn match_log_readonly(&self, record: &str) -> MatchResult {
+        match_record(&self.model, &self.preprocessor, record)
+    }
+
+    /// Match a batch of raw logs (read-only) using the configured parallelism.
+    pub fn match_batch(&self, records: &[String]) -> Vec<MatchResult> {
+        match_batch(
+            &self.model,
+            &self.preprocessor,
+            records,
+            self.config.parallelism,
+        )
+    }
+
+    /// Train on `records` and return, for every record, an opaque group id at the given
+    /// saturation threshold. This is the entry point used by the grouping-accuracy
+    /// experiments: records sharing a group id are considered to have the same template.
+    pub fn parse_with_threshold(&mut self, records: &[String], threshold: f64) -> Vec<usize> {
+        self.train(records);
+        let assignments: Vec<NodeId> = if self.config.ablation.text_based_matching {
+            self.match_batch(records)
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| r.node.unwrap_or(self.last_training_assignment[i]))
+                .collect()
+        } else {
+            // "w/ naive match": reuse the clustering assignment directly.
+            self.last_training_assignment.clone()
+        };
+        assignments
+            .into_iter()
+            .map(|node| resolve_with_threshold(&self.model, node, threshold).0)
+            .collect()
+    }
+
+    /// Resolve a matched node to the coarsest template meeting `threshold` and render it
+    /// with consecutive wildcards merged (what the production UI shows).
+    pub fn template_at_threshold(&self, node: NodeId, threshold: f64) -> String {
+        let resolved = resolve_with_threshold(&self.model, node, threshold);
+        presentation_template(&self.model, resolved)
+    }
+
+    /// All template texts whose saturation is at least `threshold`, most precise first.
+    pub fn templates_at_threshold(&self, threshold: f64) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &id in self.model.match_order() {
+            let node = &self.model.nodes[id.0];
+            if node.saturation + 1e-12 >= threshold {
+                let text = presentation_template(&self.model, id);
+                if seen.insert(text.clone()) {
+                    out.push(text);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wakelock_records() -> Vec<String> {
+        let mut records = Vec::new();
+        let tags = ["View Lock", "*launch*", "WindowManager", "RILJ_ACK_WL"];
+        let names = ["systemui", "android", "phone", "audioserver"];
+        for i in 0..80 {
+            let action = if i % 2 == 0 { "release" } else { "acquire" };
+            records.push(format!(
+                "{}:lock={}, flg=0x{:x}, tag=\"{}\", name={}, ws={}",
+                action,
+                i * 13 % 2400,
+                i % 2,
+                tags[i % tags.len()],
+                names[i % names.len()],
+                if i % 3 == 0 { "null" } else { "WS{10113}" },
+            ));
+        }
+        records
+    }
+
+    #[test]
+    fn end_to_end_fig1_scenario() {
+        let records = wakelock_records();
+        let mut parser = ByteBrainParser::default_parser();
+        parser.train(&records);
+        let release = parser.match_log_readonly(
+            "release:lock=62, flg=0x0, tag=\"WindowManager\", name=android, ws=WS{1013}",
+        );
+        let acquire = parser.match_log_readonly(
+            "acquirelock=23, flg=0x1, tag=\"View Lock\", name=systemui, ws=null",
+        );
+        assert!(release.is_matched());
+        // The acquire record in Fig. 1 is missing the colon, so it has a different token
+        // layout; it may or may not match, but it must not match the release template.
+        if let (Some(r), Some(a)) = (release.node, acquire.node) {
+            assert_ne!(r, a);
+        }
+        assert!(release.template.contains("lock"));
+        // The matched template must not claim the opposite action.
+        assert!(!release.template.starts_with("acquire"));
+    }
+
+    #[test]
+    fn unmatched_log_becomes_temporary_template_and_then_matches() {
+        let mut parser = ByteBrainParser::default_parser();
+        parser.train(&wakelock_records());
+        let before = parser.model().temporary_count();
+        let first = parser.match_log("segfault at deadbeef ip 00007f pid 4242");
+        assert!(first.is_matched());
+        assert_eq!(parser.model().temporary_count(), before + 1);
+        // An identical log now matches the temporary template without creating another.
+        let second = parser.match_log("segfault at deadbeef ip 00007f pid 4242");
+        assert_eq!(second.node, first.node);
+        assert_eq!(parser.model().temporary_count(), before + 1);
+    }
+
+    #[test]
+    fn threshold_controls_template_granularity() {
+        let records = wakelock_records();
+        let mut parser = ByteBrainParser::default_parser();
+        let coarse_groups = parser.parse_with_threshold(&records, 0.05);
+        let fine_groups = parser.parse_with_threshold(&records, 0.95);
+        let distinct = |v: &[usize]| v.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(
+            distinct(&coarse_groups) <= distinct(&fine_groups),
+            "a lower threshold must never produce more groups"
+        );
+    }
+
+    #[test]
+    fn templates_at_threshold_are_deduplicated_and_sorted_by_precision() {
+        let mut parser = ByteBrainParser::default_parser();
+        parser.train(&wakelock_records());
+        let templates = parser.templates_at_threshold(0.0);
+        let mut unique = templates.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), templates.len());
+        assert!(!templates.is_empty());
+    }
+
+    #[test]
+    fn incremental_training_extends_coverage() {
+        let mut parser = ByteBrainParser::default_parser();
+        parser.train(&wakelock_records());
+        assert!(!parser
+            .match_log_readonly("GC pause of 35ms in generation 2")
+            .is_matched());
+        let gc_records: Vec<String> = (0..30)
+            .map(|i| format!("GC pause of {}ms in generation {}", i * 3 + 1, i % 3))
+            .collect();
+        parser.train_incremental(&gc_records, 0.6);
+        assert!(parser
+            .match_log_readonly("GC pause of 7ms in generation 1")
+            .is_matched());
+        // Original coverage is retained.
+        assert!(parser
+            .match_log_readonly(
+                "release:lock=100, flg=0x0, tag=\"View Lock\", name=systemui, ws=null"
+            )
+            .is_matched());
+    }
+
+    #[test]
+    fn naive_match_variant_uses_training_assignment() {
+        let records = wakelock_records();
+        let config = TrainConfig::default().with_ablation(crate::config::AblationConfig {
+            text_based_matching: false,
+            ..crate::config::AblationConfig::full()
+        });
+        let mut parser = ByteBrainParser::new(config);
+        let groups = parser.parse_with_threshold(&records, 0.9);
+        assert_eq!(groups.len(), records.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Query-time precision control (§3 "Query") and the wildcard-merging presentation
+//! optimisation (§7).
+//!
+//! Online matching always records the *most precise* template id for every log. At query
+//! time the user supplies a saturation threshold; the system walks from the recorded node
+//! up through its ancestors and returns the **coarsest** ancestor whose saturation still
+//! meets the threshold. Precision can therefore be changed per query — the interactive
+//! slider in the production UI — without reparsing logs or storing templates redundantly.
+
+use crate::model::ParserModel;
+use crate::tree::NodeId;
+
+/// Resolve `node` to the coarsest ancestor whose saturation is at least `threshold`.
+///
+/// When even the matched node itself is below the threshold (possible for coarse matches
+/// or thresholds near 1), the node itself is returned — precision can only be reduced, not
+/// invented.
+pub fn resolve_with_threshold(model: &ParserModel, node: NodeId, threshold: f64) -> NodeId {
+    let mut chosen = node;
+    let mut current = node;
+    while let Some(parent) = model.nodes[current.0].parent {
+        if model.nodes[parent.0].saturation >= threshold {
+            chosen = parent;
+            current = parent;
+        } else {
+            break;
+        }
+    }
+    chosen
+}
+
+/// Resolve a batch of matched node ids against a threshold (parallel query processing is
+/// handled by the service layer; the per-id walk is already O(depth)).
+pub fn resolve_batch(model: &ParserModel, nodes: &[NodeId], threshold: f64) -> Vec<NodeId> {
+    nodes
+        .iter()
+        .map(|&n| resolve_with_threshold(model, n, threshold))
+        .collect()
+}
+
+/// Template text for a node after applying the query-result optimisation of §7: runs of
+/// consecutive wildcards collapse into a single `*`, so `users * * *` and `users *`
+/// present identically even though the underlying fixed-length templates differ.
+pub fn presentation_template(model: &ParserModel, node: NodeId) -> String {
+    merge_consecutive_wildcards(&model.nodes[node.0].template_text())
+}
+
+/// Collapse runs of consecutive `*` tokens in a space-separated template string.
+pub fn merge_consecutive_wildcards(template: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    let mut previous_was_wildcard = false;
+    for token in template.split_whitespace() {
+        let is_wildcard = token == "*";
+        if is_wildcard && previous_was_wildcard {
+            continue;
+        }
+        out.push(token);
+        previous_was_wildcard = is_wildcard;
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{TemplateToken, TreeNode};
+
+    /// Build a linear chain root → mid → leaf with increasing saturation.
+    fn chain_model() -> (ParserModel, NodeId, NodeId, NodeId) {
+        let mut model = ParserModel::new();
+        let make = |sat: f64, depth: usize, text: &[&str]| TreeNode {
+            id: NodeId(0),
+            parent: None,
+            children: Vec::new(),
+            template: text
+                .iter()
+                .map(|t| {
+                    if *t == "*" {
+                        TemplateToken::Wildcard
+                    } else {
+                        TemplateToken::Const(t.to_string())
+                    }
+                })
+                .collect(),
+            saturation: sat,
+            depth,
+            log_count: 1,
+            unique_count: 1,
+            temporary: false,
+        };
+        let root = model.push_node(make(0.3, 0, &["*", "lock", "*", "*"]));
+        let mid = model.push_node(make(0.7, 1, &["release", "lock", "*", "*"]));
+        let leaf = model.push_node(make(0.95, 2, &["release", "lock", "*", "null"]));
+        model.add_root(root);
+        model.attach_child(root, mid);
+        model.attach_child(mid, leaf);
+        model.rebuild_match_order();
+        (model, root, mid, leaf)
+    }
+
+    #[test]
+    fn low_threshold_selects_the_root() {
+        let (model, root, _, leaf) = chain_model();
+        assert_eq!(resolve_with_threshold(&model, leaf, 0.1), root);
+    }
+
+    #[test]
+    fn medium_threshold_selects_the_middle_node() {
+        let (model, _, mid, leaf) = chain_model();
+        assert_eq!(resolve_with_threshold(&model, leaf, 0.6), mid);
+    }
+
+    #[test]
+    fn high_threshold_keeps_the_leaf() {
+        let (model, _, _, leaf) = chain_model();
+        assert_eq!(resolve_with_threshold(&model, leaf, 0.9), leaf);
+        // Threshold above the leaf's own saturation still returns the leaf.
+        assert_eq!(resolve_with_threshold(&model, leaf, 0.99), leaf);
+    }
+
+    #[test]
+    fn resolving_from_an_interior_node_walks_up_only() {
+        let (model, root, mid, _) = chain_model();
+        assert_eq!(resolve_with_threshold(&model, mid, 0.2), root);
+        assert_eq!(resolve_with_threshold(&model, mid, 0.65), mid);
+    }
+
+    #[test]
+    fn batch_resolution_matches_individual_resolution() {
+        let (model, _, mid, leaf) = chain_model();
+        let out = resolve_batch(&model, &[leaf, mid, leaf], 0.6);
+        assert_eq!(out, vec![mid, mid, mid]);
+    }
+
+    #[test]
+    fn wildcard_merging_examples_from_the_paper() {
+        // print(f"users={users}") with 1, 2 and 3 elements → identical presentation.
+        assert_eq!(merge_consecutive_wildcards("users *"), "users *");
+        assert_eq!(merge_consecutive_wildcards("users * *"), "users *");
+        assert_eq!(merge_consecutive_wildcards("users * * *"), "users *");
+        // Interior runs collapse too, separated constants keep their own wildcard.
+        assert_eq!(
+            merge_consecutive_wildcards("copy * * to * done"),
+            "copy * to * done"
+        );
+    }
+
+    #[test]
+    fn presentation_template_uses_merged_wildcards() {
+        let (model, root, _, _) = chain_model();
+        assert_eq!(presentation_template(&model, root), "* lock *");
+    }
+
+    #[test]
+    fn merging_is_idempotent() {
+        let once = merge_consecutive_wildcards("a * * b * * * c");
+        let twice = merge_consecutive_wildcards(&once);
+        assert_eq!(once, twice);
+        assert_eq!(once, "a * b * c");
+    }
+}

@@ -1,0 +1,496 @@
+//! The dataset catalog: one entry per LogHub / LogHub-2.0 family with template-pool
+//! construction calibrated to the statistics the paper reports in Table 1.
+//!
+//! Each family has a set of hand-written *seed templates* capturing the flavour of the
+//! real corpus (HDFS block lifecycle, SSH authentication, BGL machine checks, …). Because
+//! several families have hundreds of ground-truth templates, the remaining templates are
+//! synthesized deterministically from family-specific vocabularies (component × action ×
+//! detail) so that the *number* and *structural variety* of templates match Table 1
+//! without shipping the original corpora.
+
+use crate::template::TemplateSpec;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one dataset family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Family name as used in the paper (e.g. `"HDFS"`).
+    pub name: String,
+    /// Number of ground-truth templates in the 2,000-line LogHub version.
+    pub loghub_templates: usize,
+    /// Number of ground-truth templates in LogHub-2.0 (`None` when the family is not part
+    /// of LogHub-2.0 — Android and Windows).
+    pub loghub2_templates: Option<usize>,
+    /// Number of log lines in LogHub-2.0 (Table 1).
+    pub loghub2_logs: Option<u64>,
+    /// Zipf exponent used by the generator for template frequencies.
+    pub zipf_exponent: f64,
+}
+
+/// All 16 LogHub families, in the order of Table 1.
+pub fn dataset_names() -> Vec<&'static str> {
+    vec![
+        "HealthApp",
+        "OpenStack",
+        "OpenSSH",
+        "Proxifier",
+        "HPC",
+        "Zookeeper",
+        "Mac",
+        "Hadoop",
+        "Linux",
+        "Android",
+        "HDFS",
+        "BGL",
+        "Windows",
+        "Apache",
+        "Thunderbird",
+        "Spark",
+    ]
+}
+
+/// The 14 families included in LogHub-2.0 (Table 1 omits Android and Windows).
+pub fn loghub2_dataset_names() -> Vec<&'static str> {
+    dataset_names()
+        .into_iter()
+        .filter(|n| *n != "Android" && *n != "Windows")
+        .collect()
+}
+
+/// Look up the spec for a family by name (case-sensitive, as in the paper's tables).
+pub fn dataset_spec(name: &str) -> Option<DatasetSpec> {
+    let (loghub_templates, loghub2_templates, loghub2_logs): (usize, Option<usize>, Option<u64>) =
+        match name {
+            "HealthApp" => (75, Some(156), Some(212_394)),
+            "OpenStack" => (43, Some(48), Some(207_632)),
+            "OpenSSH" => (27, Some(38), Some(638_947)),
+            "Proxifier" => (8, Some(11), Some(21_320)),
+            "HPC" => (46, Some(74), Some(429_988)),
+            "Zookeeper" => (50, Some(89), Some(74_273)),
+            "Mac" => (341, Some(626), Some(100_314)),
+            "Hadoop" => (114, Some(236), Some(179_993)),
+            "Linux" => (118, Some(338), Some(23_921)),
+            "Android" => (166, None, None),
+            "HDFS" => (14, Some(46), Some(11_167_740)),
+            "BGL" => (120, Some(320), Some(4_631_261)),
+            "Windows" => (50, None, None),
+            "Apache" => (6, Some(29), Some(51_978)),
+            "Thunderbird" => (149, Some(1_241), Some(16_601_745)),
+            "Spark" => (36, Some(236), Some(16_075_117)),
+            _ => return None,
+        };
+    Some(DatasetSpec {
+        name: name.to_string(),
+        loghub_templates,
+        loghub2_templates,
+        loghub2_logs,
+        zipf_exponent: 1.1,
+    })
+}
+
+/// Hand-written seed templates per family. Placeholders follow
+/// [`TemplateSpec::parse`](crate::template::TemplateSpec::parse).
+pub fn seed_patterns(name: &str) -> Vec<&'static str> {
+    match name {
+        "HDFS" => vec![
+            "Receiving block <blockid> src /<ipport> dest /<ipport>",
+            "Received block <blockid> of size <bigint> from /<ip>",
+            "PacketResponder <int> for block <blockid> terminating",
+            "Verification succeeded for <blockid>",
+            "BLOCK* NameSystem.addStoredBlock blockMap updated <ipport> is added to <blockid> size <bigint>",
+            "BLOCK* NameSystem.allocateBlock <path> <blockid>",
+            "BLOCK* NameSystem.delete <blockid> is added to invalidSet of <ipport>",
+            "Deleting block <blockid> file <path>",
+            "BLOCK* ask <ipport> to replicate <blockid> to datanode(s) <ipport>",
+            "writeBlock <blockid> received exception <class>",
+            "Exception in receiveBlock for block <blockid> <class>",
+            "Unexpected error trying to delete block <blockid> BlockInfo not found in volumeMap",
+            "Changing block file offset of block <blockid> from <bigint> to <bigint> meta file offset to <bigint>",
+            "Starting thread to transfer block <blockid> to <ipport>",
+        ],
+        "OpenSSH" => vec![
+            "Accepted password for <user> from <ip> port <port> ssh2",
+            "Failed password for <user> from <ip> port <port> ssh2",
+            "Failed password for invalid user <user> from <ip> port <port> ssh2",
+            "Connection closed by <ip> [preauth]",
+            "Received disconnect from <ip>: <int>: Bye Bye [preauth]",
+            "pam_unix(sshd:auth): authentication failure; logname= uid=<int> euid=<int> tty=ssh ruser= rhost=<ip> user=<user>",
+            "pam_unix(sshd:session): session opened for user <user> by (uid=<int>)",
+            "pam_unix(sshd:session): session closed for user <user>",
+            "Invalid user <user> from <ip>",
+            "input_userauth_request: invalid user <user> [preauth]",
+            "reverse mapping checking getaddrinfo for <host> [<ip>] failed - POSSIBLE BREAK-IN ATTEMPT!",
+            "error: Received disconnect from <ip>: <int>: com.jcraft.jsch.JSchException: Auth fail [preauth]",
+            "Did not receive identification string from <ip>",
+            "subsystem request for sftp by user <user>",
+        ],
+        "Apache" => vec![
+            "jk2_init() Found child <int> in scoreboard slot <int>",
+            "workerEnv.init() ok <path>",
+            "mod_jk child workerEnv in error state <int>",
+            "[client <ip>] Directory index forbidden by rule: <path>",
+            "jk2_init() Can't find child <int> in scoreboard",
+            "mod_jk child init <int> <int>",
+        ],
+        "Spark" => vec![
+            "Reading broadcast variable <int> took <duration>",
+            "Started reading broadcast variable <int>",
+            "Block <word> stored as values in memory (estimated size <size>, free <size>)",
+            "Found block <word> locally",
+            "Running task <float> in stage <float> (TID <int>)",
+            "Finished task <float> in stage <float> (TID <int>) in <duration> on <host> (<int>/<int>)",
+            "Starting task <float> in stage <float> (TID <int>, <host>, partition <int>, ANY, <int> bytes)",
+            "Getting <int> non-empty blocks out of <int> blocks",
+            "Started <int> remote fetches in <duration>",
+            "Removed broadcast_<int>_piece<int> on <ipport> in memory (size: <size>, free: <size>)",
+            "Ensuring <bigint> bytes of free space for block <word>",
+            "Saved output of task 'attempt_<bigint>' to <path>",
+            "Executor updated: app-<bigint>/<int> is now RUNNING",
+            "Asked to send map output locations for shuffle <int> to <ipport>",
+        ],
+        "BGL" => vec![
+            "instruction cache parity error corrected",
+            "generating core.<int>",
+            "ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream socket to <ipport>",
+            "ciod: failed to read message prefix on control stream CioStream socket to <ipport>",
+            "<int> double-hummer alignment exceptions",
+            "ciod: LOGIN chdir(<path>) failed: No such file or directory",
+            "data TLB error interrupt",
+            "machine check interrupt (bit=<hex>): L2 dcache unit data parity error",
+            "CE sym <int>, at <hex>, mask <hex>",
+            "total of <int> ddr error(s) detected and corrected over <int> seconds",
+            "ddr errors(s) detected and corrected on rank <int>, symbol <int>, bit <int>",
+            "MidplaneSwitchController performing bit sparing on R<int>-M<int>-N<int> bit <int>",
+            "program interrupt: fp unavailable interrupt",
+            "rts: kernel terminated for reason <int>",
+        ],
+        "Thunderbird" => vec![
+            "session opened for user <user> by (uid=<int>)",
+            "session closed for user <user>",
+            "connect from <host> (<ip>)",
+            "disconnect from <host> (<ip>)",
+            "Auth.Error: authentication failed for <user> from <ip>",
+            "kernel: ACPI: Processor [CPU<int>] (supports <int> throttling states)",
+            "pbs_mom: scan_for_terminated: job <bigint>.<host> task <int> terminated",
+            "check pass; user unknown",
+            "authentication failure; logname= uid=<int> euid=<int> tty=NODEVssh ruser= rhost=<host>",
+            "Could not resolve hostname <host>: Name or service not known",
+            "DHCPDISCOVER from <hex> via <word>",
+            "data address space violation interrupt at <hex>",
+            "kernel: scsi(<int>): Waiting for LIP to complete...",
+            "crond(pam_unix)[<int>]: session opened for user <user> by (uid=<int>)",
+        ],
+        "HealthApp" => vec![
+            "calculateCaloriesWithCache totalCalories=<int>",
+            "calculateAltitudeWithCache totalAltitude=<int>",
+            "onStandStepChanged <int>",
+            "onExtend:<int> <int> <int> <int>",
+            "getTodayTotalDetailSteps = <bigint>",
+            "REPORT : <int> <int> <int> <int>",
+            "setTodayTotalDetailSteps=<bigint>",
+            "processHandleBroadcastAction action:<word>",
+            "upLoadHealthData dataType=<int> count=<int>",
+            "SportDataManager refreshing cache for user <user>",
+        ],
+        "OpenStack" => vec![
+            "<ip> \"GET /v2/<uuid>/servers/detail HTTP/1.1\" status: <int> len: <int> time: <float>",
+            "<ip> \"POST /v2/<uuid>/os-server-external-events HTTP/1.1\" status: <int> len: <int> time: <float>",
+            "[instance: <uuid>] VM Started (Lifecycle Event)",
+            "[instance: <uuid>] VM Paused (Lifecycle Event)",
+            "[instance: <uuid>] VM Resumed (Lifecycle Event)",
+            "[instance: <uuid>] Took <float> seconds to build instance.",
+            "[instance: <uuid>] Took <float> seconds to spawn the instance on the hypervisor.",
+            "[instance: <uuid>] Terminating instance",
+            "[instance: <uuid>] Deleting instance files <path>",
+            "[instance: <uuid>] Instance destroyed successfully.",
+            "Active base files: <path>",
+            "image <uuid> at (<path>): checking",
+        ],
+        "Proxifier" => vec![
+            "<host>.exe - proxy.cse.cuhk.edu.hk:<port> open through proxy proxy.cse.cuhk.edu.hk:<port> HTTPS",
+            "<host>.exe - proxy.cse.cuhk.edu.hk:<port> close, <bigint> bytes sent, <bigint> bytes received, lifetime <duration>",
+            "<host>.exe *64 - proxy.cse.cuhk.edu.hk:<port> open through proxy proxy.cse.cuhk.edu.hk:<port> HTTPS",
+            "<host>.exe - proxy.cse.cuhk.edu.hk:<port> error : Could not connect through proxy proxy.cse.cuhk.edu.hk:<port> - Proxy server cannot establish a connection with the target, status code <int>",
+            "open through proxy <host>:<port> HTTPS",
+            "close, <bigint> bytes (<size>) sent, <bigint> bytes (<size>) received, lifetime <duration>",
+            "<host>.exe failed to connect to <host>:<port>",
+            "<host>.exe - <host>:<port> open directly",
+        ],
+        "HPC" => vec![
+            "PSU status ( <word> <word> )",
+            "Fan speeds ( <int> <int> <int> <int> <int> <int> )",
+            "Temperature ( <int> ) exceeds warning threshold",
+            "node node-<int> detected as dead by node-<int>",
+            "boot (command <int>) Error: connect() failed on lynxd socket <host>",
+            "ambient=<int>",
+            "Link error on broadcast tree Interconnect-<hex>:<int>",
+            "Node card VPD check: <word>",
+            "ServerFileSystem domain storage is full",
+            "risBoot command ERROR on node node-<int>",
+        ],
+        "Zookeeper" => vec![
+            "Received connection request /<ipport>",
+            "Accepted socket connection from /<ipport>",
+            "Closed socket connection for client /<ipport> which had sessionid <hex>",
+            "Client attempting to establish new session at /<ipport>",
+            "Established session <hex> with negotiated timeout <int> for client /<ipport>",
+            "Expiring session <hex>, timeout of <int>ms exceeded",
+            "Processed session termination for sessionid: <hex>",
+            "caught end of stream exception",
+            "Notification time out: <int>",
+            "Connection broken for id <bigint>, my id = <int>, error =",
+            "Sending snapshot last zxid of peer is <hex>",
+            "Snapshotting: <hex> to <path>",
+        ],
+        "Hadoop" => vec![
+            "Progress of TaskAttempt attempt_<bigint> is : <float>",
+            "Task 'attempt_<bigint>' done.",
+            "TaskAttempt: [attempt_<bigint>] using containerId: [container_<bigint> on NM: [<ipport>]",
+            "attempt_<bigint> TaskAttempt Transitioned from <word> to <word>",
+            "task_<bigint> Task Transitioned from <word> to <word>",
+            "Assigned container container_<bigint> of capacity <memory:<int>, vCores:<int>> on host <host>",
+            "Error reading task output <class>",
+            "Failed to renew lease for [DFSClient_NONMAPREDUCE_<bigint>_<int>] for <int> seconds. Will retry shortly ...",
+            "JVM with ID : jvm_<bigint> asked for a task",
+            "Reduce slow start threshold reached. Scheduling reduces.",
+            "Scheduling a redundant attempt for task task_<bigint>",
+            "Address change detected. Old: <host>/<ip>:<port> New: <host>/<ip>:<port>",
+        ],
+        "Linux" => vec![
+            "session opened for user <user> by (uid=<int>)",
+            "session closed for user <user>",
+            "authentication failure; logname= uid=<int> euid=<int> tty=NODEVssh ruser= rhost=<host> user=<user>",
+            "connection from <ip> () at <word>",
+            "Did not receive identification string from <ip>",
+            "Received disconnect from <ip>: <int>: Bye Bye",
+            "ALERT exited abnormally with [<int>]",
+            "Out of memory: Killed process <int> (<word>)",
+            "kernel: usb <int>-<int>: new high speed USB device using ehci_hcd and address <int>",
+            "CPU<int>: Temperature above threshold, cpu clock throttled",
+            "audit: initializing netlink socket (disabled)",
+            "klogd <float>, log source = <path> started",
+            "cups: cupsd shutdown succeeded",
+            "gpm: gpm shutdown failed",
+        ],
+        "Android" => vec![
+            "acquire lock=<int>, flg=<hex>, tag=<word>, name=<word>, ws=<word>, uid=<int>, pid=<int>",
+            "release lock=<int>, flg=<hex>, tag=<word>, name=<word>, ws=<word>, uid=<int>, pid=<int>",
+            "setSystemUiVisibility vis=<hex> mask=<hex> oldVal=<hex> newVal=<hex> diff=<hex>",
+            "Skipping AppWindowToken{<hex> token=Token{<hex> ActivityRecord{<hex> u<int> <word> t<int>}}} -- going to hide",
+            "computeScreenConfigurationLocked() Applying updated rotation=<int>",
+            "notifyAppStopped: AppWindowToken{<hex> token=Token{<hex>}}",
+            "getRunningAppProcesses: caller <int> does not hold REAL_GET_TASKS; limiting output",
+            "healthd: battery l=<int> v=<int> t=<float> h=<int> st=<int> c=<int> fc=<int> chg=<word>",
+            "audio_hw_primary: select_devices: out_snd_device(<int>: <word>) in_snd_device(<int>: <word>)",
+            "Bluetooth Adapter state changed from <word> to <word>",
+            "startService called from <word> pid=<int> uid=<int>",
+            "wakelock acquired by <word> duration <duration>",
+        ],
+        "Windows" => vec![
+            "CBS Loaded Servicing Stack v<float> with Core: <path>",
+            "CSI <hex> Performing <int> operations; <int> are not lock/unlock and follow:",
+            "CBS SQM: Initializing online with Windows opt-in: <word>",
+            "CBS Warning: Unrecognized packageExtended attribute.",
+            "CBS Appl: detect Parent, Package: <word>, Parent: <word>, Disposition = Detect, VersionComp: EQ, BuildComp: <word>",
+            "CSI Warning: Attempt to mark store corrupt with category [l:<int>{<int>}]",
+            "CBS Session: <bigint> initialized by client <word>.",
+            "CBS Failed to internally open package. [HRESULT = <hex> - CBS_E_INVALID_PACKAGE]",
+            "CSI Store <bigint> (<hex>) initialized",
+            "CBS Exec: Processing complete.  Session: <bigint>, Package: <word> [HRESULT = <hex>]",
+        ],
+        "Mac" => vec![
+            "ARPT: <float>: wl0: setAWDL_PEER_TRAFFIC_REGISTRATION: active <int>, roam_off <int>",
+            "Received conn cache update: <int> entries",
+            "en0: BSSID changed to <hex>",
+            "AirPort: Link Down on awdl0. Reason <int> (Previous Auth no longer valid).",
+            "IOThunderboltSwitch<hex>(<hex>)::listenerCallback - Thunderbolt HPD packet for route = <hex> port = <int> unplug = <int>",
+            "Sandbox: com.apple.Addres(<int>) deny(<int>) mach-lookup com.apple.contactsd.persistence",
+            "kext loaded <hex> name <word> version <float>",
+            "WindowServer CGXDisplayDidWakeNotification [<bigint>]: posting kCGSDisplayDidWake",
+            "Bluetooth HCI: controller reset (<int>) complete",
+            "mDNSResponder: SendResponses: <word> query for <host> failed err <int>",
+            "corecaptured: CCFile::captureLogRun Skipping current file Dir file [<path>] Current File [<path>]",
+            "networkd: -[NETProcessMonitor checkInProcess:] PID <int> check-in",
+        ],
+        _ => vec![
+            "service <word> started with pid <int>",
+            "service <word> stopped with exit code <int>",
+            "request from <ip> completed in <duration> with status <int>",
+            "failed to open <path>: error <int>",
+            "user <user> performed action <word> on resource <path>",
+            "cache <word> hit ratio <float> over <int> requests",
+        ],
+    }
+}
+
+/// Vocabulary used when synthesizing additional templates beyond the seed set.
+fn synthesis_vocab(name: &str) -> (&'static [&'static str], &'static [&'static str], &'static [&'static str]) {
+    // (components, actions, details): templates look like
+    //   "<component> <action> <detail...>"
+    let components: &[&str] = match name {
+        "HDFS" => &["dfs.DataNode", "dfs.FSNamesystem", "dfs.DataBlockScanner", "dfs.PacketResponder"],
+        "Spark" => &["storage.MemoryStore", "scheduler.TaskSetManager", "executor.Executor", "shuffle.ShuffleBlockFetcherIterator", "spark.SecurityManager"],
+        "BGL" => &["KERNEL", "APP", "DISCOVERY", "HARDWARE", "MMCS", "LINKCARD"],
+        "Thunderbird" => &["kernel", "sshd", "crond", "pbs_mom", "postfix/smtpd", "ntpd", "xinetd"],
+        "Mac" => &["kernel", "WindowServer", "corecaptured", "mDNSResponder", "Bluetooth", "AirPort", "sandboxd"],
+        "Linux" => &["kernel", "sshd", "su", "ftpd", "crond", "syslogd", "cups"],
+        "Android" => &["ActivityManager", "WindowManager", "PowerManagerService", "BluetoothAdapter", "AudioFlinger", "PackageManager"],
+        "Hadoop" => &["mapreduce.Job", "yarn.RMContainerAllocator", "hdfs.DFSClient", "ipc.Server", "mapred.Task"],
+        "Zookeeper" => &["NIOServerCnxn", "QuorumPeer", "FastLeaderElection", "CommitProcessor", "LearnerHandler"],
+        "Windows" => &["CBS", "CSI", "SQM", "DPX", "WER"],
+        "OpenStack" => &["nova.compute.manager", "nova.virt.libvirt", "nova.api.openstack", "nova.scheduler"],
+        "HPC" => &["node", "gige", "interconnect", "psu", "fan"],
+        "HealthApp" => &["Step_StandReportReceiver", "Step_LSC", "Step_SPUtils", "Step_ExtSDM", "HiH_HealthKit"],
+        "OpenSSH" => &["sshd", "pam_unix", "auth"],
+        "Proxifier" => &["chrome", "firefox", "outlook", "telegram", "dropbox"],
+        "Apache" => &["mod_jk", "workerEnv", "jk2_init", "mod_ssl"],
+        _ => &["core", "worker", "scheduler", "io"],
+    };
+    let actions: &[&str] = &[
+        "initialized", "starting", "stopped", "registered", "received", "completed",
+        "failed", "retrying", "allocated", "released", "updated", "scanning", "flushed",
+        "committed", "rejected", "scheduled", "expired", "resumed", "suspended", "verified",
+        "loaded", "unloaded", "opened", "closed", "connected", "disconnected", "timeout",
+        "recovered", "synchronized", "elected",
+    ];
+    let details: &[&str] = &[
+        "for <word> in <duration>",
+        "with status <int>",
+        "on <host>",
+        "from <ip>",
+        "id=<bigint>",
+        "at offset <bigint>",
+        "after <int> attempts",
+        "size <size>",
+        "path <path>",
+        "session <hex>",
+        "for user <user>",
+        "code <hex> reason <word>",
+        "queue length <int>",
+        "latency <duration> p99 <duration>",
+        "<int> of <int> done",
+        "version <float>",
+        "txn <bigint> state <word>",
+        "on port <port>",
+        "block <blockid>",
+        "container container_<bigint>",
+    ];
+    (components, actions, details)
+}
+
+/// Build the full template pool for `name` with exactly `count` templates. The first
+/// templates are the hand-written seeds; the remainder are synthesized deterministically
+/// (the same `(name, count)` always yields the same pool).
+pub fn build_templates(name: &str, count: usize) -> Vec<TemplateSpec> {
+    let seeds = seed_patterns(name);
+    let mut templates: Vec<TemplateSpec> = Vec::with_capacity(count);
+    for (i, pattern) in seeds.iter().take(count).enumerate() {
+        templates.push(TemplateSpec::parse(i, pattern));
+    }
+    let (components, actions, details) = synthesis_vocab(name);
+    let mut i = templates.len();
+    let mut round = 0usize;
+    while templates.len() < count {
+        let component = components[round % components.len()];
+        let action = actions[(round / components.len()) % actions.len()];
+        let detail = details[(round / (components.len() * actions.len())) % details.len()];
+        // Vary the arity every few templates so lengths differ (important because the
+        // parser's initial grouping is length-based).
+        let pattern = match round % 3 {
+            0 => format!("{component} {action} {detail}"),
+            1 => format!("{component}: {action} {detail} elapsed <duration>"),
+            _ => format!("{component} worker <int> {action} {detail}"),
+        };
+        templates.push(TemplateSpec::parse(i, &pattern));
+        i += 1;
+        round += 1;
+        // Safety valve: vocabulary exhausted (cannot happen with the sizes above, but a
+        // wrong edit should fail loudly rather than loop forever).
+        assert!(
+            round < components.len() * actions.len() * details.len() * 3,
+            "template synthesis vocabulary exhausted for {name}"
+        );
+    }
+    templates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_families_have_specs() {
+        for name in dataset_names() {
+            let spec = dataset_spec(name).unwrap_or_else(|| panic!("missing spec for {name}"));
+            assert!(spec.loghub_templates > 0);
+        }
+        assert_eq!(dataset_names().len(), 16);
+    }
+
+    #[test]
+    fn loghub2_excludes_android_and_windows() {
+        let names = loghub2_dataset_names();
+        assert_eq!(names.len(), 14);
+        assert!(!names.contains(&"Android"));
+        assert!(!names.contains(&"Windows"));
+    }
+
+    #[test]
+    fn unknown_dataset_returns_none() {
+        assert!(dataset_spec("NotADataset").is_none());
+    }
+
+    #[test]
+    fn table1_counts_match_the_paper() {
+        assert_eq!(dataset_spec("HDFS").unwrap().loghub_templates, 14);
+        assert_eq!(dataset_spec("HDFS").unwrap().loghub2_templates, Some(46));
+        assert_eq!(dataset_spec("Thunderbird").unwrap().loghub2_templates, Some(1_241));
+        assert_eq!(dataset_spec("Apache").unwrap().loghub_templates, 6);
+        assert_eq!(dataset_spec("Mac").unwrap().loghub_templates, 341);
+    }
+
+    #[test]
+    fn seed_patterns_parse_for_every_family() {
+        for name in dataset_names() {
+            for (i, p) in seed_patterns(name).iter().enumerate() {
+                let t = TemplateSpec::parse(i, p);
+                assert!(!t.segments.is_empty(), "{name} seed {i} is empty");
+            }
+        }
+    }
+
+    #[test]
+    fn build_templates_hits_exact_count() {
+        for name in ["HDFS", "Mac", "Thunderbird", "Apache"] {
+            let spec = dataset_spec(name).unwrap();
+            let pool = build_templates(name, spec.loghub_templates);
+            assert_eq!(pool.len(), spec.loghub_templates);
+            // Ids are sequential.
+            for (i, t) in pool.iter().enumerate() {
+                assert_eq!(t.id, i);
+            }
+        }
+    }
+
+    #[test]
+    fn build_templates_is_deterministic() {
+        let a = build_templates("BGL", 120);
+        let b = build_templates("BGL", 120);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthesized_templates_are_distinct() {
+        let pool = build_templates("Thunderbird", 300);
+        let mut forms: Vec<String> = pool.iter().map(|t| t.wildcard_form()).collect();
+        forms.sort();
+        forms.dedup();
+        assert_eq!(forms.len(), 300, "synthesized templates must be pairwise distinct");
+    }
+
+    #[test]
+    fn large_pool_for_loghub2_thunderbird() {
+        let pool = build_templates("Thunderbird", 1_241);
+        assert_eq!(pool.len(), 1_241);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dataset statistics (Table 1 reproduction and the Fig. 4 duplication CDF).
+
+use crate::generator::LabeledDataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of a corpus, mirroring the columns of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset family name.
+    pub name: String,
+    /// Number of log records.
+    pub num_logs: usize,
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// Number of distinct ground-truth templates that appear.
+    pub num_templates: usize,
+    /// Number of distinct raw record strings (before any masking).
+    pub unique_records: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a corpus.
+    pub fn of(dataset: &LabeledDataset) -> Self {
+        let mut unique = HashMap::new();
+        for record in &dataset.records {
+            *unique.entry(record.as_str()).or_insert(0u64) += 1;
+        }
+        DatasetStats {
+            name: dataset.name.clone(),
+            num_logs: dataset.len(),
+            size_bytes: dataset.total_bytes(),
+            num_templates: dataset.distinct_templates_used(),
+            unique_records: unique.len(),
+        }
+    }
+
+    /// Human-readable size (KB / MB / GB), as printed in Table 1.
+    pub fn size_human(&self) -> String {
+        let bytes = self.size_bytes as f64;
+        if bytes >= 1024.0 * 1024.0 * 1024.0 {
+            format!("{:.2} GB", bytes / (1024.0 * 1024.0 * 1024.0))
+        } else if bytes >= 1024.0 * 1024.0 {
+            format!("{:.2} MB", bytes / (1024.0 * 1024.0))
+        } else {
+            format!("{:.2} KB", bytes / 1024.0)
+        }
+    }
+}
+
+/// The per-unique-record occurrence counts of a corpus, optionally after applying a
+/// masking function; used to draw the Fig. 4 duplication CDFs.
+pub fn duplication_counts<F>(records: &[String], transform: F) -> Vec<u64>
+where
+    F: Fn(&str) -> String,
+{
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for r in records {
+        *counts.entry(transform(r)).or_insert(0) += 1;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Empirical CDF over a sorted vector of counts: returns (count, fraction ≤ count) pairs.
+pub fn empirical_cdf(sorted_counts: &[u64]) -> Vec<(u64, f64)> {
+    let n = sorted_counts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, &c) in sorted_counts.iter().enumerate() {
+        if i + 1 == n || sorted_counts[i + 1] != c {
+            out.push((c, (i + 1) as f64 / n as f64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::LabeledDataset;
+
+    #[test]
+    fn stats_of_generated_corpus() {
+        let ds = LabeledDataset::loghub("Apache");
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.num_logs, 2_000);
+        assert!(stats.num_templates <= 6);
+        assert!(stats.unique_records <= stats.num_logs);
+        assert!(stats.size_bytes > 0);
+    }
+
+    #[test]
+    fn size_human_formats_units() {
+        let mut stats = DatasetStats {
+            name: "X".into(),
+            num_logs: 0,
+            size_bytes: 2_048,
+            num_templates: 0,
+            unique_records: 0,
+        };
+        assert_eq!(stats.size_human(), "2.00 KB");
+        stats.size_bytes = 3 * 1024 * 1024;
+        assert_eq!(stats.size_human(), "3.00 MB");
+        stats.size_bytes = 2 * 1024 * 1024 * 1024;
+        assert_eq!(stats.size_human(), "2.00 GB");
+    }
+
+    #[test]
+    fn duplication_counts_sum_to_total() {
+        let records: Vec<String> = vec!["a", "b", "a", "a", "c", "b"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let counts = duplication_counts(&records, |s| s.to_string());
+        assert_eq!(counts.iter().sum::<u64>(), 6);
+        assert_eq!(counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn masking_increases_duplication() {
+        let records: Vec<String> = (0..100).map(|i| format!("request {} done", i)).collect();
+        let raw = duplication_counts(&records, |s| s.to_string());
+        let masked = duplication_counts(&records, |s| {
+            s.split_whitespace()
+                .map(|t| if t.chars().all(|c| c.is_ascii_digit()) { "<*>" } else { t })
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+        assert_eq!(raw.len(), 100);
+        assert_eq!(masked.len(), 1);
+        assert_eq!(masked[0], 100);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let counts = vec![1, 1, 2, 3, 3, 3, 10];
+        let cdf = empirical_cdf(&counts);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Template specifications: the ground-truth log statements a synthetic dataset is
+//! generated from. A template is a sequence of constant segments and typed variable
+//! slots; rendering a template fills every slot with a value drawn from the slot's kind.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of value a variable slot produces. Kinds differ in their value-pool size,
+/// which controls how much exact duplication the generated stream exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Small integer (0..1000) — counters, sizes, codes.
+    SmallInt,
+    /// Large integer — offsets, byte counts.
+    LargeInt,
+    /// Signed block / transaction id like `blk_-1608999687919862906`.
+    BlockId,
+    /// IPv4 address from a bounded pool.
+    Ipv4,
+    /// IPv4:port pair.
+    IpPort,
+    /// Hex identifier like `0x7f3a12`.
+    Hex,
+    /// Unix-style file path.
+    Path,
+    /// Host name from a bounded pool.
+    Host,
+    /// User name from a bounded pool.
+    User,
+    /// Duration with unit, e.g. `35ms`.
+    Duration,
+    /// Size with unit, e.g. `512MB`.
+    Size,
+    /// UUID.
+    Uuid,
+    /// A short word drawn from a bounded pool (status strings, component names).
+    Word,
+    /// Floating point value.
+    Float,
+    /// TCP/UDP port number.
+    Port,
+    /// Java-style exception / class name.
+    ClassName,
+}
+
+/// One segment of a template: literal text or a typed variable slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Literal text emitted verbatim.
+    Const(String),
+    /// A variable slot of the given kind.
+    Var(VarKind),
+}
+
+/// A ground-truth template: an ordered list of segments plus a stable id within its
+/// dataset family.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateSpec {
+    /// Index of this template within its dataset family.
+    pub id: usize,
+    /// The segments making up the template.
+    pub segments: Vec<Segment>,
+}
+
+impl TemplateSpec {
+    /// Build a template from a compact pattern string where `<kind>` placeholders mark
+    /// variable slots, e.g. `"Received block <blockid> of size <int> from <ip>"`.
+    ///
+    /// Recognised placeholders: `<int>`, `<bigint>`, `<blockid>`, `<ip>`, `<ipport>`,
+    /// `<hex>`, `<path>`, `<host>`, `<user>`, `<duration>`, `<size>`, `<uuid>`, `<word>`,
+    /// `<float>`, `<port>`, `<class>`.
+    ///
+    /// # Panics
+    /// Panics on an unknown placeholder — template pools are static data defined in this
+    /// crate, so an unknown placeholder is a programming error caught by the tests.
+    pub fn parse(id: usize, pattern: &str) -> Self {
+        let mut segments = Vec::new();
+        let mut rest = pattern;
+        while let Some(open) = rest.find('<') {
+            if let Some(close_rel) = rest[open..].find('>') {
+                let close = open + close_rel;
+                let name = &rest[open + 1..close];
+                if let Some(kind) = placeholder_kind(name) {
+                    if open > 0 {
+                        segments.push(Segment::Const(rest[..open].to_string()));
+                    }
+                    segments.push(Segment::Var(kind));
+                    rest = &rest[close + 1..];
+                    continue;
+                } else if name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+                    && !name.is_empty()
+                {
+                    panic!("unknown placeholder <{name}> in template pattern {pattern:?}");
+                }
+            }
+            // A literal '<' (e.g. "<unknown>" markers in Mac logs): keep it as constant
+            // text up to and including the '<'.
+            segments.push(Segment::Const(rest[..open + 1].to_string()));
+            rest = &rest[open + 1..];
+        }
+        if !rest.is_empty() {
+            segments.push(Segment::Const(rest.to_string()));
+        }
+        TemplateSpec { id, segments }
+    }
+
+    /// Number of variable slots.
+    pub fn variable_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Var(_)))
+            .count()
+    }
+
+    /// Render the template with every variable slot replaced by `*`, the canonical form
+    /// used to compare against parser output in the accuracy experiments.
+    pub fn wildcard_form(&self) -> String {
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Const(text) => out.push_str(text),
+                Segment::Var(_) => out.push('*'),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TemplateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.wildcard_form())
+    }
+}
+
+fn placeholder_kind(name: &str) -> Option<VarKind> {
+    Some(match name {
+        "int" => VarKind::SmallInt,
+        "bigint" => VarKind::LargeInt,
+        "blockid" => VarKind::BlockId,
+        "ip" => VarKind::Ipv4,
+        "ipport" => VarKind::IpPort,
+        "hex" => VarKind::Hex,
+        "path" => VarKind::Path,
+        "host" => VarKind::Host,
+        "user" => VarKind::User,
+        "duration" => VarKind::Duration,
+        "size" => VarKind::Size,
+        "uuid" => VarKind::Uuid,
+        "word" => VarKind::Word,
+        "float" => VarKind::Float,
+        "port" => VarKind::Port,
+        "class" => VarKind::ClassName,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mixed_template() {
+        let t = TemplateSpec::parse(0, "Received block <blockid> of size <bigint> from <ip>");
+        assert_eq!(t.variable_count(), 3);
+        assert_eq!(t.wildcard_form(), "Received block * of size * from *");
+    }
+
+    #[test]
+    fn parse_constant_only_template() {
+        let t = TemplateSpec::parse(1, "Starting namenode service");
+        assert_eq!(t.variable_count(), 0);
+        assert_eq!(t.wildcard_form(), "Starting namenode service");
+    }
+
+    #[test]
+    fn parse_adjacent_placeholders() {
+        let t = TemplateSpec::parse(2, "<word>: retry <int>/<int> for <user>");
+        assert_eq!(t.variable_count(), 4);
+        assert_eq!(t.wildcard_form(), "*: retry */* for *");
+    }
+
+    #[test]
+    fn literal_angle_brackets_survive() {
+        let t = TemplateSpec::parse(3, "state <UNKNOWN> reached");
+        assert_eq!(t.variable_count(), 0);
+        assert!(t.wildcard_form().contains("<UNKNOWN>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown placeholder")]
+    fn unknown_placeholder_panics() {
+        TemplateSpec::parse(4, "value <nosuchkind> here");
+    }
+
+    #[test]
+    fn display_matches_wildcard_form() {
+        let t = TemplateSpec::parse(5, "open <path> flags <hex>");
+        assert_eq!(format!("{t}"), t.wildcard_form());
+    }
+}

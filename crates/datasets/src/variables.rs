@@ -1,0 +1,172 @@
+//! Variable value generators for template slots.
+//!
+//! Every [`VarKind`](crate::template::VarKind) draws from a bounded pool so that the
+//! generated stream exhibits realistic exact-duplicate rates: real logs repeat the same
+//! block ids, hosts and users over and over, which is exactly what the deduplication
+//! optimisation (§4.1.3, Fig. 4) exploits.
+
+use crate::template::VarKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Pool sizes controlling duplication. Smaller pools mean more repeated values.
+#[derive(Debug, Clone)]
+pub struct VariablePools {
+    /// Number of distinct hosts / users / words per dataset.
+    pub small_pool: usize,
+    /// Number of distinct ids (blocks, UUIDs, hex) per dataset.
+    pub id_pool: usize,
+}
+
+impl Default for VariablePools {
+    fn default() -> Self {
+        VariablePools {
+            small_pool: 40,
+            id_pool: 5_000,
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "success", "failed", "pending", "running", "stopped", "timeout", "retry", "aborted",
+    "active", "inactive", "ready", "closed", "opened", "granted", "denied", "expired",
+    "normal", "degraded", "primary", "secondary", "leader", "follower", "idle", "busy",
+];
+
+const USERS: &[&str] = &[
+    "root", "admin", "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "oscar", "peggy", "trent", "victor", "wendy", "service",
+    "daemon", "operator", "deploy", "www", "nobody",
+];
+
+const PATH_ROOTS: &[&str] = &[
+    "/var/log", "/usr/local/bin", "/data/blocks", "/tmp", "/home/user", "/etc/conf.d",
+    "/opt/app", "/mnt/disk1", "/proc/sys", "/srv/data",
+];
+
+const CLASSES: &[&str] = &[
+    "java.io.IOException",
+    "org.apache.hadoop.hdfs.DFSClient",
+    "org.apache.spark.scheduler.TaskSetManager",
+    "java.lang.NullPointerException",
+    "org.apache.zookeeper.ClientCnxn",
+    "io.netty.channel.ChannelHandler",
+    "com.example.rpc.RpcTimeoutException",
+    "java.net.SocketTimeoutException",
+];
+
+/// Draw one value for a slot of kind `kind`.
+pub fn render_value(kind: VarKind, rng: &mut StdRng, pools: &VariablePools) -> String {
+    match kind {
+        VarKind::SmallInt => rng.gen_range(0..1000u32).to_string(),
+        VarKind::LargeInt => rng.gen_range(0..100_000_000u64).to_string(),
+        VarKind::BlockId => {
+            let id = rng.gen_range(0..pools.id_pool as i64);
+            format!("blk_{}", id * 7_919 - 4_000_000_000_i64)
+        }
+        VarKind::Ipv4 => {
+            let host = rng.gen_range(0..pools.small_pool.max(1)) as u8;
+            format!("10.{}.{}.{}", rng.gen_range(0..4u8), rng.gen_range(0..8u8), host)
+        }
+        VarKind::IpPort => {
+            let host = rng.gen_range(0..pools.small_pool.max(1)) as u8;
+            format!(
+                "10.{}.{}.{}:{}",
+                rng.gen_range(0..4u8),
+                rng.gen_range(0..8u8),
+                host,
+                rng.gen_range(1024..65535u32)
+            )
+        }
+        VarKind::Hex => format!("0x{:x}", rng.gen_range(0..pools.id_pool as u64 * 16)),
+        VarKind::Path => {
+            let root = PATH_ROOTS[rng.gen_range(0..PATH_ROOTS.len())];
+            format!("{}/file_{}.dat", root, rng.gen_range(0..pools.id_pool))
+        }
+        VarKind::Host => format!("node-{:03}", rng.gen_range(0..pools.small_pool.max(1))),
+        VarKind::User => USERS[rng.gen_range(0..USERS.len().min(pools.small_pool.max(1)))].to_string(),
+        VarKind::Duration => format!("{}ms", rng.gen_range(1..30_000u32)),
+        VarKind::Size => format!("{}MB", rng.gen_range(1..4096u32)),
+        VarKind::Uuid => {
+            let a: u32 = rng.gen_range(0..pools.id_pool as u32);
+            format!("{:08x}-{:04x}-{:04x}-{:04x}-{:012x}", a, a % 0xffff, 0x4000 | (a % 0x0fff), 0x8000 | (a % 0x3fff), a as u64 * 99_991)
+        }
+        VarKind::Word => WORDS[rng.gen_range(0..WORDS.len())].to_string(),
+        VarKind::Float => format!("{:.2}", rng.gen_range(0.0..1000.0f64)),
+        VarKind::Port => rng.gen_range(1024..65535u32).to_string(),
+        VarKind::ClassName => CLASSES[rng.gen_range(0..CLASSES.len())].to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn values_are_nonempty_for_every_kind() {
+        let pools = VariablePools::default();
+        let mut r = rng();
+        for kind in [
+            VarKind::SmallInt,
+            VarKind::LargeInt,
+            VarKind::BlockId,
+            VarKind::Ipv4,
+            VarKind::IpPort,
+            VarKind::Hex,
+            VarKind::Path,
+            VarKind::Host,
+            VarKind::User,
+            VarKind::Duration,
+            VarKind::Size,
+            VarKind::Uuid,
+            VarKind::Word,
+            VarKind::Float,
+            VarKind::Port,
+            VarKind::ClassName,
+        ] {
+            let v = render_value(kind, &mut r, &pools);
+            assert!(!v.is_empty(), "{kind:?} rendered empty");
+            assert!(!v.contains(' '), "{kind:?} rendered a value with spaces: {v}");
+        }
+    }
+
+    #[test]
+    fn block_ids_look_like_hdfs_block_ids() {
+        let pools = VariablePools::default();
+        let mut r = rng();
+        let v = render_value(VarKind::BlockId, &mut r, &pools);
+        assert!(v.starts_with("blk_"));
+    }
+
+    #[test]
+    fn small_pool_limits_distinct_hosts() {
+        let pools = VariablePools {
+            small_pool: 5,
+            id_pool: 10,
+        };
+        let mut r = rng();
+        let mut hosts = std::collections::HashSet::new();
+        for _ in 0..200 {
+            hosts.insert(render_value(VarKind::Host, &mut r, &pools));
+        }
+        assert!(hosts.len() <= 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pools = VariablePools::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            assert_eq!(
+                render_value(VarKind::Path, &mut a, &pools),
+                render_value(VarKind::Path, &mut b, &pools)
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Zipf-distributed sampling of template indices.
+//!
+//! Real log streams are extremely skewed: a handful of templates account for the vast
+//! majority of records while most templates are rare (this is what makes the strict
+//! Grouping Accuracy metric meaningful, §5.1.3). The generator therefore samples template
+//! ids from a Zipf distribution with configurable exponent.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A pre-computed Zipf sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, length `n`.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` items with exponent `s` (s = 0 is uniform; larger s is
+    /// more skewed; real log corpora are typically well described by s ≈ 1.0–1.5).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one item");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift: the last entry must be exactly 1.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the distribution is over zero items (never true; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample one index in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Binary search for the first cumulative weight >= u.
+        match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&u).expect("no NaN in cumulative weights"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Expected probability of item `i` (for tests and analytics).
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_makes_first_item_dominant() {
+        let z = Zipf::new(50, 1.5);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(0) > 0.2);
+        assert!(z.probability(49) < 0.01);
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_range_and_respect_skew() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts.iter().all(|&c| c < 20_000));
+        assert!(counts[0] > 3_000);
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

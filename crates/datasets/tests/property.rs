@@ -1,0 +1,65 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use datasets::{dataset_names, GeneratorConfig, LabeledDataset, Segment, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated record is labelled with a valid template id and contains every
+    /// constant segment of that template, in order.
+    #[test]
+    fn records_are_consistent_with_their_labels(
+        dataset_idx in 0usize..16,
+        num_logs in 50usize..400,
+        seed in any::<u64>(),
+    ) {
+        let name = dataset_names()[dataset_idx];
+        let config = GeneratorConfig {
+            num_logs,
+            ..GeneratorConfig::loghub(name)
+        }.with_seed(seed);
+        let ds = LabeledDataset::generate(&config);
+        prop_assert_eq!(ds.records.len(), num_logs);
+        prop_assert_eq!(ds.labels.len(), num_logs);
+        for (record, &label) in ds.records.iter().zip(&ds.labels) {
+            prop_assert!(label < ds.templates.len());
+            let mut cursor = 0usize;
+            for segment in &ds.templates[label].segments {
+                if let Segment::Const(text) = segment {
+                    match record[cursor..].find(text.as_str()) {
+                        Some(found) => cursor += found + text.len(),
+                        None => prop_assert!(false, "segment {text:?} missing in {record:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generation is a pure function of its configuration.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let config = GeneratorConfig {
+            num_logs: 200,
+            ..GeneratorConfig::loghub("HDFS")
+        }.with_seed(seed);
+        let a = LabeledDataset::generate(&config);
+        let b = LabeledDataset::generate(&config);
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    /// Zipf sampling stays in range and its probabilities sum to one for any size/skew.
+    #[test]
+    fn zipf_is_well_formed(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| zipf.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+}

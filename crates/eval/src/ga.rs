@@ -1,0 +1,157 @@
+//! Grouping Accuracy (GA).
+//!
+//! GA is the fraction of logs that are *correctly grouped*: a log counts as correct only
+//! when the set of logs sharing its predicted group is exactly the set of logs sharing its
+//! ground-truth template. The metric is deliberately strict — over-splitting or
+//! over-merging a single frequent template penalises every log it covers — which prevents
+//! accuracy inflation from easy, frequent patterns (§5.1.3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Detailed outcome of a grouping-accuracy computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupingReport {
+    /// Number of evaluated logs.
+    pub total: usize,
+    /// Number of correctly grouped logs.
+    pub correct: usize,
+    /// Number of predicted groups.
+    pub predicted_groups: usize,
+    /// Number of ground-truth groups.
+    pub truth_groups: usize,
+}
+
+impl GroupingReport {
+    /// The grouping accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute grouping accuracy of `predicted` group ids against `truth` labels.
+///
+/// # Panics
+/// Panics when the two slices have different lengths — that is a harness bug, not a
+/// property of the parser being evaluated.
+pub fn grouping_report(predicted: &[usize], truth: &[usize]) -> GroupingReport {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "predicted and ground-truth label vectors must have the same length"
+    );
+    let n = predicted.len();
+    // Map each group id to the sorted list of log indices it contains.
+    let mut predicted_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut truth_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        predicted_groups.entry(predicted[i]).or_default().push(i);
+        truth_groups.entry(truth[i]).or_default().push(i);
+    }
+    // A log is correct iff its predicted member set equals its ground-truth member set.
+    // Because both are partitions of the same index set, it suffices to compare sizes and
+    // verify that every member of the truth group has the same predicted group id.
+    let mut correct = 0usize;
+    for truth_members in truth_groups.values() {
+        let first = truth_members[0];
+        let predicted_id = predicted[first];
+        let same_prediction = truth_members.iter().all(|&i| predicted[i] == predicted_id);
+        if same_prediction && predicted_groups[&predicted_id].len() == truth_members.len() {
+            correct += truth_members.len();
+        }
+    }
+    GroupingReport {
+        total: n,
+        correct,
+        predicted_groups: predicted_groups.len(),
+        truth_groups: truth_groups.len(),
+    }
+}
+
+/// Convenience wrapper returning only the accuracy value.
+pub fn grouping_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    grouping_report(predicted, truth).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_grouping_scores_one() {
+        let truth = vec![0, 0, 1, 1, 2];
+        let predicted = vec![7, 7, 3, 3, 9];
+        assert_eq!(grouping_accuracy(&predicted, &truth), 1.0);
+    }
+
+    #[test]
+    fn group_ids_do_not_need_to_match_labels() {
+        let truth = vec![5, 5, 8];
+        let predicted = vec![0, 0, 1];
+        assert_eq!(grouping_accuracy(&predicted, &truth), 1.0);
+    }
+
+    #[test]
+    fn over_merging_penalises_both_groups() {
+        // Two truth templates merged into one predicted group: every log is wrong.
+        let truth = vec![0, 0, 1, 1];
+        let predicted = vec![0, 0, 0, 0];
+        assert_eq!(grouping_accuracy(&predicted, &truth), 0.0);
+    }
+
+    #[test]
+    fn over_splitting_penalises_the_split_group_only() {
+        // Truth group {0,1,2} split into {0,1} and {2}; group {3,4} is intact.
+        let truth = vec![0, 0, 0, 1, 1];
+        let predicted = vec![0, 0, 5, 2, 2];
+        let report = grouping_report(&predicted, &truth);
+        assert_eq!(report.correct, 2);
+        assert!((report.accuracy() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_log_groups_count_when_exact() {
+        let truth = vec![0, 1, 2, 3];
+        let predicted = vec![9, 8, 7, 6];
+        assert_eq!(grouping_accuracy(&predicted, &truth), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_perfect() {
+        assert_eq!(grouping_accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn report_counts_groups() {
+        let truth = vec![0, 0, 1, 2];
+        let predicted = vec![4, 4, 4, 5];
+        let report = grouping_report(&predicted, &truth);
+        assert_eq!(report.predicted_groups, 2);
+        assert_eq!(report.truth_groups, 3);
+        assert_eq!(report.total, 4);
+        // {0,0} predicted together with log 2 → wrong; log 3 alone → right.
+        assert_eq!(report.correct, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        grouping_accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn strictness_mirrors_the_paper_example() {
+        // A frequent template predicted correctly dominates the score only in proportion
+        // to its size; a rare template grouped wrongly still costs its logs.
+        let mut truth = vec![0; 95];
+        truth.extend(vec![1; 5]);
+        let mut predicted = vec![0; 95];
+        predicted.extend(vec![0; 5]); // rare template merged into the frequent one
+        let report = grouping_report(&predicted, &truth);
+        assert_eq!(report.correct, 0, "merging poisons both groups under strict GA");
+    }
+}

@@ -1,0 +1,176 @@
+//! Helpers for printing experiment tables and persisting machine-readable results.
+//!
+//! Every experiment binary in the bench harness prints a human-readable table (the same
+//! rows/series as the corresponding paper table or figure) and can additionally dump a
+//! JSON record so `EXPERIMENTS.md` can be regenerated from raw results.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row. Rows shorter than the header are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        while cells.len() < self.headers.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let separator: String = widths.iter().map(|w| "-".repeat(*w) + "  ").collect();
+        out.push_str(separator.trim_end());
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// A machine-readable experiment result: experiment id plus arbitrary named series.
+#[derive(Debug, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier, e.g. `"table2"` or `"fig7"`.
+    pub experiment: String,
+    /// Free-form description.
+    pub description: String,
+    /// Named numeric results (kept sorted for stable output).
+    pub values: BTreeMap<String, f64>,
+}
+
+impl ExperimentRecord {
+    /// Create an empty record.
+    pub fn new(experiment: &str, description: &str) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Insert one named value.
+    pub fn insert(&mut self, key: &str, value: f64) {
+        self.values.insert(key.to_string(), value);
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment record serializes")
+    }
+
+    /// Write the JSON record under `dir/<experiment>.json` (directory is created).
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Format a floating-point value the way the paper's tables do (two decimals).
+pub fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Format a throughput value in scientific notation as in Fig. 6 (e.g. `2.29e+05`).
+pub fn fmt_sci(value: f64) -> String {
+    format!("{value:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Dataset", "GA"]);
+        t.add_row(vec!["HDFS", "0.98"]);
+        t.add_row(vec!["Thunderbird", "0.96"]);
+        let rendered = t.render();
+        assert!(rendered.contains("Dataset"));
+        assert!(rendered.contains("Thunderbird"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn record_round_trips_to_json() {
+        let mut r = ExperimentRecord::new("fig7", "scaling");
+        r.insert("hdfs_10000", 123.4);
+        let json = r.to_json();
+        assert!(json.contains("fig7"));
+        assert!(json.contains("hdfs_10000"));
+    }
+
+    #[test]
+    fn record_writes_to_disk() {
+        let dir = std::env::temp_dir().join("bytebrain_eval_report_test");
+        let r = ExperimentRecord::new("unit_test_record", "test");
+        let path = r.write_to(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt2(0.98765), "0.99");
+        assert_eq!(fmt_sci(229_000.0), "2.29e5");
+    }
+}

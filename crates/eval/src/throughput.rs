@@ -1,0 +1,90 @@
+//! Throughput measurement.
+//!
+//! The paper reports throughput as total log count divided by the combined time of model
+//! training and log matching (§5.1.3). [`measure`] wraps an arbitrary closure that
+//! performs both phases and returns logs/second together with the raw elapsed time so
+//! experiments can also report scaling curves (Fig. 7) and parallelism sweeps (Fig. 12).
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputMeasurement {
+    /// Number of logs processed.
+    pub num_logs: usize,
+    /// Wall-clock duration of the measured closure, in seconds.
+    pub seconds: f64,
+    /// Logs per second.
+    pub logs_per_second: f64,
+}
+
+impl ThroughputMeasurement {
+    /// Build a measurement from a log count and a duration.
+    pub fn from_duration(num_logs: usize, elapsed: Duration) -> Self {
+        let seconds = elapsed.as_secs_f64();
+        let logs_per_second = if seconds > 0.0 {
+            num_logs as f64 / seconds
+        } else {
+            f64::INFINITY
+        };
+        ThroughputMeasurement {
+            num_logs,
+            seconds,
+            logs_per_second,
+        }
+    }
+}
+
+/// Measure the wall-clock throughput of `work` over `num_logs` logs. The closure should
+/// perform the full pipeline being measured (training + matching for parser throughput).
+pub fn measure<F: FnOnce()>(num_logs: usize, work: F) -> ThroughputMeasurement {
+    let start = Instant::now();
+    work();
+    ThroughputMeasurement::from_duration(num_logs, start.elapsed())
+}
+
+/// Measure `work` and also return its result.
+pub fn measure_with_result<T, F: FnOnce() -> T>(
+    num_logs: usize,
+    work: F,
+) -> (ThroughputMeasurement, T) {
+    let start = Instant::now();
+    let result = work();
+    (
+        ThroughputMeasurement::from_duration(num_logs, start.elapsed()),
+        result,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_count_over_time() {
+        let m = ThroughputMeasurement::from_duration(1_000, Duration::from_millis(500));
+        assert!((m.logs_per_second - 2_000.0).abs() < 1.0);
+        assert_eq!(m.num_logs, 1_000);
+    }
+
+    #[test]
+    fn measure_times_the_closure() {
+        let m = measure(100, || std::thread::sleep(Duration::from_millis(20)));
+        assert!(m.seconds >= 0.02);
+        assert!(m.logs_per_second < 100.0 / 0.02 + 1.0);
+    }
+
+    #[test]
+    fn measure_with_result_passes_value_through() {
+        let (m, value) = measure_with_result(10, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(m.num_logs, 10);
+    }
+
+    #[test]
+    fn zero_duration_does_not_divide_by_zero() {
+        let m = ThroughputMeasurement::from_duration(5, Duration::from_secs(0));
+        assert!(m.logs_per_second.is_infinite());
+    }
+}

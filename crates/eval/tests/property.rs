@@ -1,0 +1,59 @@
+//! Property-based tests for the Grouping Accuracy metric.
+
+use eval::ga::{grouping_accuracy, grouping_report};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// GA is always within [0, 1].
+    #[test]
+    fn ga_is_bounded(labels in prop::collection::vec(0usize..6, 0..100), predicted in prop::collection::vec(0usize..6, 0..100)) {
+        let n = labels.len().min(predicted.len());
+        let ga = grouping_accuracy(&predicted[..n], &labels[..n]);
+        prop_assert!((0.0..=1.0).contains(&ga));
+    }
+
+    /// Predicting the ground truth exactly always scores 1, and so does any relabelling
+    /// of the ground-truth groups (group ids are opaque).
+    #[test]
+    fn ga_is_invariant_under_relabelling(labels in prop::collection::vec(0usize..8, 1..100), offset in 1usize..1000) {
+        prop_assert_eq!(grouping_accuracy(&labels, &labels), 1.0);
+        let relabelled: Vec<usize> = labels.iter().map(|&l| l * 7919 + offset).collect();
+        prop_assert_eq!(grouping_accuracy(&relabelled, &labels), 1.0);
+    }
+
+    /// Merging two distinct ground-truth groups into one predicted group can never reach
+    /// accuracy 1 (strictness of the metric).
+    #[test]
+    fn merging_groups_is_never_perfect(labels in prop::collection::vec(0usize..5, 2..100)) {
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assume!(distinct.len() >= 2);
+        let merged = vec![0usize; labels.len()];
+        prop_assert!(grouping_accuracy(&merged, &labels) < 1.0);
+    }
+
+    /// The number of correct logs never exceeds the total and correct logs come in whole
+    /// ground-truth groups.
+    #[test]
+    fn correct_counts_respect_group_structure(labels in prop::collection::vec(0usize..4, 1..80), predicted in prop::collection::vec(0usize..4, 1..80)) {
+        let n = labels.len().min(predicted.len());
+        let report = grouping_report(&predicted[..n], &labels[..n]);
+        prop_assert!(report.correct <= report.total);
+        // Group sizes of the truth partition.
+        let mut sizes: HashMap<usize, usize> = HashMap::new();
+        for &l in &labels[..n] {
+            *sizes.entry(l).or_insert(0) += 1;
+        }
+        // `correct` must be expressible as a sum of whole truth-group sizes.
+        let mut achievable = vec![false; report.total + 1];
+        achievable[0] = true;
+        for size in sizes.values() {
+            for i in (0..=report.total.saturating_sub(*size)).rev() {
+                if achievable[i] {
+                    achievable[i + size] = true;
+                }
+            }
+        }
+        prop_assert!(achievable[report.correct]);
+    }
+}

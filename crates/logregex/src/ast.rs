@@ -1,0 +1,188 @@
+//! Abstract syntax tree for the supported regex subset.
+
+/// A set of byte ranges, used for character classes, `.` and the `\d`/`\w`/`\s` escapes.
+///
+/// Ranges are inclusive on both ends and kept sorted and non-overlapping by
+/// [`ByteClass::normalize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteClass {
+    pub ranges: Vec<(u8, u8)>,
+}
+
+impl ByteClass {
+    /// The empty class (matches nothing).
+    pub fn empty() -> Self {
+        ByteClass { ranges: Vec::new() }
+    }
+
+    /// A class containing the single byte `b`.
+    pub fn single(b: u8) -> Self {
+        ByteClass { ranges: vec![(b, b)] }
+    }
+
+    /// Add an inclusive range.
+    pub fn push(&mut self, lo: u8, hi: u8) {
+        debug_assert!(lo <= hi);
+        self.ranges.push((lo, hi));
+    }
+
+    /// Sort and merge overlapping or adjacent ranges.
+    pub fn normalize(&mut self) {
+        if self.ranges.is_empty() {
+            return;
+        }
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u8, u8)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some(&mut (_, ref mut prev_hi)) if lo <= prev_hi.saturating_add(1) => {
+                    if hi > *prev_hi {
+                        *prev_hi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Complement with respect to all byte values `0..=255`.
+    pub fn negate(&self) -> ByteClass {
+        let mut out = ByteClass::empty();
+        let mut next = 0u16;
+        for &(lo, hi) in &self.ranges {
+            if (lo as u16) > next {
+                out.push(next as u8, lo - 1);
+            }
+            next = hi as u16 + 1;
+        }
+        if next <= 255 {
+            out.push(next as u8, 255);
+        }
+        out
+    }
+
+    /// True when `b` is a member of the class.
+    pub fn contains(&self, b: u8) -> bool {
+        // Classes are tiny (a handful of ranges); linear scan beats binary search here.
+        self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi)
+    }
+
+    /// Digits `0-9`.
+    pub fn digit() -> Self {
+        ByteClass { ranges: vec![(b'0', b'9')] }
+    }
+
+    /// Word characters `[A-Za-z0-9_]`.
+    pub fn word() -> Self {
+        let mut c = ByteClass::empty();
+        c.push(b'0', b'9');
+        c.push(b'A', b'Z');
+        c.push(b'_', b'_');
+        c.push(b'a', b'z');
+        c.normalize();
+        c
+    }
+
+    /// Whitespace `[ \t\n\r\x0b\x0c]`.
+    pub fn space() -> Self {
+        let mut c = ByteClass::empty();
+        c.push(b'\t', b'\r'); // \t \n \x0b \x0c \r
+        c.push(b' ', b' ');
+        c.normalize();
+        c
+    }
+
+    /// `.` — any byte except `\n`.
+    pub fn dot() -> Self {
+        ByteClass::single(b'\n').negate()
+    }
+}
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single byte drawn from a class.
+    Class(ByteClass),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation between sub-expressions.
+    Alternate(Vec<Ast>),
+    /// Repetition of a sub-expression between `min` and `max` times (`max == None` means
+    /// unbounded).
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// `^` — start-of-input anchor.
+    StartAnchor,
+    /// `$` — end-of-input anchor.
+    EndAnchor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_merges_overlaps() {
+        let mut c = ByteClass::empty();
+        c.push(b'a', b'f');
+        c.push(b'd', b'k');
+        c.push(b'z', b'z');
+        c.normalize();
+        assert_eq!(c.ranges, vec![(b'a', b'k'), (b'z', b'z')]);
+    }
+
+    #[test]
+    fn normalize_merges_adjacent() {
+        let mut c = ByteClass::empty();
+        c.push(b'a', b'c');
+        c.push(b'd', b'f');
+        c.normalize();
+        assert_eq!(c.ranges, vec![(b'a', b'f')]);
+    }
+
+    #[test]
+    fn negate_roundtrip() {
+        let c = ByteClass::digit();
+        let n = c.negate();
+        assert!(!n.contains(b'5'));
+        assert!(n.contains(b'a'));
+        assert!(n.contains(0));
+        assert!(n.contains(255));
+        let back = n.negate();
+        assert_eq!(back.ranges, c.ranges);
+    }
+
+    #[test]
+    fn word_class_membership() {
+        let w = ByteClass::word();
+        for b in [b'a', b'Z', b'0', b'_'] {
+            assert!(w.contains(b));
+        }
+        for b in [b' ', b'-', b'.', b'\n'] {
+            assert!(!w.contains(b));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let d = ByteClass::dot();
+        assert!(d.contains(b'a'));
+        assert!(d.contains(b' '));
+        assert!(!d.contains(b'\n'));
+    }
+
+    #[test]
+    fn space_class_membership() {
+        let s = ByteClass::space();
+        for b in [b' ', b'\t', b'\n', b'\r'] {
+            assert!(s.contains(b));
+        }
+        assert!(!s.contains(b'x'));
+    }
+}

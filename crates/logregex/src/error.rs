@@ -1,0 +1,60 @@
+//! Error type for pattern parsing.
+
+use std::fmt;
+
+/// Error produced when a pattern cannot be parsed or uses an unsupported construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    message: String,
+    /// Byte offset in the pattern where the error was detected, when known.
+    position: Option<usize>,
+}
+
+impl RegexError {
+    pub(crate) fn new(message: impl Into<String>, position: Option<usize>) -> Self {
+        RegexError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset in the pattern where the error was detected, when known.
+    pub fn position(&self) -> Option<usize> {
+        self.position
+    }
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(pos) => write!(f, "regex parse error at byte {}: {}", pos, self.message),
+            None => write!(f, "regex parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = RegexError::new("unexpected ')'", Some(3));
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.to_string().contains("unexpected ')'"));
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = RegexError::new("empty repetition", None);
+        assert_eq!(e.position(), None);
+        assert!(e.to_string().contains("empty repetition"));
+    }
+}

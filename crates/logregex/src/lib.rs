@@ -1,0 +1,370 @@
+//! `logregex` — a small, dependency-free regular-expression engine used by the
+//! ByteBrain-LogParser reproduction.
+//!
+//! The paper (§4.1.1) tokenizes logs with regular expressions and explicitly forbids
+//! non-linear features such as look-around so that matching stays `O(n)`. This crate
+//! implements exactly that subset as a Thompson-NFA / Pike-VM engine:
+//!
+//! * literals, `.`, escapes (`\d`, `\w`, `\s`, `\D`, `\W`, `\S`, `\n`, `\t`, `\r`, `\\`, …)
+//! * character classes `[...]` with ranges and negation
+//! * grouping `( ... )` and non-capturing groups `(?: ... )`
+//! * alternation `|`
+//! * quantifiers `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`
+//! * anchors `^` and `$`
+//!
+//! Look-around, back-references and other exponential-worst-case features are rejected at
+//! parse time, mirroring the restriction the paper places on user-supplied patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use logregex::Regex;
+//!
+//! let re = Regex::new(r"\d+\.\d+\.\d+\.\d+").unwrap();
+//! assert!(re.is_match("connect from 10.2.3.4 ok"));
+//! let masked = re.replace_all("connect from 10.2.3.4 ok", "<ip>");
+//! assert_eq!(masked, "connect from <ip> ok");
+//! ```
+
+mod ast;
+mod compile;
+mod error;
+mod matcher;
+mod parser;
+
+pub use error::RegexError;
+
+use compile::Program;
+
+/// A compiled regular expression.
+///
+/// Construction parses and compiles the pattern once; matching is then linear in the
+/// input length (Pike-VM simulation), with no pathological backtracking.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+/// A single match: byte offsets `[start, end)` into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Byte offset of the first byte of the match.
+    pub start: usize,
+    /// Byte offset one past the last byte of the match.
+    pub end: usize,
+}
+
+impl Match {
+    /// Length of the match in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the match is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The matched slice of `haystack`.
+    pub fn as_str<'h>(&self, haystack: &'h str) -> &'h str {
+        &haystack[self.start..self.end]
+    }
+}
+
+impl Regex {
+    /// Parse and compile `pattern`.
+    ///
+    /// Returns [`RegexError`] for syntax errors or for constructs outside the supported
+    /// linear-time subset.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let ast = parser::parse(pattern)?;
+        let program = compile::compile(&ast);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True when the pattern matches anywhere in `haystack`.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// True when the pattern matches the *entire* haystack.
+    pub fn is_full_match(&self, haystack: &str) -> bool {
+        match self.find_at(haystack, 0) {
+            Some(m) => m.start == 0 && m.end == haystack.len(),
+            None => false,
+        }
+    }
+
+    /// Leftmost-longest match in `haystack`, if any.
+    pub fn find(&self, haystack: &str) -> Option<Match> {
+        self.find_at(haystack, 0)
+    }
+
+    /// Leftmost-longest match starting at or after byte offset `start`.
+    pub fn find_at(&self, haystack: &str, start: usize) -> Option<Match> {
+        matcher::find_at(&self.program, haystack.as_bytes(), start, haystack.len())
+    }
+
+    /// Iterator over all non-overlapping matches, left to right.
+    pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> Matches<'r, 'h> {
+        Matches {
+            regex: self,
+            haystack,
+            pos: 0,
+        }
+    }
+
+    /// Replace every non-overlapping match with `replacement` (a literal string).
+    pub fn replace_all(&self, haystack: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(haystack.len());
+        let mut last = 0usize;
+        for m in self.find_iter(haystack) {
+            out.push_str(&haystack[last..m.start]);
+            out.push_str(replacement);
+            last = m.end;
+        }
+        out.push_str(&haystack[last..]);
+        out
+    }
+
+    /// Split `haystack` on every match, returning the (possibly empty) fragments between
+    /// matches. Mirrors the behaviour the preprocessing pipeline needs for tokenization.
+    pub fn split<'h>(&self, haystack: &'h str) -> Vec<&'h str> {
+        let mut out = Vec::new();
+        let mut last = 0usize;
+        for m in self.find_iter(haystack) {
+            out.push(&haystack[last..m.start]);
+            last = m.end;
+        }
+        out.push(&haystack[last..]);
+        out
+    }
+
+    /// Number of NFA instructions in the compiled program (useful for testing and for
+    /// enforcing complexity budgets on user-supplied patterns).
+    pub fn program_len(&self) -> usize {
+        self.program.insts.len()
+    }
+}
+
+/// Iterator returned by [`Regex::find_iter`].
+pub struct Matches<'r, 'h> {
+    regex: &'r Regex,
+    haystack: &'h str,
+    pos: usize,
+}
+
+impl<'r, 'h> Iterator for Matches<'r, 'h> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.pos > self.haystack.len() {
+            return None;
+        }
+        let m = self.regex.find_at(self.haystack, self.pos)?;
+        // Advance past the match; for empty matches step one byte forward so the
+        // iterator always terminates.
+        self.pos = if m.end == m.start { m.end + 1 } else { m.end };
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let re = Regex::new("error").unwrap();
+        assert!(re.is_match("an error occurred"));
+        assert!(!re.is_match("all good"));
+        let m = re.find("an error occurred").unwrap();
+        assert_eq!(m.as_str("an error occurred"), "error");
+    }
+
+    #[test]
+    fn digits_and_plus() {
+        let re = Regex::new(r"\d+").unwrap();
+        let m = re.find("abc 12345 def").unwrap();
+        assert_eq!(m.as_str("abc 12345 def"), "12345");
+    }
+
+    #[test]
+    fn ip_address_pattern() {
+        let re = Regex::new(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}").unwrap();
+        assert!(re.is_match("src=192.168.0.1 dst=10.0.0.2"));
+        assert_eq!(
+            re.replace_all("src=192.168.0.1 dst=10.0.0.2", "<ip>"),
+            "src=<ip> dst=<ip>"
+        );
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("(cat|dog)s?").unwrap();
+        assert!(re.is_match("three dogs"));
+        assert!(re.is_match("one cat"));
+        assert!(!re.is_match("a bird"));
+    }
+
+    #[test]
+    fn char_class() {
+        let re = Regex::new("[a-f0-9]+").unwrap();
+        let m = re.find("zz=deadbeef42;").unwrap();
+        assert_eq!(m.as_str("zz=deadbeef42;"), "deadbeef42");
+        assert_eq!(m.start, 3);
+        // Leftmost semantics: the earliest position in the class wins even if a longer
+        // match exists later in the haystack.
+        let m2 = re.find("id=deadbeef42;").unwrap();
+        assert_eq!(m2.as_str("id=deadbeef42;"), "d");
+    }
+
+    #[test]
+    fn negated_char_class() {
+        let re = Regex::new("[^0-9]+").unwrap();
+        let m = re.find("abc123").unwrap();
+        assert_eq!(m.as_str("abc123"), "abc");
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^error$").unwrap();
+        assert!(re.is_match("error"));
+        assert!(!re.is_match("an error"));
+        assert!(!re.is_match("error!"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let re = Regex::new("a{2,3}").unwrap();
+        assert!(!re.is_match("a"));
+        assert!(re.is_match("aa"));
+        let m = re.find("aaaa").unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let re = Regex::new("[0-9]{4}").unwrap();
+        assert!(re.is_match("year 2025"));
+        assert!(!re.is_match("day 12"));
+    }
+
+    #[test]
+    fn optional() {
+        let re = Regex::new("colou?r").unwrap();
+        assert!(re.is_match("color"));
+        assert!(re.is_match("colour"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        let re = Regex::new("a.c").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("axc"));
+        assert!(!re.is_match("a\nc"));
+    }
+
+    #[test]
+    fn split_on_delimiters() {
+        let re = Regex::new(r"[\s,;]+").unwrap();
+        let parts = re.split("a, b;  c");
+        assert_eq!(parts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn replace_all_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert_eq!(re.replace_all("a1b22c333", "*"), "a*b*c*");
+    }
+
+    #[test]
+    fn full_match() {
+        let re = Regex::new(r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}")
+            .unwrap();
+        assert!(re.is_full_match("123e4567-e89b-12d3-a456-426614174000"));
+        assert!(!re.is_full_match("x123e4567-e89b-12d3-a456-426614174000"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let re = Regex::new("").unwrap();
+        assert!(re.is_match("anything"));
+        let m = re.find("abc").unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        let re = Regex::new(r"\[\d+\]").unwrap();
+        assert!(re.is_match("pid[1234] started"));
+        assert_eq!(re.replace_all("pid[1234] started", "<pid>"), "pid<pid> started");
+    }
+
+    #[test]
+    fn lookaround_is_rejected() {
+        assert!(Regex::new(r"(?=abc)").is_err());
+        assert!(Regex::new(r"(?!abc)").is_err());
+        assert!(Regex::new(r"(?<=a)b").is_err());
+    }
+
+    #[test]
+    fn backreference_is_rejected() {
+        assert!(Regex::new(r"(a)\1").is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("[abc").is_err());
+    }
+
+    #[test]
+    fn find_iter_positions() {
+        let re = Regex::new("ab").unwrap();
+        let ms: Vec<Match> = re.find_iter("abxabxab").collect();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].start, 0);
+        assert_eq!(ms[1].start, 3);
+        assert_eq!(ms[2].start, 6);
+    }
+
+    #[test]
+    fn word_class() {
+        let re = Regex::new(r"\w+").unwrap();
+        let parts: Vec<_> = re.find_iter("hello, world_2!").map(|m| m.as_str("hello, world_2!")).collect();
+        assert_eq!(parts, vec!["hello", "world_2"]);
+    }
+
+    #[test]
+    fn timestamp_pattern() {
+        let re = Regex::new(r"\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}").unwrap();
+        let s = "2025-01-02 13:14:15 INFO started";
+        assert_eq!(re.replace_all(s, "<ts>"), "<ts> INFO started");
+    }
+
+    #[test]
+    fn leftmost_longest_alternation() {
+        // Leftmost-longest semantics: at the same start, the longer alternative wins.
+        let re = Regex::new("(foo|foobar)").unwrap();
+        let m = re.find("xfoobar").unwrap();
+        assert_eq!(m.as_str("xfoobar"), "foobar");
+    }
+
+    #[test]
+    fn unicode_passthrough_bytes() {
+        // Non-ASCII input: matching operates on bytes; literal ASCII still matches.
+        let re = Regex::new("lock").unwrap();
+        assert!(re.is_match("获取 lock 成功"));
+    }
+}

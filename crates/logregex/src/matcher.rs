@@ -1,0 +1,209 @@
+//! Pike-VM simulation of the compiled NFA program.
+//!
+//! The simulation runs in `O(haystack_len * program_len)` time and constant extra space
+//! per program instruction — no backtracking, matching the paper's requirement that user
+//! patterns stay linear-time (§4.1.1).
+
+use crate::compile::{Inst, Program};
+use crate::Match;
+
+/// A live NFA thread: the instruction it sits on and the haystack offset where its match
+/// attempt started (needed for leftmost-longest selection).
+#[derive(Debug, Clone, Copy)]
+struct Thread {
+    pc: usize,
+    start: usize,
+}
+
+/// Thread list with O(1) membership test per instruction.
+struct ThreadList {
+    threads: Vec<Thread>,
+    /// `seen[pc]` holds (generation, start) of the best thread already queued at `pc`.
+    seen: Vec<(u64, usize)>,
+    generation: u64,
+}
+
+impl ThreadList {
+    fn new(prog_len: usize) -> Self {
+        ThreadList {
+            threads: Vec::with_capacity(prog_len),
+            seen: vec![(0, usize::MAX); prog_len],
+            generation: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.generation += 1;
+    }
+
+    /// Returns true when the thread should be added (either unseen this generation, or
+    /// seen with a worse — later — start offset).
+    fn admit(&mut self, pc: usize, start: usize) -> bool {
+        let (generation, existing_start) = self.seen[pc];
+        if generation == self.generation && existing_start <= start {
+            return false;
+        }
+        self.seen[pc] = (self.generation, start);
+        true
+    }
+}
+
+/// Find the leftmost-longest match whose start offset is `>= from`.
+pub fn find_at(program: &Program, haystack: &[u8], from: usize, len: usize) -> Option<Match> {
+    if from > len {
+        return None;
+    }
+    let prog_len = program.insts.len();
+    let mut current = ThreadList::new(prog_len);
+    let mut next = ThreadList::new(prog_len);
+    let mut best: Option<Match> = None;
+
+    current.clear();
+    let mut pos = from;
+    loop {
+        // Seed a new start thread at `pos` unless a leftmost match already exists.
+        if best.is_none() {
+            add_thread(program, &mut current, 0, pos, pos, len, &mut best);
+        }
+        if current.threads.is_empty() && best.is_some() {
+            break;
+        }
+        if pos >= len {
+            break;
+        }
+        let byte = haystack[pos];
+        next.clear();
+        // Iterate by index: add_thread only appends to `next`, never `current`.
+        for i in 0..current.threads.len() {
+            let th = current.threads[i];
+            if let Some(m) = best {
+                if th.start > m.start {
+                    continue; // cannot improve a leftmost match
+                }
+            }
+            if let Inst::Byte(class) = &program.insts[th.pc] {
+                if class.contains(byte) {
+                    add_thread(program, &mut next, th.pc + 1, th.start, pos + 1, len, &mut best);
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        pos += 1;
+        if current.threads.is_empty() && best.is_some() {
+            break;
+        }
+        if current.threads.is_empty() && best.is_none() && pos > len {
+            break;
+        }
+    }
+    best
+}
+
+/// Follow epsilon transitions (splits, jumps, anchors) from `pc`, queuing byte-consuming
+/// threads into `list` and recording matches into `best`.
+fn add_thread(
+    program: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    start: usize,
+    pos: usize,
+    len: usize,
+    best: &mut Option<Match>,
+) {
+    if !list.admit(pc, start) {
+        return;
+    }
+    match &program.insts[pc] {
+        Inst::Jump(target) => add_thread(program, list, *target, start, pos, len, best),
+        Inst::Split { prefer, other } => {
+            add_thread(program, list, *prefer, start, pos, len, best);
+            add_thread(program, list, *other, start, pos, len, best);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(program, list, pc + 1, start, pos, len, best);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == len {
+                add_thread(program, list, pc + 1, start, pos, len, best);
+            }
+        }
+        Inst::Byte(_) => {
+            list.threads.push(Thread { pc, start });
+        }
+        Inst::Match => {
+            let candidate = Match { start, end: pos };
+            let better = match best {
+                None => true,
+                Some(existing) => {
+                    candidate.start < existing.start
+                        || (candidate.start == existing.start && candidate.end > existing.end)
+                }
+            };
+            if better {
+                *best = Some(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn longest_match_at_same_start() {
+        let re = Regex::new("ab|abc|abcd").unwrap();
+        let m = re.find("xxabcdyy").unwrap();
+        assert_eq!(m.as_str("xxabcdyy"), "abcd");
+    }
+
+    #[test]
+    fn leftmost_wins_over_longer_later() {
+        let re = Regex::new("a+|b+").unwrap();
+        let m = re.find("aabbbb").unwrap();
+        assert_eq!(m.as_str("aabbbb"), "aa");
+    }
+
+    #[test]
+    fn greedy_star() {
+        let re = Regex::new("a*").unwrap();
+        let m = re.find("aaab").unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.start, 0);
+    }
+
+    #[test]
+    fn match_at_end_of_haystack() {
+        let re = Regex::new("end$").unwrap();
+        let m = re.find("the end").unwrap();
+        assert_eq!(m.start, 4);
+        assert_eq!(m.end, 7);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let re = Regex::new("zzz").unwrap();
+        assert!(re.find("abcabc").is_none());
+    }
+
+    #[test]
+    fn find_at_respects_offset() {
+        let re = Regex::new("ab").unwrap();
+        let m = re.find_at("abxab", 1).unwrap();
+        assert_eq!(m.start, 3);
+    }
+
+    #[test]
+    fn linearity_smoke_test_pathological_pattern() {
+        // `(a+)+b`-style patterns are exponential under backtracking engines; the Pike VM
+        // must finish quickly even on a non-matching input.
+        let re = Regex::new("(a+)+b").unwrap();
+        let haystack = "a".repeat(2000);
+        let started = std::time::Instant::now();
+        assert!(!re.is_match(&haystack));
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
+    }
+}

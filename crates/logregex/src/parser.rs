@@ -1,0 +1,467 @@
+//! Recursive-descent parser for the supported regex subset.
+
+use crate::ast::{Ast, ByteClass};
+use crate::error::RegexError;
+
+/// Maximum allowed bounded-repetition count. Prevents `a{100000}` from exploding the
+/// compiled program size (the paper caps user-pattern complexity for the same reason).
+const MAX_BOUNDED_REPEAT: u32 = 256;
+
+struct Parser<'p> {
+    pattern: &'p [u8],
+    pos: usize,
+}
+
+/// Parse `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, RegexError> {
+    let mut p = Parser {
+        pattern: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.parse_alternation()?;
+    if p.pos != p.pattern.len() {
+        return Err(p.err("unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+impl<'p> Parser<'p> {
+    fn err(&self, msg: &str) -> RegexError {
+        RegexError::new(msg, Some(self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pattern.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat(b'|') {
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    /// concat := repeated*
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_repeated()?);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().expect("one item")),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    /// repeated := atom quantifier?
+    fn parse_repeated(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                (0, None)
+            }
+            Some(b'+') => {
+                self.bump();
+                (1, None)
+            }
+            Some(b'?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                let save = self.pos;
+                match self.parse_brace_quantifier() {
+                    Some(q) => q,
+                    None => {
+                        // Not a quantifier (e.g. a literal '{' as in format strings);
+                        // treat the atom as-is and leave '{' to be consumed as a literal.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor) {
+            return Err(self.err("quantifier cannot apply to an anchor"));
+        }
+        if let Some(mx) = max {
+            if mx < min {
+                return Err(self.err("repetition max is smaller than min"));
+            }
+            if mx > MAX_BOUNDED_REPEAT {
+                return Err(self.err("bounded repetition too large"));
+            }
+        }
+        if min > MAX_BOUNDED_REPEAT {
+            return Err(self.err("bounded repetition too large"));
+        }
+        // Reject stacked quantifiers such as `a**` which are almost always a typo.
+        if matches!(self.peek(), Some(b'*') | Some(b'+') | Some(b'?')) {
+            return Err(self.err("nested quantifier"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Attempt to parse `{m}`, `{m,}` or `{m,n}`. Returns `None` (without error) when the
+    /// brace expression is not a valid quantifier, so callers can fall back to a literal.
+    fn parse_brace_quantifier(&mut self) -> Option<(u32, Option<u32>)> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.bump();
+        let min = self.parse_number()?;
+        match self.peek() {
+            Some(b'}') => {
+                self.bump();
+                Some((min, Some(min)))
+            }
+            Some(b',') => {
+                self.bump();
+                if self.eat(b'}') {
+                    return Some((min, None));
+                }
+                let max = self.parse_number()?;
+                if self.eat(b'}') {
+                    Some((min, Some(max)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                value = value.checked_mul(10)?.checked_add((b - b'0') as u32)?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(value)
+        }
+    }
+
+    /// atom := group | class | anchor | escape | literal
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.peek() {
+            Some(b'(') => self.parse_group(),
+            Some(b'[') => {
+                let class = self.parse_class()?;
+                Ok(Ast::Class(class))
+            }
+            Some(b'^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some(b'$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Ast::Class(ByteClass::dot()))
+            }
+            Some(b'\\') => {
+                self.bump();
+                let class = self.parse_escape(false)?;
+                Ok(Ast::Class(class))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => Err(self.err("quantifier without target")),
+            Some(b) => {
+                self.bump();
+                Ok(Ast::Class(ByteClass::single(b)))
+            }
+            None => Ok(Ast::Empty),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Ast, RegexError> {
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.bump();
+        if self.peek() == Some(b'?') {
+            // Only the non-capturing group `(?:...)` is supported; look-around and other
+            // `(?...)` constructs are rejected because they break the linear-time bound.
+            let next = self.pattern.get(self.pos + 1).copied();
+            match next {
+                Some(b':') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'=') | Some(b'!') | Some(b'<') => {
+                    return Err(self.err(
+                        "look-around is not supported (linear-time subset only)",
+                    ));
+                }
+                _ => return Err(self.err("unsupported group syntax")),
+            }
+        }
+        let inner = self.parse_alternation()?;
+        if !self.eat(b')') {
+            return Err(self.err("unclosed group"));
+        }
+        Ok(inner)
+    }
+
+    /// Parse a `[...]` character class.
+    fn parse_class(&mut self) -> Result<ByteClass, RegexError> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.bump();
+        let negated = self.eat(b'^');
+        let mut class = ByteClass::empty();
+        let mut first = true;
+        loop {
+            let b = match self.peek() {
+                Some(b) => b,
+                None => return Err(self.err("unclosed character class")),
+            };
+            if b == b']' && !first {
+                self.bump();
+                break;
+            }
+            first = false;
+            let lo = self.parse_class_member()?;
+            // A literal '-' at the end of the class is allowed; a range otherwise.
+            if self.peek() == Some(b'-') && self.pattern.get(self.pos + 1) != Some(&b']') {
+                self.bump();
+                let hi = self.parse_class_member()?;
+                let (lo, hi) = match (lo, hi) {
+                    (ClassMember::Byte(l), ClassMember::Byte(h)) => (l, h),
+                    _ => return Err(self.err("character-class escapes cannot form a range")),
+                };
+                if lo > hi {
+                    return Err(self.err("invalid character range"));
+                }
+                class.push(lo, hi);
+            } else {
+                match lo {
+                    ClassMember::Byte(b) => class.push(b, b),
+                    ClassMember::Class(c) => {
+                        for (l, h) in c.ranges {
+                            class.push(l, h);
+                        }
+                    }
+                }
+            }
+        }
+        class.normalize();
+        if negated {
+            Ok(class.negate())
+        } else {
+            Ok(class)
+        }
+    }
+
+    fn parse_class_member(&mut self) -> Result<ClassMember, RegexError> {
+        let b = self.bump().ok_or_else(|| self.err("unclosed character class"))?;
+        if b == b'\\' {
+            let class = self.parse_escape(true)?;
+            if class.ranges.len() == 1 && class.ranges[0].0 == class.ranges[0].1 {
+                Ok(ClassMember::Byte(class.ranges[0].0))
+            } else {
+                Ok(ClassMember::Class(class))
+            }
+        } else {
+            Ok(ClassMember::Byte(b))
+        }
+    }
+
+    /// Parse the character after a backslash. `in_class` controls which escapes are legal.
+    fn parse_escape(&mut self, in_class: bool) -> Result<ByteClass, RegexError> {
+        let b = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        let class = match b {
+            b'd' => ByteClass::digit(),
+            b'D' => ByteClass::digit().negate(),
+            b'w' => ByteClass::word(),
+            b'W' => ByteClass::word().negate(),
+            b's' => ByteClass::space(),
+            b'S' => ByteClass::space().negate(),
+            b'n' => ByteClass::single(b'\n'),
+            b't' => ByteClass::single(b'\t'),
+            b'r' => ByteClass::single(b'\r'),
+            b'0' => ByteClass::single(0),
+            b'x' => {
+                let hi = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
+                let lo = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
+                let hex = |c: u8| -> Option<u8> {
+                    match c {
+                        b'0'..=b'9' => Some(c - b'0'),
+                        b'a'..=b'f' => Some(c - b'a' + 10),
+                        b'A'..=b'F' => Some(c - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                let (h, l) = (hex(hi), hex(lo));
+                match (h, l) {
+                    (Some(h), Some(l)) => ByteClass::single(h * 16 + l),
+                    _ => return Err(self.err("invalid \\x escape")),
+                }
+            }
+            b'1'..=b'9' => {
+                if in_class {
+                    ByteClass::single(b)
+                } else {
+                    return Err(self.err(
+                        "back-references are not supported (linear-time subset only)",
+                    ));
+                }
+            }
+            // Escaped metacharacters and punctuation map to their literal byte.
+            _ => ByteClass::single(b),
+        };
+        Ok(class)
+    }
+}
+
+enum ClassMember {
+    Byte(u8),
+    Class(ByteClass),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(pattern: &str) -> Ast {
+        parse(pattern).unwrap_or_else(|e| panic!("pattern {pattern:?} failed: {e}"))
+    }
+
+    #[test]
+    fn parses_literal_concat() {
+        match ok("abc") {
+            Ast::Concat(items) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alternation() {
+        match ok("a|b|c") {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repetition_forms() {
+        for (pat, min, max) in [
+            ("a*", 0, None),
+            ("a+", 1, None),
+            ("a?", 0, Some(1)),
+            ("a{3}", 3, Some(3)),
+            ("a{2,}", 2, None),
+            ("a{2,5}", 2, Some(5)),
+        ] {
+            match ok(pat) {
+                Ast::Repeat { min: m, max: x, .. } => {
+                    assert_eq!((m, x), (min, max), "pattern {pat}");
+                }
+                other => panic!("unexpected ast for {pat}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn brace_that_is_not_a_quantifier_is_literal() {
+        // `{}` in format-string-like text must not be a parse error.
+        assert!(parse("value={}").is_ok());
+        assert!(parse("a{,3}").is_ok());
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse("a{2,1}").is_err());
+        assert!(parse("a{9999}").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a**").is_err());
+        assert!(parse("(?P<name>x)").is_err());
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        match ok(r"[\d\-x]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'5'));
+                assert!(c.contains(b'-'));
+                assert!(c.contains(b'x'));
+                assert!(!c.contains(b'y'));
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        match ok("[a-c-]") {
+            Ast::Class(c) => {
+                assert!(c.contains(b'b'));
+                assert!(c.contains(b'-'));
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_in_class() {
+        // `[]]` means a class containing ']' (first position is literal).
+        match ok("[]]") {
+            Ast::Class(c) => assert!(c.contains(b']')),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_escape() {
+        match ok(r"\x41") {
+            Ast::Class(c) => assert!(c.contains(b'A')),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+        assert!(parse(r"\xZZ").is_err());
+    }
+
+    #[test]
+    fn paper_tokenizer_pattern_parses() {
+        // The default tokenization pattern from the paper (Listing 1), minus Python's
+        // named-group syntax, must be accepted.
+        let pat = r#"(?:://)|(?:(?:[\s'";=()\[\]{}?@&<>:\n\t\r,])|(?:[\.](\s+|$))|(?:\\["']))+"#;
+        assert!(parse(pat).is_ok(), "tokenizer pattern should parse");
+    }
+}

@@ -1,0 +1,187 @@
+//! Deduplication of identical token sequences (§4.1.3).
+//!
+//! Log streams contain a large fraction of exact duplicates, and the fraction grows after
+//! common-variable replacement (Fig. 4). Collapsing duplicates while keeping a count both
+//! shrinks the clustering input and lets every downstream statistic (position frequencies,
+//! saturation, grouping accuracy) be computed over weighted unique logs.
+
+use crate::hashenc::{hash_token, EncodedLog};
+use std::collections::HashMap;
+
+/// A unique log produced by deduplication: the encoded log plus the indices of the raw
+/// records that collapsed into it (so parse results can be mapped back to every record).
+#[derive(Debug, Clone)]
+pub struct UniqueLog {
+    /// The deduplicated, encoded log (its `count` equals `record_indices.len()`).
+    pub encoded: EncodedLog,
+    /// Indices (into the original batch) of all records that collapsed into this log.
+    pub record_indices: Vec<usize>,
+}
+
+/// Summary statistics of one deduplication pass, used by the Fig. 4 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Number of raw records processed.
+    pub total_records: u64,
+    /// Number of unique token sequences.
+    pub unique_records: u64,
+}
+
+impl DedupStats {
+    /// Average number of raw records per unique record.
+    pub fn duplication_factor(&self) -> f64 {
+        if self.unique_records == 0 {
+            0.0
+        } else {
+            self.total_records as f64 / self.unique_records as f64
+        }
+    }
+}
+
+/// Streaming deduplicator keyed by the hashed token sequence.
+#[derive(Debug, Default)]
+pub struct Deduplicator {
+    /// Key: (sequence hash, token count) → slot in `unique`.
+    index: HashMap<(u64, usize), usize>,
+    unique: Vec<UniqueLog>,
+    total: u64,
+}
+
+impl Deduplicator {
+    /// Create an empty deduplicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one tokenized record (by index) and return the slot of its unique log.
+    pub fn push<S: AsRef<str>>(&mut self, record_index: usize, tokens: &[S]) -> usize {
+        self.total += 1;
+        let mut seq_hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in tokens {
+            // Order-sensitive combination of per-token hashes.
+            seq_hash = seq_hash
+                .rotate_left(5)
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                ^ hash_token(t.as_ref());
+        }
+        let key = (seq_hash, tokens.len());
+        if let Some(&slot) = self.index.get(&key) {
+            let existing = &mut self.unique[slot];
+            // Guard against (astronomically unlikely) sequence-hash collisions by
+            // verifying the token texts; on mismatch fall through to a new slot.
+            if existing.encoded.tokens.len() == tokens.len()
+                && existing
+                    .encoded
+                    .tokens
+                    .iter()
+                    .zip(tokens.iter())
+                    .all(|(a, b)| a == b.as_ref())
+            {
+                existing.encoded.count += 1;
+                existing.record_indices.push(record_index);
+                return slot;
+            }
+        }
+        let slot = self.unique.len();
+        self.unique.push(UniqueLog {
+            encoded: EncodedLog::from_tokens(tokens),
+            record_indices: vec![record_index],
+        });
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Number of unique logs so far.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Total number of records pushed so far.
+    pub fn total_records(&self) -> u64 {
+        self.total
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DedupStats {
+        DedupStats {
+            total_records: self.total,
+            unique_records: self.unique.len() as u64,
+        }
+    }
+
+    /// Consume the deduplicator and return the unique logs.
+    pub fn into_unique(self) -> Vec<UniqueLog> {
+        self.unique
+    }
+
+    /// Borrow the unique logs accumulated so far.
+    pub fn unique(&self) -> &[UniqueLog] {
+        &self.unique
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_collapse_with_counts() {
+        let mut d = Deduplicator::new();
+        d.push(0, &["user", "login", "ok"]);
+        d.push(1, &["user", "logout", "ok"]);
+        d.push(2, &["user", "login", "ok"]);
+        d.push(3, &["user", "login", "ok"]);
+        assert_eq!(d.unique_len(), 2);
+        assert_eq!(d.total_records(), 4);
+        let unique = d.into_unique();
+        assert_eq!(unique[0].encoded.count, 3);
+        assert_eq!(unique[0].record_indices, vec![0, 2, 3]);
+        assert_eq!(unique[1].encoded.count, 1);
+    }
+
+    #[test]
+    fn same_slot_returned_for_duplicates() {
+        let mut d = Deduplicator::new();
+        let a = d.push(0, &["a", "b"]);
+        let b = d.push(1, &["a", "b"]);
+        let c = d.push(2, &["a", "c"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut d = Deduplicator::new();
+        d.push(0, &["a", "b"]);
+        d.push(1, &["b", "a"]);
+        assert_eq!(d.unique_len(), 2);
+    }
+
+    #[test]
+    fn different_lengths_never_collide() {
+        let mut d = Deduplicator::new();
+        d.push(0, &["a", "b", ""]);
+        d.push(1, &["a", "b"]);
+        assert_eq!(d.unique_len(), 2);
+    }
+
+    #[test]
+    fn stats_and_duplication_factor() {
+        let mut d = Deduplicator::new();
+        for i in 0..10 {
+            d.push(i, &["heartbeat", "ok"]);
+        }
+        d.push(10, &["heartbeat", "failed"]);
+        let stats = d.stats();
+        assert_eq!(stats.total_records, 11);
+        assert_eq!(stats.unique_records, 2);
+        assert!((stats.duplication_factor() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dedup_stats() {
+        let d = Deduplicator::new();
+        assert_eq!(d.stats().duplication_factor(), 0.0);
+        assert_eq!(d.unique_len(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Common variable replacement (§4.1.2).
+//!
+//! Users may supply regex patterns for obvious variables so that clustering does not have
+//! to discover them. The paper ships default patterns per topic for timestamps, IP
+//! addresses, MD5 hashes, UUIDs "and so on"; this module provides the equivalent default
+//! rule set plus the ability to add domain-specific rules.
+//!
+//! Masked spans are replaced by the wildcard token `<*>` so downstream clustering treats
+//! them as already-resolved variable positions.
+
+use crate::WILDCARD;
+use logregex::{Regex, RegexError};
+
+/// One masking rule: a pattern and the replacement it maps to.
+#[derive(Debug, Clone)]
+pub struct MaskRule {
+    /// Human-readable rule name (used in diagnostics and the service UI).
+    pub name: String,
+    regex: Regex,
+    replacement: String,
+}
+
+impl MaskRule {
+    /// Create a rule that replaces every match of `pattern` with `<*>`.
+    pub fn new(name: &str, pattern: &str) -> Result<Self, RegexError> {
+        Self::with_replacement(name, pattern, WILDCARD)
+    }
+
+    /// Create a rule with an explicit replacement string.
+    pub fn with_replacement(
+        name: &str,
+        pattern: &str,
+        replacement: &str,
+    ) -> Result<Self, RegexError> {
+        Ok(MaskRule {
+            name: name.to_string(),
+            regex: Regex::new(pattern)?,
+            replacement: replacement.to_string(),
+        })
+    }
+
+    /// Apply the rule to `text`, returning the masked string.
+    pub fn apply(&self, text: &str) -> String {
+        self.regex.replace_all(text, &self.replacement)
+    }
+
+    /// True when the rule matches anywhere in `text`.
+    pub fn matches(&self, text: &str) -> bool {
+        self.regex.is_match(text)
+    }
+}
+
+/// An ordered list of masking rules applied to each raw log record.
+#[derive(Debug, Clone, Default)]
+pub struct Masker {
+    rules: Vec<MaskRule>,
+}
+
+impl Masker {
+    /// A masker with no rules (masking disabled).
+    pub fn empty() -> Self {
+        Masker { rules: Vec::new() }
+    }
+
+    /// The default rule set: timestamps, IPs, UUIDs, MD5/long-hex ids, and memory sizes.
+    ///
+    /// These mirror the "default patterns for common variables" the paper provides per
+    /// topic. The rules deliberately target unambiguous formats; plain decimal integers
+    /// are *not* masked by default because they are frequently structural (error codes,
+    /// levels) and the clustering stage resolves them on its own.
+    pub fn default_rules() -> Self {
+        let mut masker = Masker::empty();
+        let rules: &[(&str, &str)] = &[
+            (
+                "iso-timestamp",
+                r"\d{4}-\d{2}-\d{2}[ T]\d{2}:\d{2}:\d{2}(\.\d+)?",
+            ),
+            ("clock-time", r"\d{2}:\d{2}:\d{2}(\.\d+)?"),
+            (
+                "ipv4",
+                r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}(/\d{1,2})?(:\d{1,5})?",
+            ),
+            (
+                "uuid",
+                r"[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
+            ),
+            ("md5", r"[0-9a-f]{32}"),
+            ("long-hex", r"0x[0-9a-fA-F]{4,16}"),
+            ("mem-size", r"\d+(\.\d+)?(KB|MB|GB|TB|kb|mb|gb|B)"),
+            ("duration-ms", r"\d+(\.\d+)?(ms|us|ns|sec|secs|seconds)"),
+        ];
+        for (name, pattern) in rules {
+            masker.add_rule(MaskRule::new(name, pattern).expect("default mask rule must compile"));
+        }
+        masker
+    }
+
+    /// Append a rule; rules are applied in insertion order.
+    pub fn add_rule(&mut self, rule: MaskRule) {
+        self.rules.push(rule);
+    }
+
+    /// Convenience: compile and append a rule.
+    pub fn add_pattern(&mut self, name: &str, pattern: &str) -> Result<(), RegexError> {
+        self.add_rule(MaskRule::new(name, pattern)?);
+        Ok(())
+    }
+
+    /// Number of configured rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are configured.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Apply every rule in order and return the masked record.
+    pub fn mask(&self, record: &str) -> String {
+        let mut current = record.to_string();
+        for rule in &self.rules {
+            // Fast path: skip the allocation when the rule does not match.
+            if rule.matches(&current) {
+                current = rule.apply(&current);
+            }
+        }
+        current
+    }
+
+    /// Names of the configured rules, in application order.
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_ipv4_addresses() {
+        let m = Masker::default_rules();
+        let out = m.mask("Failed password for root from 183.62.140.253 port 22 ssh2");
+        assert!(out.contains("<*>"));
+        assert!(!out.contains("183.62.140.253"));
+    }
+
+    #[test]
+    fn masks_iso_timestamp() {
+        let m = Masker::default_rules();
+        let out = m.mask("2025-04-12 08:15:12.123 INFO dfs.DataNode started");
+        assert!(out.starts_with("<*>"));
+        assert!(out.contains("INFO"));
+    }
+
+    #[test]
+    fn masks_uuid_and_hex() {
+        let m = Masker::default_rules();
+        let out = m.mask("request 123e4567-e89b-12d3-a456-426614174000 flag 0xDEADBEEF done");
+        assert_eq!(out, "request <*> flag <*> done");
+    }
+
+    #[test]
+    fn leaves_plain_integers_alone() {
+        let m = Masker::default_rules();
+        let out = m.mask("exit code 3 after 5 retries");
+        assert_eq!(out, "exit code 3 after 5 retries");
+    }
+
+    #[test]
+    fn custom_rule_order_is_respected() {
+        let mut m = Masker::empty();
+        m.add_pattern("block-id", r"blk_-?\d+").unwrap();
+        let out = m.mask("Deleting block blk_-1608999687919862906 file x");
+        assert_eq!(out, "Deleting block <*> file x");
+    }
+
+    #[test]
+    fn custom_replacement_text() {
+        let rule = MaskRule::with_replacement("pid", r"pid=\d+", "pid=<pid>").unwrap();
+        assert_eq!(rule.apply("start pid=4242 ok"), "start pid=<pid> ok");
+    }
+
+    #[test]
+    fn empty_masker_is_identity() {
+        let m = Masker::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.mask("anything 1.2.3.4 here"), "anything 1.2.3.4 here");
+    }
+
+    #[test]
+    fn invalid_pattern_is_rejected() {
+        let mut m = Masker::empty();
+        assert!(m.add_pattern("bad", "(?=lookahead)").is_err());
+    }
+
+    #[test]
+    fn rule_names_in_order() {
+        let m = Masker::default_rules();
+        let names = m.rule_names();
+        assert_eq!(names[0], "iso-timestamp");
+        assert!(names.contains(&"ipv4"));
+        assert_eq!(names.len(), m.len());
+    }
+
+    #[test]
+    fn memory_and_duration_units() {
+        let m = Masker::default_rules();
+        assert_eq!(m.mask("allocated 512MB in 35ms"), "allocated <*> in <*>");
+    }
+}

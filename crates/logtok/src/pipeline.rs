@@ -1,0 +1,223 @@
+//! The end-to-end preprocessing pipeline (§4.1): masking → tokenization → deduplication →
+//! hash encoding. Both the offline trainer and the online matcher run the same pipeline so
+//! that templates and incoming logs live in the same token space.
+
+use crate::dedup::{DedupStats, Deduplicator, UniqueLog};
+use crate::masking::Masker;
+use crate::tokenizer::{Tokenizer, TokenizerConfig};
+
+/// Configuration of the preprocessing pipeline.
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Tokenizer configuration (delimiters, truncation).
+    pub tokenizer: TokenizerConfig,
+    /// Whether the default common-variable masking rules are applied.
+    pub use_default_masks: bool,
+    /// Additional user-supplied masking rules: (name, pattern).
+    pub extra_masks: Vec<(String, String)>,
+    /// Whether duplicate token sequences are collapsed (the paper's §4.1.3 optimisation;
+    /// disabled by the "w/o deduplication & related techs" ablation variant).
+    pub deduplicate: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            tokenizer: TokenizerConfig::default(),
+            use_default_masks: true,
+            extra_masks: Vec::new(),
+            deduplicate: true,
+        }
+    }
+}
+
+/// Output of preprocessing a batch of raw records.
+#[derive(Debug)]
+pub struct PreprocessedBatch {
+    /// Unique (deduplicated) logs. With deduplication disabled there is one entry per
+    /// input record.
+    pub unique_logs: Vec<UniqueLog>,
+    /// For every input record, the index of its unique log in `unique_logs`.
+    pub record_to_unique: Vec<usize>,
+    /// Deduplication statistics for the batch.
+    pub stats: DedupStats,
+}
+
+/// Reusable preprocessor (the configuration is parsed/compiled once).
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    tokenizer: Tokenizer,
+    masker: Masker,
+    deduplicate: bool,
+}
+
+impl Preprocessor {
+    /// Build a preprocessor from `config`.
+    ///
+    /// # Panics
+    /// Panics if one of the `extra_masks` patterns fails to compile; user-facing layers
+    /// (the service crate) validate patterns before constructing the pipeline.
+    pub fn new(config: PreprocessConfig) -> Self {
+        let mut masker = if config.use_default_masks {
+            Masker::default_rules()
+        } else {
+            Masker::empty()
+        };
+        for (name, pattern) in &config.extra_masks {
+            masker
+                .add_pattern(name, pattern)
+                .unwrap_or_else(|e| panic!("mask rule {name:?} failed to compile: {e}"));
+        }
+        Preprocessor {
+            tokenizer: Tokenizer::new(config.tokenizer),
+            masker,
+            deduplicate: config.deduplicate,
+        }
+    }
+
+    /// Preprocessor with all defaults.
+    pub fn default_pipeline() -> Self {
+        Preprocessor::new(PreprocessConfig::default())
+    }
+
+    /// Mask and tokenize a single record, returning owned token strings.
+    pub fn tokens_of(&self, record: &str) -> Vec<String> {
+        let masked = self.masker.mask(record);
+        self.tokenizer
+            .tokenize(&masked)
+            .into_iter()
+            .map(|t| t.to_string())
+            .collect()
+    }
+
+    /// Run the full pipeline over a batch of raw records.
+    pub fn preprocess<S: AsRef<str>>(&self, records: &[S]) -> PreprocessedBatch {
+        let mut dedup = Deduplicator::new();
+        let mut record_to_unique = Vec::with_capacity(records.len());
+        if self.deduplicate {
+            for (idx, record) in records.iter().enumerate() {
+                let tokens = self.tokens_of(record.as_ref());
+                let slot = dedup.push(idx, &tokens);
+                record_to_unique.push(slot);
+            }
+            let stats = dedup.stats();
+            PreprocessedBatch {
+                unique_logs: dedup.into_unique(),
+                record_to_unique,
+                stats,
+            }
+        } else {
+            // One unique log per record: downstream code paths are identical, only the
+            // collapse step is skipped (used by the ablation study, Fig. 9).
+            let mut unique_logs = Vec::with_capacity(records.len());
+            for (idx, record) in records.iter().enumerate() {
+                let tokens = self.tokens_of(record.as_ref());
+                unique_logs.push(UniqueLog {
+                    encoded: crate::hashenc::EncodedLog::from_tokens(&tokens),
+                    record_indices: vec![idx],
+                });
+                record_to_unique.push(idx);
+            }
+            let stats = DedupStats {
+                total_records: records.len() as u64,
+                unique_records: records.len() as u64,
+            };
+            PreprocessedBatch {
+                unique_logs,
+                record_to_unique,
+                stats,
+            }
+        }
+    }
+
+    /// Access to the configured masker (used by the Fig. 4 experiment to compare
+    /// duplication with and without variable replacement).
+    pub fn masker(&self) -> &Masker {
+        &self.masker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<String> {
+        vec![
+            "2025-04-12 08:00:01 Accepted password for alice from 10.0.0.5 port 5022".into(),
+            "2025-04-12 08:00:02 Accepted password for bob from 10.0.0.9 port 5022".into(),
+            "2025-04-12 08:00:03 Accepted password for carol from 10.0.0.7 port 5022".into(),
+            "2025-04-12 08:00:04 Connection closed by 10.0.0.5".into(),
+        ]
+    }
+
+    #[test]
+    fn masking_plus_dedup_collapses_similar_records() {
+        let pre = Preprocessor::default_pipeline();
+        let records = sample_records();
+        let batch = pre.preprocess(&records);
+        // After masking timestamps/IPs the first three records still differ by user name,
+        // so they stay distinct; dedup only collapses exact duplicates.
+        assert_eq!(batch.stats.total_records, 4);
+        assert_eq!(batch.unique_logs.len(), 4);
+        assert_eq!(batch.record_to_unique.len(), 4);
+    }
+
+    #[test]
+    fn exact_duplicates_after_masking_collapse() {
+        let mut config = PreprocessConfig::default();
+        config
+            .extra_masks
+            .push(("user".into(), r"for \w+ from".into()));
+        let pre = Preprocessor::new(config);
+        let records = sample_records();
+        let batch = pre.preprocess(&records);
+        // With user names also masked, the first three records become identical.
+        assert_eq!(batch.unique_logs.len(), 2);
+        assert_eq!(batch.unique_logs[0].encoded.count, 3);
+        assert_eq!(batch.record_to_unique[0], batch.record_to_unique[2]);
+    }
+
+    #[test]
+    fn dedup_disabled_keeps_every_record() {
+        let config = PreprocessConfig {
+            deduplicate: false,
+            ..PreprocessConfig::default()
+        };
+        let pre = Preprocessor::new(config);
+        let records = vec!["same log", "same log", "same log"];
+        let batch = pre.preprocess(&records);
+        assert_eq!(batch.unique_logs.len(), 3);
+        assert_eq!(batch.record_to_unique, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tokens_of_applies_masking() {
+        let pre = Preprocessor::default_pipeline();
+        let tokens = pre.tokens_of("error at 2025-01-01 10:11:12 on 192.168.1.1");
+        assert!(tokens.contains(&"<*>".to_string()));
+        assert!(!tokens.iter().any(|t| t.contains("192.168")));
+    }
+
+    #[test]
+    fn no_default_masks_keeps_raw_values() {
+        let config = PreprocessConfig {
+            use_default_masks: false,
+            ..PreprocessConfig::default()
+        };
+        let pre = Preprocessor::new(config);
+        let tokens = pre.tokens_of("ping 10.1.2.3 ok");
+        assert!(tokens.contains(&"10.1.2.3".to_string()));
+    }
+
+    #[test]
+    fn record_to_unique_is_consistent() {
+        let pre = Preprocessor::default_pipeline();
+        let records = vec!["a b c", "d e f", "a b c", "a b c", "d e f"];
+        let batch = pre.preprocess(&records);
+        for (i, &slot) in batch.record_to_unique.iter().enumerate() {
+            assert!(batch.unique_logs[slot].record_indices.contains(&i));
+        }
+        let total: u64 = batch.unique_logs.iter().map(|u| u.encoded.count).sum();
+        assert_eq!(total, records.len() as u64);
+    }
+}

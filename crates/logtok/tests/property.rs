@@ -1,0 +1,86 @@
+//! Property-based tests for the preprocessing substrate.
+
+use logtok::{hash_token, Deduplicator, Masker, Preprocessor, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenization never produces empty tokens and never produces tokens containing the
+    /// default delimiters.
+    #[test]
+    fn tokens_are_nonempty_and_delimiter_free(record in "[ -~]{0,200}") {
+        let tokenizer = Tokenizer::default_rules();
+        for token in tokenizer.tokenize(&record) {
+            prop_assert!(!token.is_empty());
+            if token == "<*>" {
+                continue;
+            }
+            for forbidden in [' ', '\t', ';', ',', '(', ')', '[', ']', '{', '}', '"'] {
+                prop_assert!(
+                    !token.contains(forbidden),
+                    "token {token:?} contains delimiter {forbidden:?}"
+                );
+            }
+        }
+    }
+
+    /// Every non-delimiter character of the input survives tokenization (tokens partition
+    /// the non-delimiter content).
+    #[test]
+    fn tokenization_preserves_alphanumeric_content(record in "[a-zA-Z0-9 =,:]{0,200}") {
+        let tokenizer = Tokenizer::default_rules();
+        let tokens = tokenizer.tokenize(&record);
+        let mut joined: String = tokens.concat();
+        joined.retain(|c| c.is_ascii_alphanumeric());
+        let mut original = record.clone();
+        original.retain(|c| c.is_ascii_alphanumeric());
+        prop_assert_eq!(joined, original);
+    }
+
+    /// Hashing is deterministic and (practically) injective on small random token sets.
+    #[test]
+    fn hashing_is_deterministic_and_collision_free_on_samples(tokens in prop::collection::hash_set("[a-z0-9_]{1,12}", 1..50)) {
+        let mut hashes = std::collections::HashSet::new();
+        for token in &tokens {
+            prop_assert_eq!(hash_token(token), hash_token(token));
+            hashes.insert(hash_token(token));
+        }
+        prop_assert_eq!(hashes.len(), tokens.len());
+    }
+
+    /// Deduplication conserves record counts: the per-unique counts always sum to the
+    /// number of pushed records, regardless of input distribution.
+    #[test]
+    fn dedup_conserves_counts(records in prop::collection::vec(prop::collection::vec("[a-c]{1,3}", 1..5), 1..60)) {
+        let mut dedup = Deduplicator::new();
+        for (i, tokens) in records.iter().enumerate() {
+            dedup.push(i, tokens);
+        }
+        let stats = dedup.stats();
+        prop_assert_eq!(stats.total_records, records.len() as u64);
+        let sum: u64 = dedup.unique().iter().map(|u| u.encoded.count).sum();
+        prop_assert_eq!(sum, records.len() as u64);
+        prop_assert!(stats.unique_records <= stats.total_records);
+    }
+
+    /// Masking never panics and never grows the number of maskable spans (applying the
+    /// default rules twice is the same as applying them once).
+    #[test]
+    fn masking_is_idempotent(record in "[ -~]{0,160}") {
+        let masker = Masker::default_rules();
+        let once = masker.mask(&record);
+        let twice = masker.mask(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The full preprocessing pipeline maps every record to exactly one unique log.
+    #[test]
+    fn pipeline_assigns_every_record(records in prop::collection::vec("[a-z0-9 .:=]{1,40}", 1..40)) {
+        let pre = Preprocessor::default_pipeline();
+        let owned: Vec<String> = records.clone();
+        let batch = pre.preprocess(&owned);
+        prop_assert_eq!(batch.record_to_unique.len(), records.len());
+        for &slot in &batch.record_to_unique {
+            prop_assert!(slot < batch.unique_logs.len());
+        }
+    }
+}

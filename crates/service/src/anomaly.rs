@@ -1,0 +1,191 @@
+//! Out-of-the-box log anomaly detection built on parsing results (§1, §6): the service
+//! flags (a) templates that newly appear and (b) templates whose record count shifts
+//! abnormally between two time windows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of anomaly detected for a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// The template did not appear in the baseline window.
+    NewTemplate,
+    /// The template's count increased by more than the configured factor.
+    CountSurge,
+    /// The template's count decreased by more than the configured factor (including
+    /// disappearing entirely).
+    CountDrop,
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyReport {
+    /// Template text (presentation form).
+    pub template: String,
+    /// Anomaly kind.
+    pub kind: AnomalyKind,
+    /// Count in the baseline window.
+    pub baseline_count: u64,
+    /// Count in the current window.
+    pub current_count: u64,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyDetector {
+    /// A template whose count grows by more than this factor is a surge (e.g. 3.0 = 3×).
+    pub surge_factor: f64,
+    /// A template whose count shrinks by more than this factor is a drop.
+    pub drop_factor: f64,
+    /// Minimum current count for a surge to be reported (suppresses noise from
+    /// templates with a handful of records).
+    pub min_count: u64,
+}
+
+impl Default for AnomalyDetector {
+    fn default() -> Self {
+        AnomalyDetector {
+            surge_factor: 3.0,
+            drop_factor: 3.0,
+            min_count: 10,
+        }
+    }
+}
+
+impl AnomalyDetector {
+    /// Compare a baseline template distribution against the current one and report
+    /// anomalies, most severe (largest relative change) first.
+    pub fn detect(
+        &self,
+        baseline: &HashMap<String, u64>,
+        current: &HashMap<String, u64>,
+    ) -> Vec<AnomalyReport> {
+        let mut reports = Vec::new();
+        for (template, &current_count) in current {
+            match baseline.get(template) {
+                None => {
+                    if current_count >= self.min_count.min(1) {
+                        reports.push(AnomalyReport {
+                            template: template.clone(),
+                            kind: AnomalyKind::NewTemplate,
+                            baseline_count: 0,
+                            current_count,
+                        });
+                    }
+                }
+                Some(&baseline_count) => {
+                    if current_count >= self.min_count
+                        && current_count as f64 > baseline_count as f64 * self.surge_factor
+                    {
+                        reports.push(AnomalyReport {
+                            template: template.clone(),
+                            kind: AnomalyKind::CountSurge,
+                            baseline_count,
+                            current_count,
+                        });
+                    } else if baseline_count >= self.min_count
+                        && (current_count as f64) < baseline_count as f64 / self.drop_factor
+                    {
+                        reports.push(AnomalyReport {
+                            template: template.clone(),
+                            kind: AnomalyKind::CountDrop,
+                            baseline_count,
+                            current_count,
+                        });
+                    }
+                }
+            }
+        }
+        // Templates that vanished entirely.
+        for (template, &baseline_count) in baseline {
+            if !current.contains_key(template) && baseline_count >= self.min_count {
+                reports.push(AnomalyReport {
+                    template: template.clone(),
+                    kind: AnomalyKind::CountDrop,
+                    baseline_count,
+                    current_count: 0,
+                });
+            }
+        }
+        reports.sort_by(|a, b| {
+            let severity = |r: &AnomalyReport| {
+                let base = r.baseline_count.max(1) as f64;
+                let cur = r.current_count.max(1) as f64;
+                (cur / base).max(base / cur)
+            };
+            severity(b)
+                .partial_cmp(&severity(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.template.cmp(&b.template))
+        });
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn new_template_is_reported() {
+        let detector = AnomalyDetector::default();
+        let baseline = counts(&[("user login *", 100)]);
+        let current = counts(&[("user login *", 110), ("disk failure on *", 5)]);
+        let reports = detector.detect(&baseline, &current);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, AnomalyKind::NewTemplate);
+        assert_eq!(reports[0].template, "disk failure on *");
+    }
+
+    #[test]
+    fn count_surge_is_reported() {
+        let detector = AnomalyDetector::default();
+        let baseline = counts(&[("timeout calling *", 10)]);
+        let current = counts(&[("timeout calling *", 200)]);
+        let reports = detector.detect(&baseline, &current);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, AnomalyKind::CountSurge);
+    }
+
+    #[test]
+    fn count_drop_and_disappearance_are_reported() {
+        let detector = AnomalyDetector::default();
+        let baseline = counts(&[("heartbeat from *", 500), ("request served *", 300)]);
+        let current = counts(&[("heartbeat from *", 20)]);
+        let reports = detector.detect(&baseline, &current);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.kind == AnomalyKind::CountDrop));
+    }
+
+    #[test]
+    fn stable_distribution_reports_nothing() {
+        let detector = AnomalyDetector::default();
+        let baseline = counts(&[("a *", 100), ("b *", 50)]);
+        let current = counts(&[("a *", 120), ("b *", 45)]);
+        assert!(detector.detect(&baseline, &current).is_empty());
+    }
+
+    #[test]
+    fn most_severe_anomaly_comes_first() {
+        let detector = AnomalyDetector::default();
+        let baseline = counts(&[("mild *", 10), ("wild *", 10)]);
+        let current = counts(&[("mild *", 40), ("wild *", 1000)]);
+        let reports = detector.detect(&baseline, &current);
+        assert_eq!(reports[0].template, "wild *");
+    }
+
+    #[test]
+    fn small_counts_are_suppressed() {
+        let detector = AnomalyDetector {
+            min_count: 10,
+            ..AnomalyDetector::default()
+        };
+        let baseline = counts(&[("rare *", 1)]);
+        let current = counts(&[("rare *", 5)]);
+        assert!(detector.detect(&baseline, &current).is_empty());
+    }
+}

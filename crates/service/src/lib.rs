@@ -1,0 +1,39 @@
+//! `service` — the cloud-service layer around the core parser (§3 "System Design", §6
+//! "Industrial Evaluation").
+//!
+//! A **log topic** is the unit of the log service: records are ingested into a topic,
+//! parsed online against the topic's current model, and stored with their template id so
+//! queries can group and filter by template at any precision. Training runs periodically —
+//! triggered by ingested volume or elapsed time — on the recent logs of the topic, and the
+//! refreshed model is merged with the previous one.
+//!
+//! Modules:
+//!
+//! * [`topic`] — the `LogTopic`: ingestion, online matching, training lifecycle.
+//! * [`trigger`] — volume/time training triggers.
+//! * [`store`] — the "internal topic" that persists template metadata snapshots.
+//! * [`query`] — query API with per-query precision thresholds and template grouping.
+//! * [`anomaly`] — out-of-the-box analytics: new-template detection and count-shift
+//!   detection between time windows.
+//! * [`library`] — the user-curated template library used for alert configuration.
+//! * [`compare`] — template-distribution comparison across time ranges.
+
+pub mod anomaly;
+pub mod compare;
+pub mod library;
+pub mod manager;
+pub mod matcher_pool;
+pub mod query;
+pub mod store;
+pub mod topic;
+pub mod trigger;
+
+pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
+pub use compare::{compare_windows, DistributionShift};
+pub use library::TemplateLibrary;
+pub use manager::{FleetStats, ServiceManager, TenantDefaults};
+pub use matcher_pool::{BatchResult, MatcherPool};
+pub use query::{QueryEngine, QueryOptions, TemplateGroup};
+pub use store::ModelStore;
+pub use topic::{IngestOutcome, LogTopic, TopicConfig, TopicStats};
+pub use trigger::{TrainingTrigger, TriggerDecision};

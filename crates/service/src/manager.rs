@@ -1,0 +1,207 @@
+//! Multi-tenant service manager.
+//!
+//! The paper's setting is a cloud log service where many tenants each own many log
+//! topics, every topic gets out-of-the-box parsing, and compute is bounded per topic
+//! (1–5 cores, §3 "Parallel"). `ServiceManager` is the thin multi-tenant layer on top of
+//! [`LogTopic`]: it routes ingestion to the right topic, creates topics on first use with
+//! per-tenant defaults, and exposes fleet-wide statistics of the kind Table 5 reports.
+
+use crate::topic::{IngestOutcome, LogTopic, TopicConfig, TopicStats};
+use std::collections::BTreeMap;
+
+/// Per-tenant configuration defaults applied to newly created topics.
+#[derive(Debug, Clone)]
+pub struct TenantDefaults {
+    /// Train after this many newly ingested records.
+    pub volume_threshold: u64,
+    /// Worker threads per topic (the paper bounds this to 1–5 in production).
+    pub parallelism: usize,
+}
+
+impl Default for TenantDefaults {
+    fn default() -> Self {
+        TenantDefaults {
+            volume_threshold: 50_000,
+            parallelism: 2,
+        }
+    }
+}
+
+/// Fleet-wide statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Number of tenants with at least one topic.
+    pub tenants: usize,
+    /// Number of topics.
+    pub topics: usize,
+    /// Total records ingested across all topics.
+    pub total_records: u64,
+    /// Total bytes ingested across all topics.
+    pub total_bytes: u64,
+    /// Sum of all model sizes, in bytes.
+    pub total_model_bytes: u64,
+}
+
+/// The multi-tenant manager: `(tenant, topic name)` → [`LogTopic`].
+#[derive(Debug, Default)]
+pub struct ServiceManager {
+    topics: BTreeMap<(String, String), LogTopic>,
+    defaults: BTreeMap<String, TenantDefaults>,
+}
+
+impl ServiceManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set per-tenant defaults used when the tenant's topics are auto-created.
+    pub fn set_tenant_defaults(&mut self, tenant: &str, defaults: TenantDefaults) {
+        self.defaults.insert(tenant.to_string(), defaults);
+    }
+
+    /// Number of topics across all tenants.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Names of a tenant's topics.
+    pub fn topics_of(&self, tenant: &str) -> Vec<&str> {
+        self.topics
+            .keys()
+            .filter(|(t, _)| t == tenant)
+            .map(|(_, name)| name.as_str())
+            .collect()
+    }
+
+    /// Get (or create) a tenant's topic.
+    pub fn topic_mut(&mut self, tenant: &str, topic: &str) -> &mut LogTopic {
+        let key = (tenant.to_string(), topic.to_string());
+        if !self.topics.contains_key(&key) {
+            let defaults = self.defaults.get(tenant).cloned().unwrap_or_default();
+            let mut config = TopicConfig::new(&format!("{tenant}/{topic}"))
+                .with_volume_threshold(defaults.volume_threshold);
+            config.train.parallelism = defaults.parallelism;
+            self.topics.insert(key.clone(), LogTopic::new(config));
+        }
+        self.topics.get_mut(&key).expect("topic just ensured")
+    }
+
+    /// Borrow an existing topic.
+    pub fn topic(&self, tenant: &str, topic: &str) -> Option<&LogTopic> {
+        self.topics.get(&(tenant.to_string(), topic.to_string()))
+    }
+
+    /// Ingest a batch into a tenant's topic (creating it on first use).
+    pub fn ingest(&mut self, tenant: &str, topic: &str, batch: &[String]) -> IngestOutcome {
+        self.topic_mut(tenant, topic).ingest(batch)
+    }
+
+    /// Per-topic statistics, keyed by `(tenant, topic)`.
+    pub fn topic_stats(&self) -> Vec<((String, String), TopicStats)> {
+        self.topics
+            .iter()
+            .map(|(key, topic)| (key.clone(), topic.stats()))
+            .collect()
+    }
+
+    /// Fleet-wide aggregate statistics.
+    pub fn fleet_stats(&self) -> FleetStats {
+        let mut tenants: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut total_records = 0u64;
+        let mut total_bytes = 0u64;
+        let mut total_model_bytes = 0u64;
+        for ((tenant, _), topic) in &self.topics {
+            tenants.insert(tenant.as_str());
+            let stats = topic.stats();
+            total_records += stats.total_records;
+            total_bytes += stats.total_bytes;
+            total_model_bytes += stats.model_size_bytes;
+        }
+        FleetStats {
+            tenants: tenants.len(),
+            topics: self.topics.len(),
+            total_records,
+            total_bytes,
+            total_model_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(prefix: &str, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("{prefix} event {} completed with status {}", i, i % 4))
+            .collect()
+    }
+
+    #[test]
+    fn topics_are_created_on_first_ingest() {
+        let mut manager = ServiceManager::new();
+        assert_eq!(manager.topic_count(), 0);
+        manager.ingest("tenant-a", "web", &batch("web", 200));
+        manager.ingest("tenant-a", "db", &batch("db", 200));
+        manager.ingest("tenant-b", "web", &batch("web", 200));
+        assert_eq!(manager.topic_count(), 3);
+        assert_eq!(manager.topics_of("tenant-a"), vec!["db", "web"]);
+    }
+
+    #[test]
+    fn topics_are_isolated_between_tenants() {
+        let mut manager = ServiceManager::new();
+        manager.ingest("a", "logs", &batch("alpha", 300));
+        manager.ingest("b", "logs", &batch("beta", 100));
+        let a = manager.topic("a", "logs").unwrap().stats();
+        let b = manager.topic("b", "logs").unwrap().stats();
+        assert_eq!(a.total_records, 300);
+        assert_eq!(b.total_records, 100);
+        // Each tenant's model is trained only on its own stream.
+        assert!(manager
+            .topic("a", "logs")
+            .unwrap()
+            .model()
+            .nodes
+            .iter()
+            .all(|n| !n.template_text().contains("beta")));
+    }
+
+    #[test]
+    fn tenant_defaults_apply_to_new_topics() {
+        let mut manager = ServiceManager::new();
+        manager.set_tenant_defaults(
+            "big-tenant",
+            TenantDefaults {
+                volume_threshold: 10,
+                parallelism: 1,
+            },
+        );
+        // The low volume threshold makes the second small batch trigger retraining.
+        manager.ingest("big-tenant", "app", &batch("app", 50));
+        let outcome = manager.ingest("big-tenant", "app", &batch("app", 50));
+        assert!(outcome.trained);
+    }
+
+    #[test]
+    fn fleet_stats_aggregate_all_topics() {
+        let mut manager = ServiceManager::new();
+        manager.ingest("a", "x", &batch("x", 100));
+        manager.ingest("a", "y", &batch("y", 100));
+        manager.ingest("b", "z", &batch("z", 100));
+        let fleet = manager.fleet_stats();
+        assert_eq!(fleet.tenants, 2);
+        assert_eq!(fleet.topics, 3);
+        assert_eq!(fleet.total_records, 300);
+        assert!(fleet.total_bytes > 0);
+        assert!(fleet.total_model_bytes > 0);
+        assert_eq!(manager.topic_stats().len(), 3);
+    }
+
+    #[test]
+    fn missing_topic_lookup_returns_none() {
+        let manager = ServiceManager::new();
+        assert!(manager.topic("nobody", "nothing").is_none());
+    }
+}

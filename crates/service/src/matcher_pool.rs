@@ -1,0 +1,205 @@
+//! Online matching worker pool (§3 "Online Matching" / "Parallel").
+//!
+//! In production, template ids must be computed together with the traditional text
+//! indices before a record can be written to the append-only topic storage, so matching
+//! sits on the ingestion latency path. The system therefore distributes matching across
+//! multiple processing queues: independent worker threads each own a handle to the shared
+//! (read-only) model and drain a work queue of log batches.
+//!
+//! This module implements that pool with `crossbeam` channels. It is used by the
+//! industrial-style experiments and exercised directly by the service tests; `LogTopic`
+//! uses the simpler scoped-thread path for synchronous ingestion.
+
+use bytebrain::matcher::match_record;
+use bytebrain::{MatchResult, ParserModel};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use logtok::Preprocessor;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A batch of records submitted to the pool, tagged so results can be re-associated.
+#[derive(Debug)]
+struct Job {
+    batch_id: u64,
+    records: Vec<String>,
+}
+
+/// The result of one batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Identifier returned by [`MatcherPool::submit`].
+    pub batch_id: u64,
+    /// One match result per submitted record, in submission order.
+    pub results: Vec<MatchResult>,
+}
+
+/// A pool of matcher workers sharing one immutable model snapshot.
+///
+/// The pool owns a *snapshot*: swapping in a newly trained model is done by building a new
+/// pool (models are cheap to share via `Arc`), which mirrors how the production system
+/// rolls models forward without locking the ingestion path.
+#[derive(Debug)]
+pub struct MatcherPool {
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<BatchResult>,
+    workers: Vec<JoinHandle<()>>,
+    next_batch: u64,
+}
+
+impl MatcherPool {
+    /// Spawn `workers` matcher threads over a shared model snapshot.
+    pub fn new(model: Arc<ParserModel>, preprocessor: Arc<Preprocessor>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (result_tx, result_rx) = unbounded::<BatchResult>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx: Receiver<Job> = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let model = Arc::clone(&model);
+            let preprocessor = Arc::clone(&preprocessor);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let results = job
+                        .records
+                        .iter()
+                        .map(|r| match_record(&model, &preprocessor, r))
+                        .collect();
+                    // The receiver may already be gone during shutdown; that is fine.
+                    let _ = result_tx.send(BatchResult {
+                        batch_id: job.batch_id,
+                        results,
+                    });
+                }
+            }));
+        }
+        MatcherPool {
+            job_tx: Some(job_tx),
+            result_rx,
+            workers: handles,
+            next_batch: 0,
+        }
+    }
+
+    /// Submit a batch for matching; returns the batch id used to identify its result.
+    pub fn submit(&mut self, records: Vec<String>) -> u64 {
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        self.job_tx
+            .as_ref()
+            .expect("pool is running")
+            .send(Job { batch_id, records })
+            .expect("workers are alive");
+        batch_id
+    }
+
+    /// Block until the next finished batch is available.
+    pub fn recv(&self) -> Option<BatchResult> {
+        self.result_rx.recv().ok()
+    }
+
+    /// Number of batches submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_batch
+    }
+
+    /// Submit all `batches` and collect every result, returned in submission order.
+    pub fn match_all(&mut self, batches: Vec<Vec<String>>) -> Vec<BatchResult> {
+        let count = batches.len();
+        for batch in batches {
+            self.submit(batch);
+        }
+        let mut out: Vec<BatchResult> = Vec::with_capacity(count);
+        for _ in 0..count {
+            if let Some(result) = self.recv() {
+                out.push(result);
+            }
+        }
+        out.sort_by_key(|b| b.batch_id);
+        out
+    }
+
+    /// Shut the pool down, waiting for workers to drain their queues.
+    pub fn shutdown(mut self) {
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MatcherPool {
+    fn drop(&mut self) {
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytebrain::train::train;
+    use bytebrain::TrainConfig;
+
+    fn model_and_preprocessor() -> (Arc<ParserModel>, Arc<Preprocessor>) {
+        let records: Vec<String> = (0..100)
+            .map(|i| format!("request {} routed to shard {} in {}ms", i, i % 8, i % 90))
+            .collect();
+        let config = TrainConfig::default();
+        let model = train(&records, &config).model;
+        (
+            Arc::new(model),
+            Arc::new(Preprocessor::new(config.preprocess.clone())),
+        )
+    }
+
+    #[test]
+    fn pool_matches_batches_in_parallel() {
+        let (model, pre) = model_and_preprocessor();
+        let mut pool = MatcherPool::new(model, pre, 4);
+        let batches: Vec<Vec<String>> = (0..8)
+            .map(|b| {
+                (0..50)
+                    .map(|i| format!("request {} routed to shard {} in {}ms", b * 100 + i, i % 8, i))
+                    .collect()
+            })
+            .collect();
+        let results = pool.match_all(batches);
+        assert_eq!(results.len(), 8);
+        for (expected_id, batch) in results.iter().enumerate() {
+            assert_eq!(batch.batch_id, expected_id as u64);
+            assert_eq!(batch.results.len(), 50);
+            assert!(batch.results.iter().all(|r| r.is_matched()));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn unmatched_records_are_reported_not_dropped() {
+        let (model, pre) = model_and_preprocessor();
+        let mut pool = MatcherPool::new(model, pre, 2);
+        pool.submit(vec!["completely novel kernel message".to_string()]);
+        let result = pool.recv().expect("one batch");
+        assert_eq!(result.results.len(), 1);
+        assert!(!result.results[0].is_matched());
+    }
+
+    #[test]
+    fn pool_with_single_worker_still_works() {
+        let (model, pre) = model_and_preprocessor();
+        let mut pool = MatcherPool::new(model, pre, 1);
+        let id = pool.submit(vec!["request 5 routed to shard 1 in 3ms".to_string()]);
+        let result = pool.recv().unwrap();
+        assert_eq!(result.batch_id, id);
+        assert_eq!(pool.submitted(), 1);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let (model, pre) = model_and_preprocessor();
+        let pool = MatcherPool::new(model, pre, 3);
+        drop(pool); // must not hang or panic
+    }
+}

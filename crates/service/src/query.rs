@@ -1,0 +1,188 @@
+//! The query API (§3 "Query", §6): group stored records by template at a per-query
+//! precision threshold, without reprocessing any log.
+
+use crate::topic::LogTopic;
+use bytebrain::query::{merge_consecutive_wildcards, resolve_with_threshold};
+use bytebrain::NodeId;
+use std::collections::HashMap;
+
+/// Options controlling one query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Saturation threshold: higher values request more precise templates. This is the
+    /// value the production UI exposes as an interactive slider.
+    pub saturation_threshold: f64,
+    /// Maximum number of template groups to return (largest first); `usize::MAX` for all.
+    pub limit: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            saturation_threshold: 0.9,
+            limit: usize::MAX,
+        }
+    }
+}
+
+/// One group of query results: a template and the records it covers.
+#[derive(Debug, Clone)]
+pub struct TemplateGroup {
+    /// Resolved template node.
+    pub node: NodeId,
+    /// Presentation template text (consecutive wildcards merged, §7).
+    pub template: String,
+    /// Saturation of the resolved node.
+    pub saturation: f64,
+    /// Indices (into the topic's record store) of the member records.
+    pub record_indices: Vec<usize>,
+}
+
+impl TemplateGroup {
+    /// Number of member records.
+    pub fn count(&self) -> usize {
+        self.record_indices.len()
+    }
+}
+
+/// Query engine over a topic's stored records.
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    topic: &'a LogTopic,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Create a query engine borrowing the topic.
+    pub fn new(topic: &'a LogTopic) -> Self {
+        QueryEngine { topic }
+    }
+
+    /// Group all stored records by template at the requested precision.
+    pub fn group_by_template(&self, options: QueryOptions) -> Vec<TemplateGroup> {
+        let model = self.topic.model();
+        // Presentation-level grouping (§7): after resolving each record's node at the
+        // requested threshold, groups whose *merged-wildcard* text coincides are combined
+        // so variable-length variants present as one template.
+        let mut groups: HashMap<String, (NodeId, Vec<usize>)> = HashMap::new();
+        for (idx, stored) in self.topic.records().iter().enumerate() {
+            let Some(node) = stored.template else {
+                continue;
+            };
+            let resolved = resolve_with_threshold(model, node, options.saturation_threshold);
+            let text = merge_consecutive_wildcards(&model.nodes[resolved.0].template_text());
+            let entry = groups.entry(text).or_insert_with(|| (resolved, Vec::new()));
+            entry.1.push(idx);
+        }
+        let mut out: Vec<TemplateGroup> = groups
+            .into_iter()
+            .map(|(template, (node, record_indices))| TemplateGroup {
+                node,
+                saturation: model.nodes[node.0].saturation,
+                template,
+                record_indices,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count().cmp(&a.count()).then(a.template.cmp(&b.template)));
+        out.truncate(options.limit);
+        out
+    }
+
+    /// Distribution of record counts per template at the requested precision, keyed by
+    /// template text. Used by the comparison and anomaly-detection features.
+    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
+        self.group_by_template(QueryOptions {
+            saturation_threshold: threshold,
+            limit: usize::MAX,
+        })
+        .into_iter()
+        .map(|g| {
+            let count = g.count() as u64;
+            (g.template, count)
+        })
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::{LogTopic, TopicConfig};
+
+    fn topic_with_data() -> LogTopic {
+        let mut topic = LogTopic::new(TopicConfig::new("query-test"));
+        let mut batch = Vec::new();
+        for i in 0..120 {
+            batch.push(format!("user u{} logged in from 10.0.0.{}", i % 10, i % 20));
+            batch.push(format!("user u{} logged out after {} minutes", i % 10, i % 50));
+            if i % 4 == 0 {
+                batch.push(format!("payment of {} EUR processed for order {}", i, 1000 + i));
+            }
+        }
+        topic.ingest(&batch);
+        topic
+    }
+
+    #[test]
+    fn grouping_covers_all_assigned_records() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let groups = engine.group_by_template(QueryOptions::default());
+        let covered: usize = groups.iter().map(|g| g.count()).sum();
+        assert_eq!(covered, topic.records().len());
+        assert!(!groups.is_empty());
+    }
+
+    #[test]
+    fn groups_are_sorted_by_size() {
+        let topic = topic_with_data();
+        let groups = QueryEngine::new(&topic).group_by_template(QueryOptions::default());
+        for pair in groups.windows(2) {
+            assert!(pair[0].count() >= pair[1].count());
+        }
+    }
+
+    #[test]
+    fn lower_threshold_gives_coarser_grouping() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let fine = engine.group_by_template(QueryOptions {
+            saturation_threshold: 0.95,
+            limit: usize::MAX,
+        });
+        let coarse = engine.group_by_template(QueryOptions {
+            saturation_threshold: 0.05,
+            limit: usize::MAX,
+        });
+        assert!(coarse.len() <= fine.len());
+    }
+
+    #[test]
+    fn limit_truncates_output() {
+        let topic = topic_with_data();
+        let groups = QueryEngine::new(&topic).group_by_template(QueryOptions {
+            saturation_threshold: 0.9,
+            limit: 2,
+        });
+        assert!(groups.len() <= 2);
+    }
+
+    #[test]
+    fn distribution_counts_match_groups() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let distribution = engine.template_distribution(0.9);
+        let total: u64 = distribution.values().sum();
+        assert_eq!(total, topic.records().len() as u64);
+    }
+
+    #[test]
+    fn templates_contain_wildcards_for_variables() {
+        let topic = topic_with_data();
+        let groups = QueryEngine::new(&topic).group_by_template(QueryOptions::default());
+        let login_group = groups
+            .iter()
+            .find(|g| g.template.contains("logged in"))
+            .expect("login template exists");
+        assert!(login_group.template.contains('*'));
+    }
+}

@@ -1,0 +1,173 @@
+//! The "internal topic" (§3): a per-topic store of model snapshots. Each node persists its
+//! template text, saturation score and parent/child relationships, which is exactly what
+//! online matching and query-time threshold navigation need — no external database.
+
+use bytebrain::ParserModel;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Metadata describing one persisted model snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Monotonically increasing snapshot version (1 = first training run).
+    pub version: u64,
+    /// Number of templates (tree nodes) in the snapshot.
+    pub num_templates: usize,
+    /// Approximate serialized size in bytes.
+    pub size_bytes: u64,
+    /// Number of raw records the model was trained on.
+    pub trained_records: u64,
+}
+
+/// In-memory model store with versioned snapshots (the production system writes the same
+/// payload to an internal log topic; an in-process store exercises the identical code
+/// path at laptop scale).
+#[derive(Debug, Default)]
+pub struct ModelStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    snapshots: HashMap<u64, (SnapshotInfo, String)>,
+    latest: u64,
+}
+
+impl ModelStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persist `model` as the next snapshot version and return its metadata.
+    pub fn save(&self, model: &ParserModel) -> SnapshotInfo {
+        let payload = serde_json::to_string(model).expect("model serializes to JSON");
+        let mut inner = self.inner.write();
+        let version = inner.latest + 1;
+        let info = SnapshotInfo {
+            version,
+            num_templates: model.len(),
+            size_bytes: payload.len() as u64,
+            trained_records: model.trained_records(),
+        };
+        inner.snapshots.insert(version, (info.clone(), payload));
+        inner.latest = version;
+        info
+    }
+
+    /// Load a snapshot by version.
+    pub fn load(&self, version: u64) -> Option<ParserModel> {
+        let inner = self.inner.read();
+        inner
+            .snapshots
+            .get(&version)
+            .map(|(_, payload)| serde_json::from_str(payload).expect("stored model deserializes"))
+    }
+
+    /// Load the most recent snapshot.
+    pub fn load_latest(&self) -> Option<ParserModel> {
+        let version = self.inner.read().latest;
+        if version == 0 {
+            None
+        } else {
+            self.load(version)
+        }
+    }
+
+    /// Metadata of the most recent snapshot.
+    pub fn latest_info(&self) -> Option<SnapshotInfo> {
+        let inner = self.inner.read();
+        inner.snapshots.get(&inner.latest).map(|(info, _)| info.clone())
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.inner.read().snapshots.len()
+    }
+
+    /// True when no snapshot has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all snapshots older than the most recent `keep` versions (retention policy —
+    /// storage efficiency is one of the paper's stated goals).
+    pub fn prune(&self, keep: usize) {
+        let mut inner = self.inner.write();
+        let latest = inner.latest;
+        inner
+            .snapshots
+            .retain(|&version, _| latest.saturating_sub(version) < keep as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytebrain::{train::train, TrainConfig};
+
+    fn trained_model() -> ParserModel {
+        let records: Vec<String> = (0..30)
+            .map(|i| format!("request {} served in {}ms", i, i * 2))
+            .collect();
+        train(&records, &TrainConfig::default()).model
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let store = ModelStore::new();
+        let model = trained_model();
+        let info = store.save(&model);
+        assert_eq!(info.version, 1);
+        assert_eq!(info.num_templates, model.len());
+        let loaded = store.load(1).unwrap();
+        assert_eq!(loaded.len(), model.len());
+        let texts_a: Vec<String> = model.nodes.iter().map(|n| n.template_text()).collect();
+        let texts_b: Vec<String> = loaded.nodes.iter().map(|n| n.template_text()).collect();
+        assert_eq!(texts_a, texts_b);
+    }
+
+    #[test]
+    fn versions_increase_and_latest_wins() {
+        let store = ModelStore::new();
+        let model = trained_model();
+        assert!(store.load_latest().is_none());
+        let a = store.save(&model);
+        let b = store.save(&model);
+        assert_eq!(a.version, 1);
+        assert_eq!(b.version, 2);
+        assert_eq!(store.latest_info().unwrap().version, 2);
+        assert!(store.load_latest().is_some());
+    }
+
+    #[test]
+    fn prune_keeps_recent_snapshots() {
+        let store = ModelStore::new();
+        let model = trained_model();
+        for _ in 0..5 {
+            store.save(&model);
+        }
+        assert_eq!(store.len(), 5);
+        store.prune(2);
+        assert_eq!(store.len(), 2);
+        assert!(store.load(5).is_some());
+        assert!(store.load(4).is_some());
+        assert!(store.load(1).is_none());
+    }
+
+    #[test]
+    fn missing_version_returns_none() {
+        let store = ModelStore::new();
+        assert!(store.load(7).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn snapshot_size_is_reported() {
+        let store = ModelStore::new();
+        let info = store.save(&trained_model());
+        assert!(info.size_bytes > 100);
+        assert!(info.trained_records >= 30);
+    }
+}

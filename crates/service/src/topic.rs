@@ -1,0 +1,376 @@
+//! The log topic: the unit of ingestion, parsing, storage and analysis (§3).
+//!
+//! Records ingested into a topic are matched online against the topic's current model (so
+//! their template id is available to the indexing pipeline before the record is written to
+//! the append-only store), buffered for the next training cycle, and retained with their
+//! most-precise template id for querying. Training is triggered by volume or time and the
+//! refreshed model is merged with the previous one.
+
+use crate::store::ModelStore;
+use crate::trigger::{TrainingTrigger, TriggerDecision};
+use bytebrain::matcher::match_batch;
+use bytebrain::merge::merge_models;
+use bytebrain::train::train;
+use bytebrain::{NodeId, ParserModel, TrainConfig};
+use logtok::Preprocessor;
+use std::time::{Duration, Instant};
+
+/// Configuration of a log topic.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Topic name (used in reports and the model store).
+    pub name: String,
+    /// Parser training configuration.
+    pub train: TrainConfig,
+    /// Train after this many newly ingested records.
+    pub volume_threshold: u64,
+    /// Train after this much time since the last training run.
+    pub interval: Duration,
+    /// Maximum number of recent records buffered for the next training cycle (older
+    /// records are dropped from the buffer — they remain in the topic store).
+    pub training_buffer: usize,
+    /// Template-similarity threshold used when merging a new model into the old one.
+    pub merge_threshold: f64,
+}
+
+impl TopicConfig {
+    /// A topic configuration with production-flavoured defaults.
+    pub fn new(name: &str) -> Self {
+        TopicConfig {
+            name: name.to_string(),
+            train: TrainConfig::default(),
+            volume_threshold: 50_000,
+            interval: Duration::from_secs(600),
+            training_buffer: 500_000,
+            merge_threshold: 0.6,
+        }
+    }
+
+    /// Override the volume threshold.
+    pub fn with_volume_threshold(mut self, threshold: u64) -> Self {
+        self.volume_threshold = threshold;
+        self
+    }
+}
+
+/// One record retained by the topic: the raw text plus the most precise template id the
+/// online matcher assigned (None until the first model exists).
+#[derive(Debug, Clone)]
+pub struct StoredRecord {
+    /// The raw log text.
+    pub record: String,
+    /// Most precise matched template, when a model existed at ingest time.
+    pub template: Option<NodeId>,
+}
+
+/// Outcome of one `ingest` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Records matched to an existing template.
+    pub matched: usize,
+    /// Records that matched no template (inserted as temporary templates).
+    pub unmatched: usize,
+    /// Whether this ingest call triggered a training run.
+    pub trained: bool,
+}
+
+/// Aggregate statistics of a topic (reported in the Table 5 reproduction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopicStats {
+    /// Total records ingested.
+    pub total_records: u64,
+    /// Total bytes ingested.
+    pub total_bytes: u64,
+    /// Number of templates in the current model.
+    pub templates: usize,
+    /// Approximate model size in bytes.
+    pub model_size_bytes: u64,
+    /// Number of completed training runs.
+    pub training_runs: u64,
+    /// Wall-clock time of the most recent training run, in seconds.
+    pub last_training_seconds: f64,
+}
+
+/// A log topic with online matching and periodic training.
+#[derive(Debug)]
+pub struct LogTopic {
+    config: TopicConfig,
+    preprocessor: Preprocessor,
+    model: ParserModel,
+    store: ModelStore,
+    trigger: TrainingTrigger,
+    training_buffer: Vec<String>,
+    records: Vec<StoredRecord>,
+    total_bytes: u64,
+    training_runs: u64,
+    last_training_seconds: f64,
+}
+
+impl LogTopic {
+    /// Create an empty topic.
+    pub fn new(config: TopicConfig) -> Self {
+        let preprocessor = Preprocessor::new(config.train.preprocess.clone());
+        let trigger = TrainingTrigger::new(config.volume_threshold, config.interval);
+        LogTopic {
+            config,
+            preprocessor,
+            model: ParserModel::new(),
+            store: ModelStore::new(),
+            trigger,
+            training_buffer: Vec::new(),
+            records: Vec::new(),
+            total_bytes: 0,
+            training_runs: 0,
+            last_training_seconds: 0.0,
+        }
+    }
+
+    /// The topic name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &ParserModel {
+        &self.model
+    }
+
+    /// The stored records (raw text + matched template id).
+    pub fn records(&self) -> &[StoredRecord] {
+        &self.records
+    }
+
+    /// The model snapshot store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Ingest a batch of records: match them online, buffer them for training, and run a
+    /// training cycle if the trigger fires.
+    pub fn ingest(&mut self, batch: &[String]) -> IngestOutcome {
+        let mut outcome = IngestOutcome::default();
+        // Online matching against the current model (template ids must be available
+        // before the records are written to storage).
+        let matches: Vec<Option<NodeId>> = if self.model.is_empty() {
+            vec![None; batch.len()]
+        } else {
+            match_batch(
+                &self.model,
+                &self.preprocessor,
+                batch,
+                self.config.train.parallelism,
+            )
+            .into_iter()
+            .map(|m| m.node)
+            .collect()
+        };
+        for (record, matched) in batch.iter().zip(&matches) {
+            let template = match matched {
+                Some(id) => {
+                    outcome.matched += 1;
+                    Some(*id)
+                }
+                None => {
+                    outcome.unmatched += 1;
+                    // Rare/unseen logs become temporary templates so identical records
+                    // match until the next training cycle absorbs them (§3).
+                    if self.model.is_empty() {
+                        None
+                    } else {
+                        let tokens = self.preprocessor.tokens_of(record);
+                        Some(self.model.insert_temporary(&tokens))
+                    }
+                }
+            };
+            self.total_bytes += record.len() as u64 + 1;
+            self.records.push(StoredRecord {
+                record: record.clone(),
+                template,
+            });
+            if self.training_buffer.len() < self.config.training_buffer {
+                self.training_buffer.push(record.clone());
+            }
+        }
+        self.trigger.observe(batch.len() as u64);
+        if self.trigger.decide(Instant::now()).should_train() {
+            self.run_training();
+            outcome.trained = true;
+        }
+        outcome
+    }
+
+    /// Whether the trigger would start training now (exposed for tests and schedulers).
+    pub fn pending_trigger(&self) -> TriggerDecision {
+        self.trigger.decide(Instant::now())
+    }
+
+    /// Force a training cycle on the buffered records.
+    pub fn run_training(&mut self) {
+        if self.training_buffer.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let outcome = train(&self.training_buffer, &self.config.train);
+        let new_model = outcome.model;
+        self.model = if self.model.is_empty() {
+            new_model
+        } else {
+            merge_models(&self.model, &new_model, self.config.merge_threshold)
+        };
+        self.last_training_seconds = started.elapsed().as_secs_f64();
+        self.training_runs += 1;
+        self.trigger.mark_trained(Instant::now());
+        self.store.save(&self.model);
+        self.training_buffer.clear();
+        // Re-match every stored record: node ids refer to the model that existed at ingest
+        // time, and training (with merging) renumbers the tree. The production system
+        // stores template ids alongside a model version and remaps lazily at query time;
+        // re-matching eagerly exercises the same code path at laptop scale.
+        self.rematch_all();
+    }
+
+    /// Re-assign template ids for every stored record against the current model.
+    fn rematch_all(&mut self) {
+        if self.records.is_empty() || self.model.is_empty() {
+            return;
+        }
+        let texts: Vec<String> = self.records.iter().map(|r| r.record.clone()).collect();
+        let results = match_batch(
+            &self.model,
+            &self.preprocessor,
+            &texts,
+            self.config.train.parallelism,
+        );
+        for (stored, result) in self.records.iter_mut().zip(results) {
+            stored.template = result.node;
+        }
+    }
+
+    /// Current topic statistics.
+    pub fn stats(&self) -> TopicStats {
+        TopicStats {
+            total_records: self.records.len() as u64,
+            total_bytes: self.total_bytes,
+            templates: self.model.len(),
+            model_size_bytes: self.model.approx_size_bytes(),
+            training_runs: self.training_runs,
+            last_training_seconds: self.last_training_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web_access_batch(offset: usize, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                let code = [200, 200, 200, 404, 500][(offset + i) % 5];
+                format!(
+                    "GET /api/v1/items/{} HTTP/1.1 status {} bytes {} latency {}ms",
+                    (offset + i) % 50,
+                    code,
+                    100 + (offset + i) % 900,
+                    1 + (offset + i) % 40
+                )
+            })
+            .collect()
+    }
+
+    fn small_topic(volume_threshold: u64) -> LogTopic {
+        LogTopic::new(TopicConfig::new("web-access").with_volume_threshold(volume_threshold))
+    }
+
+    #[test]
+    fn first_ingest_triggers_initial_training() {
+        let mut topic = small_topic(1_000_000);
+        let outcome = topic.ingest(&web_access_batch(0, 200));
+        assert!(outcome.trained, "initial training must run on the first batch");
+        assert!(topic.stats().templates > 0);
+        assert_eq!(topic.stats().training_runs, 1);
+    }
+
+    #[test]
+    fn records_receive_template_ids_after_training() {
+        let mut topic = small_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 300));
+        // After initial training, previously-unassigned records are backfilled.
+        let assigned = topic.records().iter().filter(|r| r.template.is_some()).count();
+        assert_eq!(assigned, topic.records().len());
+    }
+
+    #[test]
+    fn subsequent_batches_match_online() {
+        let mut topic = small_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 300));
+        let outcome = topic.ingest(&web_access_batch(300, 100));
+        assert_eq!(outcome.matched + outcome.unmatched, 100);
+        assert!(
+            outcome.matched > 90,
+            "most records of the same shape should match online: {outcome:?}"
+        );
+        assert!(!outcome.trained);
+    }
+
+    #[test]
+    fn volume_threshold_triggers_retraining() {
+        let mut topic = small_topic(500);
+        topic.ingest(&web_access_batch(0, 300)); // initial training
+        let runs_before = topic.stats().training_runs;
+        topic.ingest(&web_access_batch(300, 300));
+        topic.ingest(&web_access_batch(600, 300));
+        assert!(topic.stats().training_runs > runs_before);
+    }
+
+    #[test]
+    fn unmatched_records_become_temporary_templates() {
+        let mut topic = small_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 200));
+        let before_templates = topic.model().len();
+        let novel = vec!["kernel oops at address ffffffffc0401234 cpu 3".to_string()];
+        let outcome = topic.ingest(&novel);
+        assert_eq!(outcome.unmatched, 1);
+        assert_eq!(topic.model().len(), before_templates + 1);
+        assert_eq!(topic.model().temporary_count(), 1);
+        // The identical record now matches.
+        let outcome2 = topic.ingest(&novel);
+        assert_eq!(outcome2.matched, 1);
+    }
+
+    #[test]
+    fn retraining_absorbs_temporary_templates() {
+        let mut topic = small_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 200));
+        let novel: Vec<String> = (0..20)
+            .map(|i| format!("cache eviction of key session:{i} after 300s"))
+            .collect();
+        topic.ingest(&novel);
+        assert!(topic.model().temporary_count() > 0);
+        topic.run_training();
+        assert_eq!(topic.model().temporary_count(), 0);
+        // And the new pattern is covered by a real template now.
+        let outcome = topic.ingest(&vec!["cache eviction of key session:999 after 300s".into()]);
+        assert_eq!(outcome.matched, 1);
+    }
+
+    #[test]
+    fn stats_track_bytes_and_model_size() {
+        let mut topic = small_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 150));
+        let stats = topic.stats();
+        assert_eq!(stats.total_records, 150);
+        assert!(stats.total_bytes > 1_000);
+        assert!(stats.model_size_bytes > 0);
+        assert!(stats.last_training_seconds >= 0.0);
+        assert_eq!(topic.name(), "web-access");
+    }
+
+    #[test]
+    fn model_snapshots_are_persisted_per_training() {
+        let mut topic = small_topic(100);
+        topic.ingest(&web_access_batch(0, 150));
+        topic.ingest(&web_access_batch(150, 150));
+        assert!(topic.store().len() >= 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Cloud-service workflow: ingest a synthetic HDFS-like stream into a log topic, let
+//! volume-triggered training run, query the stored logs grouped by template at two
+//! precisions, and compare template distributions across two time windows.
+//!
+//! Run with: `cargo run --release --example cloud_topic`
+
+use bytebrain_repro::datasets::LabeledDataset;
+use bytebrain_repro::service::{
+    compare_windows, LogTopic, QueryEngine, QueryOptions, TopicConfig,
+};
+
+fn main() {
+    let corpus = LabeledDataset::loghub2("HDFS", 30_000);
+    let mut topic = LogTopic::new(TopicConfig::new("hdfs-datanode").with_volume_threshold(10_000));
+
+    // Ingest the stream in batches, as a collector would.
+    let mut window_distributions = Vec::new();
+    for (i, chunk) in corpus.records.chunks(10_000).enumerate() {
+        let outcome = topic.ingest(&chunk.to_vec());
+        println!(
+            "batch {}: matched {} / {} online, trained this batch: {}",
+            i,
+            outcome.matched,
+            chunk.len(),
+            outcome.trained
+        );
+        window_distributions.push(QueryEngine::new(&topic).template_distribution(0.9));
+    }
+
+    let stats = topic.stats();
+    println!(
+        "\ntopic stats: {} records, {} templates, model ≈ {} KB, last training {:.2}s",
+        stats.total_records,
+        stats.templates,
+        stats.model_size_bytes / 1024,
+        stats.last_training_seconds
+    );
+
+    // Query the topic at two precisions.
+    let engine = QueryEngine::new(&topic);
+    for threshold in [0.3, 0.95] {
+        let groups = engine.group_by_template(QueryOptions {
+            saturation_threshold: threshold,
+            limit: 5,
+        });
+        println!("\ntop templates at threshold {threshold}:");
+        for group in groups {
+            println!("  {:>7}  {}", group.count(), group.template);
+        }
+    }
+
+    // Compare the first and last ingestion windows.
+    if window_distributions.len() >= 2 {
+        let shifts = compare_windows(
+            &window_distributions[0],
+            window_distributions.last().expect("at least one window"),
+        );
+        println!("\nlargest distribution shifts between the first and last window:");
+        for shift in shifts.iter().take(5) {
+            println!(
+                "  {:+.2}pp  {} ({} -> {})",
+                shift.share_delta * 100.0,
+                shift.template,
+                shift.before,
+                shift.after
+            );
+        }
+    }
+}

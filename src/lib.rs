@@ -1,0 +1,13 @@
+//! `bytebrain-repro` — umbrella crate for the ByteBrain-LogParser reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can use a single
+//! dependency. See `README.md` for the project overview and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use baselines;
+pub use bytebrain;
+pub use datasets;
+pub use eval;
+pub use logregex;
+pub use logtok;
+pub use service;

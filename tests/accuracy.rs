@@ -1,0 +1,48 @@
+//! Cross-crate integration tests: ByteBrain accuracy on the synthetic LogHub corpora.
+
+use bytebrain::{ByteBrainParser, TrainConfig};
+use datasets::LabeledDataset;
+use eval::grouping_accuracy;
+
+fn ga_on(dataset: &str, threshold: f64) -> f64 {
+    let ds = LabeledDataset::loghub(dataset);
+    let mut parser = ByteBrainParser::new(TrainConfig::default());
+    let predicted = parser.parse_with_threshold(&ds.records, threshold);
+    grouping_accuracy(&predicted, &ds.labels)
+}
+
+#[test]
+fn bytebrain_accuracy_on_simple_datasets() {
+    for dataset in ["Apache", "HDFS", "Proxifier"] {
+        let ga = ga_on(dataset, 0.6);
+        assert!(
+            ga > 0.75,
+            "grouping accuracy on {dataset} too low: {ga:.3}"
+        );
+    }
+}
+
+#[test]
+fn bytebrain_accuracy_on_complex_datasets() {
+    for dataset in ["OpenSSH", "Zookeeper", "HealthApp"] {
+        let ga = ga_on(dataset, 0.6);
+        assert!(
+            ga > 0.6,
+            "grouping accuracy on {dataset} too low: {ga:.3}"
+        );
+    }
+}
+
+#[test]
+fn threshold_sweep_keeps_reasonable_accuracy() {
+    // Fig. 11: accuracy should be relatively stable across a range of thresholds.
+    let ds = LabeledDataset::loghub("HDFS");
+    let mut values = Vec::new();
+    for threshold in [0.2, 0.4, 0.6, 0.8] {
+        let mut parser = ByteBrainParser::new(TrainConfig::default());
+        let predicted = parser.parse_with_threshold(&ds.records, threshold);
+        values.push(grouping_accuracy(&predicted, &ds.labels));
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max > 0.8, "best threshold should exceed 0.8 GA, got {values:?}");
+}

@@ -1,0 +1,89 @@
+//! Cross-crate test of the cloud-service workflow: topic ingestion, triggered training,
+//! querying, anomaly detection and alerting on a realistic synthetic stream.
+
+use bytebrain_repro::datasets::LabeledDataset;
+use bytebrain_repro::service::library::AlertRule;
+use bytebrain_repro::service::{
+    AnomalyDetector, AnomalyKind, LogTopic, QueryEngine, QueryOptions, TemplateLibrary,
+    TopicConfig,
+};
+
+#[test]
+fn topic_lifecycle_ingest_train_query() {
+    let corpus = LabeledDataset::loghub2("Apache", 12_000);
+    let mut topic = LogTopic::new(TopicConfig::new("apache-access").with_volume_threshold(5_000));
+    for chunk in corpus.records.chunks(4_000) {
+        topic.ingest(&chunk.to_vec());
+    }
+    let stats = topic.stats();
+    assert_eq!(stats.total_records, corpus.records.len() as u64);
+    assert!(stats.training_runs >= 2, "volume trigger should have re-trained");
+    assert!(stats.templates > 0);
+    // The model is small relative to the data it describes (storage-efficiency goal).
+    assert!(stats.model_size_bytes * 2 < stats.total_bytes);
+
+    let groups = QueryEngine::new(&topic).group_by_template(QueryOptions::default());
+    let covered: usize = groups.iter().map(|g| g.count()).sum();
+    assert_eq!(covered as u64, stats.total_records);
+}
+
+#[test]
+fn new_error_template_is_detected_as_anomaly() {
+    let mut topic = LogTopic::new(TopicConfig::new("payments").with_volume_threshold(u64::MAX));
+    let healthy: Vec<String> = (0..3_000)
+        .map(|i| format!("payment {} authorized in {}ms", i, i % 40))
+        .collect();
+    topic.ingest(&healthy);
+    let baseline = QueryEngine::new(&topic).template_distribution(0.9);
+
+    let incident: Vec<String> = (0..500)
+        .map(|i| format!("payment {} declined: fraud score {} exceeds limit", i, 80 + i % 20))
+        .collect();
+    topic.ingest(&incident);
+    topic.run_training();
+    let current = QueryEngine::new(&topic).template_distribution(0.9);
+
+    let reports = AnomalyDetector::default().detect(&baseline, &current);
+    assert!(
+        reports.iter().any(|r| r.kind == AnomalyKind::NewTemplate
+            && r.template.contains("declined")),
+        "expected a new-template anomaly, got {reports:?}"
+    );
+}
+
+#[test]
+fn library_alert_fires_on_known_failure_scenario() {
+    let mut topic = LogTopic::new(TopicConfig::new("kernel").with_volume_threshold(u64::MAX));
+    let mut logs: Vec<String> = (0..2_000)
+        .map(|i| format!("usb device {} enumerated on bus {}", i, i % 4))
+        .collect();
+    logs.extend((0..200).map(|i| format!("Out of memory: Killed process {} (java)", 4_000 + i)));
+    topic.ingest(&logs);
+    topic.run_training();
+
+    let mut library = TemplateLibrary::new();
+    // Template text as the parser renders it: the tokenizer strips ':' and parentheses.
+    library.save(
+        "oom-killer",
+        "Out of memory Killed process * java",
+        vec![AlertRule::CountAbove(50), AlertRule::OnAppearance],
+    );
+    let distribution = QueryEngine::new(&topic).template_distribution(0.9);
+    let alerts = library.evaluate_alerts(&distribution);
+    assert!(
+        alerts.iter().any(|a| a.entry == "oom-killer"),
+        "expected the OOM alert to fire; distribution: {distribution:?}"
+    );
+}
+
+#[test]
+fn model_snapshots_round_trip_through_the_store() {
+    let corpus = LabeledDataset::loghub("HDFS");
+    let mut topic = LogTopic::new(TopicConfig::new("hdfs").with_volume_threshold(u64::MAX));
+    topic.ingest(&corpus.records);
+    topic.run_training();
+    let info = topic.store().latest_info().expect("snapshot saved");
+    assert!(info.num_templates > 0);
+    let restored = topic.store().load_latest().expect("snapshot loads");
+    assert_eq!(restored.len(), topic.model().len());
+}
