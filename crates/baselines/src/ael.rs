@@ -36,7 +36,10 @@ impl LogParser for Ael {
         let mut categories: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         for (idx, tokens) in tokenized.iter().enumerate() {
             let vars = tokens.iter().filter(|t| *t == "<*>").count();
-            categories.entry((tokens.len(), vars)).or_default().push(idx);
+            categories
+                .entry((tokens.len(), vars))
+                .or_default()
+                .push(idx);
         }
         let mut assignment = vec![0usize; records.len()];
         let mut next_group = 0usize;
@@ -127,10 +130,7 @@ mod tests {
     #[test]
     fn different_categories_stay_apart() {
         let mut ael = Ael::default();
-        let groups = ael.parse(&vec![
-            "one two three".into(),
-            "one two three four".into(),
-        ]);
+        let groups = ael.parse(&vec!["one two three".into(), "one two three four".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 }

@@ -86,7 +86,10 @@ impl LogParser for Iplom {
                 Some(position) => {
                     let mut parts: HashMap<&str, Vec<usize>> = HashMap::new();
                     for &m in &members {
-                        parts.entry(tokenized[m][position].as_str()).or_default().push(m);
+                        parts
+                            .entry(tokenized[m][position].as_str())
+                            .or_default()
+                            .push(m);
                     }
                     let mut values: Vec<_> = parts.into_iter().collect();
                     values.sort_by_key(|(v, _)| v.to_string());
@@ -97,8 +100,7 @@ impl LogParser for Iplom {
             for part in second_level {
                 // Step 3: one more partitioning pass inside each part (the simplified
                 // search-for-mapping step); parts below the support threshold stay whole.
-                let support_ok =
-                    part.len() as f64 >= self.partition_support * members.len() as f64;
+                let support_ok = part.len() as f64 >= self.partition_support * members.len() as f64;
                 let third_level: Vec<Vec<usize>> = if support_ok && part.len() > 1 {
                     match self.split_position(&part, &tokenized) {
                         Some(position) => {
@@ -125,9 +127,8 @@ impl LogParser for Iplom {
                     let first = &tokenized[group_members[0]];
                     let template: Vec<String> = (0..first.len())
                         .map(|i| {
-                            let all_same = group_members
-                                .iter()
-                                .all(|&m| tokenized[m][i] == first[i]);
+                            let all_same =
+                                group_members.iter().all(|&m| tokenized[m][i] == first[i]);
                             if all_same {
                                 first[i].clone()
                             } else {

@@ -77,12 +77,19 @@ mod conformance {
         let mut records = Vec::new();
         let mut labels = Vec::new();
         for i in 0..40 {
-            records.push(format!("Accepted password for user{} from 10.0.0.{} port 22", i % 5, i));
+            records.push(format!(
+                "Accepted password for user{} from 10.0.0.{} port 22",
+                i % 5,
+                i
+            ));
             labels.push(0);
             records.push(format!("Connection closed by 10.0.0.{}", i));
             labels.push(1);
             if i % 2 == 0 {
-                records.push(format!("Failed none for invalid user test{} from 10.0.0.{} port 22", i, i));
+                records.push(format!(
+                    "Failed none for invalid user test{} from 10.0.0.{} port 22",
+                    i, i
+                ));
                 labels.push(2);
             }
         }

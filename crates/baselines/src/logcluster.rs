@@ -92,7 +92,9 @@ mod tests {
         // The known weakness the paper cites: messages sharing word distributions but
         // differing semantically are merged once the differing words are infrequent.
         let mut lc = LogCluster::default();
-        let mut records: Vec<String> = (0..30).map(|i| format!("node n{i} joined cluster")).collect();
+        let mut records: Vec<String> = (0..30)
+            .map(|i| format!("node n{i} joined cluster"))
+            .collect();
         records.extend((0..30).map(|i| format!("node n{i} left cluster")));
         let groups = lc.parse(&records);
         // "joined"/"left" are both frequent here, so the groups do separate…

@@ -62,11 +62,7 @@ impl LogParser for Logram {
                         // back to the bigrams the token participates in.
                         let constant = if i >= 1 && i + 1 < n {
                             trigrams
-                                .get(&(
-                                    tokens[i - 1].as_str(),
-                                    token,
-                                    tokens[i + 1].as_str(),
-                                ))
+                                .get(&(tokens[i - 1].as_str(), token, tokens[i + 1].as_str()))
                                 .copied()
                                 .unwrap_or(0)
                                 >= self.trigram_threshold

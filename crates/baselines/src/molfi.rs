@@ -108,7 +108,9 @@ impl LogParser for Molfi {
                 let unassigned: Vec<usize> = members
                     .iter()
                     .copied()
-                    .filter(|&m| assignment[m] == usize::MAX && matches(&candidate.template, &tokenized[m]))
+                    .filter(|&m| {
+                        assignment[m] == usize::MAX && matches(&candidate.template, &tokenized[m])
+                    })
                     .collect();
                 if unassigned.len() > 1 {
                     for m in unassigned {

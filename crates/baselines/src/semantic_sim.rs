@@ -221,7 +221,11 @@ mod tests {
         lilac.parse(&records);
         // Two templates → far fewer inferences than logs (cache keyed on the masked
         // skeleton, which collapses the numeric variables).
-        assert!(lilac.inferences() < 20, "inferences: {}", lilac.inferences());
+        assert!(
+            lilac.inferences() < 20,
+            "inferences: {}",
+            lilac.inferences()
+        );
 
         let mut uniparser = SimulatedSemanticParser::new(SemanticKind::UniParser, labels)
             .with_inference_cost(Duration::ZERO);

@@ -82,8 +82,8 @@ impl Spell {
             }
         }
         match best {
-            Some((idx, _)) if (self.objects[idx].template.len() as f64)
-                >= self.tau * tokens.len() as f64 =>
+            Some((idx, _))
+                if (self.objects[idx].template.len() as f64) >= self.tau * tokens.len() as f64 =>
             {
                 let owned: Vec<String> = meaningful.iter().map(|s| (*s).clone()).collect();
                 let refined = lcs(&self.objects[idx].template, &owned);

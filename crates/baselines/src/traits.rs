@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn simple_tokenizer_keeps_mixed_tokens() {
         let tokens = tokenize_simple("block blk_123 on node-7 level warn");
-        assert_eq!(tokens, vec!["block", "blk_123", "on", "node-7", "level", "warn"]);
+        assert_eq!(
+            tokens,
+            vec!["block", "blk_123", "on", "node-7", "level", "warn"]
+        );
     }
 
     #[test]

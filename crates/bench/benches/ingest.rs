@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the ingestion paths: line-at-a-time `LogTopic::ingest`, batched
+//! `LogTopic::ingest`, and the sharded streaming engine (`StreamIngestor`), plus the
+//! underlying matcher fast paths (allocating vs. zero-copy scratch vs. pooled lean
+//! batches). These are the measurements behind the "batched streaming beats
+//! line-at-a-time" claim — run with `cargo bench --bench ingest`.
+
+use bytebrain::matcher::{match_record, match_record_with_scratch, match_view};
+use bytebrain::train::train;
+use bytebrain::{ParserModel, TrainConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use datasets::LabeledDataset;
+use logtok::{Preprocessor, TokenScratch};
+use service::{IngestConfig, LogTopic, StreamIngestor, TopicConfig};
+use std::sync::Arc;
+
+const TRAIN_LINES: usize = 4_000;
+const STREAM_LINES: usize = 16_000;
+
+fn corpus() -> (Vec<String>, Vec<String>) {
+    let ds = LabeledDataset::loghub2("Apache", TRAIN_LINES + STREAM_LINES);
+    let (train_part, stream_part) = ds.records.split_at(TRAIN_LINES);
+    (train_part.to_vec(), stream_part.to_vec())
+}
+
+/// A topic trained on the warm-up corpus, with a volume threshold high enough that the
+/// measured ingestion never triggers retraining.
+fn trained_topic(train_part: &[String]) -> LogTopic {
+    let mut topic = LogTopic::new(TopicConfig::new("bench").with_volume_threshold(u64::MAX));
+    topic.ingest(train_part);
+    topic
+}
+
+fn bench_topic_ingest_paths(c: &mut Criterion) {
+    let (train_part, stream_part) = corpus();
+    let mut group = c.benchmark_group("topic_ingest");
+    group.throughput(Throughput::Elements(stream_part.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("line_at_a_time", |b| {
+        b.iter_batched(
+            || trained_topic(&train_part),
+            |mut topic| {
+                for record in &stream_part {
+                    topic.ingest(std::slice::from_ref(record));
+                }
+                topic.stats().total_records
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("batched_1024", |b| {
+        b.iter_batched(
+            || trained_topic(&train_part),
+            |mut topic| {
+                for chunk in stream_part.chunks(1_024) {
+                    topic.ingest(chunk);
+                }
+                topic.stats().total_records
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("stream_4_shards", |b| {
+        b.iter_batched(
+            // Clone the corpus in setup (untimed): the competing rows borrow theirs.
+            || (trained_topic(&train_part), stream_part.clone()),
+            |(mut topic, records)| {
+                let result = topic.ingest_stream(
+                    records,
+                    &IngestConfig::default()
+                        .with_shards(4)
+                        .with_batch_records(1_024),
+                );
+                result.outcome.matched
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_matcher_paths(c: &mut Criterion) {
+    let (train_part, stream_part) = corpus();
+    let config = TrainConfig::default();
+    let model: Arc<ParserModel> = Arc::new(train(&train_part, &config).model);
+    let preprocessor = Arc::new(Preprocessor::new(config.preprocess.clone()));
+
+    let mut group = c.benchmark_group("matcher");
+    group.throughput(Throughput::Elements(stream_part.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("match_record_allocating", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for record in &stream_part {
+                if match_record(&model, &preprocessor, record).is_matched() {
+                    matched += 1;
+                }
+            }
+            matched
+        })
+    });
+
+    group.bench_function("match_record_scratch", |b| {
+        b.iter(|| {
+            let mut scratch = TokenScratch::new();
+            let mut matched = 0usize;
+            for record in &stream_part {
+                if match_record_with_scratch(&model, &preprocessor, record, &mut scratch)
+                    .is_matched()
+                {
+                    matched += 1;
+                }
+            }
+            matched
+        })
+    });
+
+    group.bench_function("match_view_zero_copy", |b| {
+        b.iter(|| {
+            let mut scratch = TokenScratch::new();
+            let mut matched = 0usize;
+            for record in &stream_part {
+                let view = preprocessor.token_view(record, &mut scratch);
+                if match_view(&model, &view).is_some() {
+                    matched += 1;
+                }
+            }
+            matched
+        })
+    });
+
+    group.bench_function("stream_ingestor_4x4", |b| {
+        b.iter(|| {
+            let mut ingestor = StreamIngestor::new(
+                Arc::clone(&model),
+                Arc::clone(&preprocessor),
+                IngestConfig::default()
+                    .with_shards(4)
+                    .with_workers(4)
+                    .with_batch_records(1_024),
+            );
+            for record in &stream_part {
+                ingestor.push(record.clone());
+            }
+            ingestor.finish().matched()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topic_ingest_paths, bench_matcher_paths);
+criterion_main!(benches);

@@ -3,11 +3,11 @@
 //! matching. These complement the experiment binaries (which reproduce the paper's tables
 //! and figures end to end).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use bytebrain::distance::ClusterProfile;
 use bytebrain::matcher::match_record;
 use bytebrain::train::train;
 use bytebrain::TrainConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use datasets::LabeledDataset;
 use logtok::{hash_token, EncodedLog, OrdinalEncoder, Preprocessor, Tokenizer};
 
@@ -83,7 +83,13 @@ fn bench_distance(c: &mut Criterion) {
         .collect();
     let profile = ClusterProfile::from_logs(7, logs.iter());
     let candidate = EncodedLog::from_tokens(&[
-        "Receiving", "block", "blk_999", "src", "10.0.0.3", "dest", "10.0.0.4",
+        "Receiving",
+        "block",
+        "blk_999",
+        "src",
+        "10.0.0.3",
+        "dest",
+        "10.0.0.4",
     ]);
     c.bench_function("positional_similarity_distance", |b| {
         b.iter(|| profile.distance(&candidate, true))
@@ -96,9 +102,7 @@ fn bench_training_and_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser");
     group.throughput(Throughput::Elements(records.len() as u64));
     group.sample_size(10);
-    group.bench_function("train_5k_hdfs", |b| {
-        b.iter(|| train(&records, &config))
-    });
+    group.bench_function("train_5k_hdfs", |b| b.iter(|| train(&records, &config)));
     let outcome = train(&records, &config);
     let preprocessor = Preprocessor::default_pipeline();
     group.throughput(Throughput::Elements(1));

@@ -38,7 +38,9 @@ fn main() {
         ]);
         eprintln!("[fig10] finished {dataset}");
     }
-    println!("Fig. 10: token dictionary size required by ordinal encoding ({scale} logs per dataset).");
+    println!(
+        "Fig. 10: token dictionary size required by ordinal encoding ({scale} logs per dataset)."
+    );
     println!("Hash encoding (ByteBrain's default) stores no dictionary, so the third column is the saving.\n");
     println!("{}", table.render());
     maybe_write(&record);

@@ -38,10 +38,7 @@ fn main() {
             for &threshold in &thresholds {
                 let outcome = eval_bytebrain(&ds, TrainConfig::default(), threshold);
                 row.push(fmt2(outcome.accuracy));
-                record.insert(
-                    &format!("{suite}_{dataset}_{threshold}"),
-                    outcome.accuracy,
-                );
+                record.insert(&format!("{suite}_{dataset}_{threshold}"), outcome.accuracy);
             }
             table.add_row(row);
             eprintln!("[fig11] finished {suite}/{dataset}");

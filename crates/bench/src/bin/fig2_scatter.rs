@@ -16,7 +16,10 @@ fn main() {
         eprintln!("[fig2] evaluating {dataset}");
         let ds = LabeledDataset::loghub2(dataset, scale);
         for outcome in eval_all_methods(&ds, true) {
-            accuracy.entry(outcome.parser.clone()).or_default().push(outcome.accuracy);
+            accuracy
+                .entry(outcome.parser.clone())
+                .or_default()
+                .push(outcome.accuracy);
             throughput
                 .entry(outcome.parser)
                 .or_default()
@@ -40,7 +43,10 @@ fn main() {
         record.insert(&format!("{method}_throughput"), *tp);
         record.insert(&format!("{method}_accuracy"), *acc);
     }
-    println!("Fig. 2: throughput vs accuracy (averaged over {} datasets, {scale} logs each)\n", datasets.len());
+    println!(
+        "Fig. 2: throughput vs accuracy (averaged over {} datasets, {scale} logs each)\n",
+        datasets.len()
+    );
     println!("{}", table.render());
     // The headline claim: ByteBrain is the fastest method while staying near the best accuracy.
     if let Some((fastest, _, _)) = rows.first() {

@@ -2,7 +2,7 @@
 //! including the "ByteBrain Sequential" (single core) and "ByteBrain w/o JIT"
 //! (de-optimised single-core path, see EXPERIMENTS.md) variants.
 
-use bench::{eval_all_methods, eval_bytebrain, loghub2_scale, maybe_write};
+use bench::{eval_all_methods, eval_bytebrain, eval_bytebrain_stream, loghub2_scale, maybe_write};
 use bytebrain::{AblationConfig, TrainConfig};
 use datasets::{loghub2_dataset_names, LabeledDataset};
 use eval::report::{fmt_sci, ExperimentRecord, TextTable};
@@ -48,6 +48,12 @@ fn main() {
             .entry("ByteBrain w/o JIT".to_string())
             .or_default()
             .insert(dataset.to_string(), slow.throughput.logs_per_second);
+        // The sharded streaming ingestion engine: 4 shards, 4 pool workers.
+        let streamed = eval_bytebrain_stream(&ds, 4, 4);
+        throughput
+            .entry("ByteBrain (stream 4x4)".to_string())
+            .or_default()
+            .insert(dataset.to_string(), streamed.throughput.logs_per_second);
     }
 
     let mut methods: Vec<String> = bench::paper_method_order()
@@ -60,6 +66,7 @@ fn main() {
     methods[bytebrain_idx] = "ByteBrain Sequential".to_string();
     methods.push("ByteBrain w/o JIT".to_string());
     methods.push("ByteBrain (parallel)".to_string());
+    methods.push("ByteBrain (stream 4x4)".to_string());
     // The single-threaded default run is stored under "ByteBrain".
     let sequential = throughput.remove("ByteBrain").unwrap_or_default();
     throughput.insert("ByteBrain Sequential".to_string(), sequential);
@@ -85,7 +92,9 @@ fn main() {
         record.insert(&format!("{method}_average"), mean);
         table.add_row(row);
     }
-    println!("Fig. 6: throughput (logs/second) on LogHub-2.0-style corpora ({scale} logs per dataset)\n");
+    println!(
+        "Fig. 6: throughput (logs/second) on LogHub-2.0-style corpora ({scale} logs per dataset)\n"
+    );
     println!("{}", table.render());
     maybe_write(&record);
 }

@@ -22,14 +22,20 @@ fn main() {
             let ds = LabeledDataset::loghub2(dataset, n);
             let outcome = eval_bytebrain(&ds, TrainConfig::default(), DEFAULT_THRESHOLD);
             row.push(format!("{:.3}", outcome.throughput.seconds));
-            record.insert(&format!("{dataset}_{n}_seconds"), outcome.throughput.seconds);
+            record.insert(
+                &format!("{dataset}_{n}_seconds"),
+                outcome.throughput.seconds,
+            );
             if i == 0 {
                 first = outcome.throughput.seconds;
             }
             last = outcome.throughput.seconds;
         }
         let ratio = if first > 0.0 { last / first } else { 0.0 };
-        row.push(format!("{ratio:.1}x (ideal linear: {:.1}x)", sizes[sizes.len() - 1] as f64 / sizes[0] as f64));
+        row.push(format!(
+            "{ratio:.1}x (ideal linear: {:.1}x)",
+            sizes[sizes.len() - 1] as f64 / sizes[0] as f64
+        ));
         table.add_row(row);
         eprintln!("[fig7] finished {dataset}");
     }

@@ -2,8 +2,8 @@
 //! largest datasets (BGL, HDFS, Spark, Thunderbird), with LILAC and UniParser as the
 //! baseline reference points.
 
-use bench::{eval_bytebrain_variant, eval_semantic, loghub2_scale, maybe_write};
 use baselines::SemanticKind;
+use bench::{eval_bytebrain_variant, eval_semantic, loghub2_scale, maybe_write};
 use bytebrain::AblationConfig;
 use datasets::LabeledDataset;
 use eval::report::{fmt_sci, ExperimentRecord, TextTable};

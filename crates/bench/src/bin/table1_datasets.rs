@@ -31,8 +31,14 @@ fn main() {
         } else {
             ("-".to_string(), "-".to_string())
         };
-        record.insert(&format!("{name}_loghub_templates"), spec.loghub_templates as f64);
-        record.insert(&format!("{name}_loghub_size_bytes"), small_stats.size_bytes as f64);
+        record.insert(
+            &format!("{name}_loghub_templates"),
+            spec.loghub_templates as f64,
+        );
+        record.insert(
+            &format!("{name}_loghub_size_bytes"),
+            small_stats.size_bytes as f64,
+        );
         table.add_row(vec![
             name.to_string(),
             small_stats.num_logs.to_string(),

@@ -7,13 +7,23 @@ use eval::report::ExperimentRecord;
 
 /// Generate wakelock-style records mirroring the paper's Table 4 source logs.
 fn wakelock_records() -> Vec<String> {
-    let tags = ["View Lock", "*launch*", "WindowManager", "RILJ_ACK_WL", "AudioMix"];
+    let tags = [
+        "View Lock",
+        "*launch*",
+        "WindowManager",
+        "RILJ_ACK_WL",
+        "AudioMix",
+    ];
     let names = ["android", "systemui", "phone", "audioserver"];
     let mut records = Vec::new();
     for i in 0..600usize {
         let action = if i % 2 == 0 { "release" } else { "acquire" };
         let flag_word = if i % 2 == 0 { "flg" } else { "flags" };
-        let ws = if i % 3 == 0 { "null".to_string() } else { format!("WS{{10{}}}", i % 90) };
+        let ws = if i % 3 == 0 {
+            "null".to_string()
+        } else {
+            format!("WS{{10{}}}", i % 90)
+        };
         records.push(format!(
             "{action} lock={lock}, {flag_word}=0x{flg:x}, tag=\"{tag}\", name={name}, ws={ws}, uid={uid}, pid={pid}",
             lock = i * 37 % 4096,
@@ -32,7 +42,9 @@ fn main() {
     let mut parser = ByteBrainParser::new(TrainConfig::default());
     parser.train(&records);
     let mut record = ExperimentRecord::new("table4", "templates at varying thresholds");
-    println!("Table 4: templates obtained by varying the saturation threshold (Android wakelock logs)\n");
+    println!(
+        "Table 4: templates obtained by varying the saturation threshold (Android wakelock logs)\n"
+    );
     for threshold in [0.05, 0.78, 0.9, 0.95] {
         let templates: Vec<String> = parser
             .templates_at_threshold(threshold)
@@ -52,7 +64,10 @@ fn main() {
         }
         shown.sort();
         record.insert(&format!("templates_at_{threshold}"), shown.len() as f64);
-        println!("Saturation threshold {threshold}: {} distinct templates", shown.len());
+        println!(
+            "Saturation threshold {threshold}: {} distinct templates",
+            shown.len()
+        );
         for t in shown.iter().take(10) {
             println!("    {t}");
         }

@@ -17,11 +17,31 @@ struct Scenario {
 fn main() {
     // Production-flavoured topics: the dataset family stands in for the scenario's shape.
     let scenarios = [
-        Scenario { name: "Text stream processing", dataset: "Spark", records: 120_000 },
-        Scenario { name: "Webserver access log (large)", dataset: "Apache", records: 80_000 },
-        Scenario { name: "Webserver access log (small)", dataset: "Apache", records: 40_000 },
-        Scenario { name: "Go HTTP API server", dataset: "Hadoop", records: 30_000 },
-        Scenario { name: "Go search server", dataset: "Zookeeper", records: 30_000 },
+        Scenario {
+            name: "Text stream processing",
+            dataset: "Spark",
+            records: 120_000,
+        },
+        Scenario {
+            name: "Webserver access log (large)",
+            dataset: "Apache",
+            records: 80_000,
+        },
+        Scenario {
+            name: "Webserver access log (small)",
+            dataset: "Apache",
+            records: 40_000,
+        },
+        Scenario {
+            name: "Go HTTP API server",
+            dataset: "Hadoop",
+            records: 30_000,
+        },
+        Scenario {
+            name: "Go search server",
+            dataset: "Zookeeper",
+            records: 30_000,
+        },
     ];
     let mut table = TextTable::new(vec![
         "Topic Scenario",
@@ -33,9 +53,8 @@ fn main() {
     let mut record = ExperimentRecord::new("table5", "industrial-style service evaluation");
     for scenario in &scenarios {
         let ds = LabeledDataset::loghub2(scenario.dataset, scenario.records);
-        let mut topic = LogTopic::new(
-            TopicConfig::new(scenario.name).with_volume_threshold(u64::MAX),
-        );
+        let mut topic =
+            LogTopic::new(TopicConfig::new(scenario.name).with_volume_threshold(u64::MAX));
         // Ingest in batches, measuring wall-clock ingest rate (match + store + training).
         let started = Instant::now();
         let mut matched = 0usize;
@@ -50,8 +69,14 @@ fn main() {
         let mb_per_s = stats.total_bytes as f64 / (1024.0 * 1024.0) / elapsed.max(1e-9);
         let model_mb = stats.model_size_bytes as f64 / (1024.0 * 1024.0);
         record.insert(&format!("{}_mb_per_s", scenario.name), mb_per_s);
-        record.insert(&format!("{}_model_bytes", scenario.name), stats.model_size_bytes as f64);
-        record.insert(&format!("{}_training_s", scenario.name), stats.last_training_seconds);
+        record.insert(
+            &format!("{}_model_bytes", scenario.name),
+            stats.model_size_bytes as f64,
+        );
+        record.insert(
+            &format!("{}_training_s", scenario.name),
+            stats.last_training_seconds,
+        );
         table.add_row(vec![
             scenario.name.to_string(),
             format!("{mb_per_s:.1} MB/s"),

@@ -1,5 +1,6 @@
 //! `bench` — the experiment harness: one binary per table / figure of the paper (see
-//! `DESIGN.md` §2 for the full index) plus Criterion micro-benchmarks.
+//! the "Reproducing the paper's tables and figures" section of `README.md` for the
+//! full index) plus Criterion micro-benchmarks.
 //!
 //! Every binary prints the same rows/series the paper reports and honours two environment
 //! variables so the full suite can be scaled to the available time budget:
@@ -27,7 +28,9 @@ pub fn loghub2_scale() -> usize {
 
 /// Directory for machine-readable experiment results, when configured.
 pub fn results_dir() -> Option<PathBuf> {
-    std::env::var("BYTEBRAIN_RESULTS_DIR").ok().map(PathBuf::from)
+    std::env::var("BYTEBRAIN_RESULTS_DIR")
+        .ok()
+        .map(PathBuf::from)
 }
 
 /// Persist an experiment record when `BYTEBRAIN_RESULTS_DIR` is set.
@@ -62,6 +65,52 @@ pub fn eval_bytebrain(ds: &LabeledDataset, config: TrainConfig, threshold: f64) 
     });
     EvalOutcome {
         parser: "ByteBrain".to_string(),
+        dataset: ds.name.clone(),
+        accuracy: grouping_accuracy(&predicted, &ds.labels),
+        throughput,
+    }
+}
+
+/// Evaluate ByteBrain with the sharded streaming ingestion engine
+/// ([`service::StreamIngestor`]): train once on the corpus, then stream the full corpus
+/// through `shards` shard buffers matched by `workers` pool workers. Throughput keeps
+/// the paper's definition (total logs over combined training + matching time); accuracy
+/// scores the streamed template assignment against the ground-truth labels.
+pub fn eval_bytebrain_stream(ds: &LabeledDataset, shards: usize, workers: usize) -> EvalOutcome {
+    use service::{IngestConfig, StreamIngestor};
+    use std::sync::Arc;
+    let config = TrainConfig::default();
+    // Clone the corpus outside the timed closure: the batch-path rows borrow their
+    // records, so paying a per-record String clone inside the measurement would bias
+    // the streaming rows downward.
+    let owned_records: Vec<String> = ds.records.clone();
+    let (throughput, predicted) = measure_with_result(ds.len(), || {
+        let outcome = bytebrain::train::train(&ds.records, &config);
+        let model_len = outcome.model.len();
+        let model = Arc::new(outcome.model);
+        let preprocessor = Arc::new(logtok::Preprocessor::new(config.preprocess.clone()));
+        let ingest = IngestConfig::default()
+            .with_shards(shards)
+            .with_workers(workers)
+            .with_batch_records(1_024);
+        let mut ingestor = StreamIngestor::new(model, preprocessor, ingest);
+        for record in owned_records {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        // Records come back seq-ordered, so they align with the label vector. Every
+        // unmatched record forms its own singleton group.
+        report
+            .records
+            .iter()
+            .map(|r| match r.node {
+                Some(id) => id.0,
+                None => model_len + r.seq as usize,
+            })
+            .collect::<Vec<usize>>()
+    });
+    EvalOutcome {
+        parser: format!("ByteBrain (stream {shards}x{workers})"),
         dataset: ds.name.clone(),
         accuracy: grouping_accuracy(&predicted, &ds.labels),
         throughput,
@@ -135,11 +184,19 @@ pub fn eval_all_methods(ds: &LabeledDataset, include_semantic: bool) -> Vec<Eval
         outcomes.push(eval_baseline(ds, parser.as_mut()));
     }
     if include_semantic {
-        for kind in [SemanticKind::UniParser, SemanticKind::LogPpt, SemanticKind::Lilac] {
+        for kind in [
+            SemanticKind::UniParser,
+            SemanticKind::LogPpt,
+            SemanticKind::Lilac,
+        ] {
             outcomes.push(eval_semantic(ds, kind));
         }
     }
-    outcomes.push(eval_bytebrain(ds, TrainConfig::default(), DEFAULT_THRESHOLD));
+    outcomes.push(eval_bytebrain(
+        ds,
+        TrainConfig::default(),
+        DEFAULT_THRESHOLD,
+    ));
     // Order the rows like the paper.
     let order = paper_method_order();
     outcomes.sort_by_key(|o| {

@@ -84,11 +84,9 @@ fn make_node(
     depth: usize,
     config: &TrainConfig,
 ) -> LocalNode {
-    let num_positions = members
-        .first()
-        .map(|&i| logs[i].encoded.len())
-        .unwrap_or(0);
-    let profile = ClusterProfile::from_logs(num_positions, members.iter().map(|&i| &logs[i].encoded));
+    let num_positions = members.first().map(|&i| logs[i].encoded.len()).unwrap_or(0);
+    let profile =
+        ClusterProfile::from_logs(num_positions, members.iter().map(|&i| &logs[i].encoded));
     let node_saturation = saturation(&profile, &config.ablation);
     let template = render_template(logs, &members, &profile);
     let log_count = members.iter().map(|&i| logs[i].encoded.count).sum();
@@ -173,14 +171,11 @@ fn split_members(
     let first = members[rng.gen_range(0..members.len())];
     let second = if ablation.kmeanspp_centroids {
         let seed_profile = ClusterProfile::from_logs(num_positions, [&logs[first].encoded]);
-        *members
-            .iter()
-            .filter(|&&m| m != first)
-            .max_by(|&&a, &&b| {
-                let da = seed_profile.distance(&logs[a].encoded, ablation.position_importance);
-                let db = seed_profile.distance(&logs[b].encoded, ablation.position_importance);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })?
+        *members.iter().filter(|&&m| m != first).max_by(|&&a, &&b| {
+            let da = seed_profile.distance(&logs[a].encoded, ablation.position_importance);
+            let db = seed_profile.distance(&logs[b].encoded, ablation.position_importance);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })?
     } else {
         // Random distinct member.
         let candidates: Vec<usize> = members.iter().copied().filter(|&m| m != first).collect();
@@ -255,8 +250,10 @@ fn split_members(
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
-                    let da = min_distance(&profiles, &logs[a].encoded, ablation.position_importance);
-                    let db = min_distance(&profiles, &logs[b].encoded, ablation.position_importance);
+                    let da =
+                        min_distance(&profiles, &logs[a].encoded, ablation.position_importance);
+                    let db =
+                        min_distance(&profiles, &logs[b].encoded, ablation.position_importance);
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("members is non-empty");
@@ -286,10 +283,8 @@ fn split_members(
         // Reject splits that fail to improve any child: they would only deepen the tree
         // without adding precision.
         let improved = clusters.iter().any(|cluster| {
-            let profile = ClusterProfile::from_logs(
-                num_positions,
-                cluster.iter().map(|&i| &logs[i].encoded),
-            );
+            let profile =
+                ClusterProfile::from_logs(num_positions, cluster.iter().map(|&i| &logs[i].encoded));
             saturation(&profile, ablation) > parent_saturation + 1e-12
         });
         if !improved {
@@ -328,14 +323,26 @@ mod tests {
     #[test]
     fn fig5_set1_stays_a_single_node() {
         let logs = vec![
-            unique(&["UserService", "createUser", "token", "abc123", "success"], 1),
-            unique(&["UserService", "createUser", "token", "xyz789", "success"], 1),
-            unique(&["UserService", "createUser", "token", "def456", "success"], 1),
+            unique(
+                &["UserService", "createUser", "token", "abc123", "success"],
+                1,
+            ),
+            unique(
+                &["UserService", "createUser", "token", "xyz789", "success"],
+                1,
+            ),
+            unique(
+                &["UserService", "createUser", "token", "def456", "success"],
+                1,
+            ),
         ];
         let tree = cluster_group(&logs, &config(), 1);
         assert_eq!(tree.len(), 1, "a fully-saturated root must not split");
         assert!((tree[0].saturation - 1.0).abs() < 1e-9);
-        assert_eq!(tree[0].template_text_for_test(), "UserService createUser token * success");
+        assert_eq!(
+            tree[0].template_text_for_test(),
+            "UserService createUser token * success"
+        );
     }
 
     impl LocalNode {
@@ -351,9 +358,18 @@ mod tests {
     #[test]
     fn fig5_set2_splits_until_saturated() {
         let logs = vec![
-            unique(&["UserService", "createUser", "token", "abc123", "success"], 1),
-            unique(&["UserService", "deleteUser", "token", "xyz789", "failed"], 1),
-            unique(&["UserService", "queryUser", "token", "def456", "success"], 1),
+            unique(
+                &["UserService", "createUser", "token", "abc123", "success"],
+                1,
+            ),
+            unique(
+                &["UserService", "deleteUser", "token", "xyz789", "failed"],
+                1,
+            ),
+            unique(
+                &["UserService", "queryUser", "token", "def456", "success"],
+                1,
+            ),
         ];
         let tree = cluster_group(&logs, &config(), 1);
         assert!(tree.len() > 1, "the mixed set must split");
@@ -368,7 +384,11 @@ mod tests {
         }
         // All leaves are fully saturated.
         for node in tree.iter().filter(|n| n.children.is_empty()) {
-            assert!(node.saturation >= 0.99, "leaf saturation {}", node.saturation);
+            assert!(
+                node.saturation >= 0.99,
+                "leaf saturation {}",
+                node.saturation
+            );
         }
     }
 
@@ -408,11 +428,7 @@ mod tests {
         // Children partition the parent's members.
         for node in &tree {
             if !node.children.is_empty() {
-                let child_total: usize = node
-                    .children
-                    .iter()
-                    .map(|&c| tree[c].members.len())
-                    .sum();
+                let child_total: usize = node.children.iter().map(|&c| tree[c].members.len()).sum();
                 assert_eq!(child_total, node.members.len());
             }
         }

@@ -9,7 +9,7 @@
 use crate::model::ParserModel;
 use crate::parallel::run_parallel;
 use crate::tree::NodeId;
-use logtok::Preprocessor;
+use logtok::{Preprocessor, TokenScratch, TokenView};
 use serde::{Deserialize, Serialize};
 
 /// The result of matching one log.
@@ -42,10 +42,31 @@ pub fn match_tokens(model: &ParserModel, tokens: &[String]) -> Option<NodeId> {
     None
 }
 
-/// Match a raw log record (running the same preprocessing pipeline used for training).
-pub fn match_record(model: &ParserModel, preprocessor: &Preprocessor, record: &str) -> MatchResult {
-    let tokens = preprocessor.tokens_of(record);
-    match match_tokens(model, &tokens) {
+/// Borrow-based match entry point (§4.8, zero-copy fast path): match a
+/// [`TokenView`] produced by [`Preprocessor::token_view`] without allocating owned
+/// token strings or a rendered template. Returns the first (most precise) matching
+/// template id. This is what the sharded streaming ingestion engine calls per record.
+pub fn match_view(model: &ParserModel, view: &TokenView<'_>) -> Option<NodeId> {
+    for &id in model.match_order() {
+        let node = &model.nodes[id.0];
+        if node.matches_view(view) {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Match a raw record through caller-provided scratch buffers: the zero-copy
+/// equivalent of [`match_record`]. Only the rendered template of the *result*
+/// allocates; preprocessing and matching reuse `scratch`.
+pub fn match_record_with_scratch(
+    model: &ParserModel,
+    preprocessor: &Preprocessor,
+    record: &str,
+    scratch: &mut TokenScratch,
+) -> MatchResult {
+    let view = preprocessor.token_view(record, scratch);
+    match match_view(model, &view) {
         Some(id) => {
             let node = &model.nodes[id.0];
             MatchResult {
@@ -62,6 +83,12 @@ pub fn match_record(model: &ParserModel, preprocessor: &Preprocessor, record: &s
     }
 }
 
+/// Match a raw log record (running the same preprocessing pipeline used for training).
+pub fn match_record(model: &ParserModel, preprocessor: &Preprocessor, record: &str) -> MatchResult {
+    let mut scratch = TokenScratch::new();
+    match_record_with_scratch(model, preprocessor, record, &mut scratch)
+}
+
 /// Match a batch of raw records, optionally across `workers` threads (§3 "Parallel": the
 /// online phase parallelises template matching across logs).
 pub fn match_batch(
@@ -70,9 +97,17 @@ pub fn match_batch(
     records: &[String],
     workers: usize,
 ) -> Vec<MatchResult> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<TokenScratch> =
+            std::cell::RefCell::new(TokenScratch::new());
+    }
     let indexed: Vec<(usize, &String)> = records.iter().enumerate().collect();
     let mut results = run_parallel(workers, indexed, |(idx, record)| {
-        (idx, match_record(model, preprocessor, record))
+        SCRATCH.with(|scratch| {
+            let result =
+                match_record_with_scratch(model, preprocessor, record, &mut scratch.borrow_mut());
+            (idx, result)
+        })
     });
     results.sort_by_key(|(idx, _)| *idx);
     results.into_iter().map(|(_, r)| r).collect()
@@ -87,8 +122,16 @@ mod tests {
     fn trained_model() -> (ParserModel, Preprocessor) {
         let mut records = Vec::new();
         for i in 0..40 {
-            records.push(format!("Accepted password for user{} from 10.0.0.{} port 22", i % 5, i % 9));
-            records.push(format!("Failed password for user{} from 10.0.0.{} port 22", i % 5, i % 9));
+            records.push(format!(
+                "Accepted password for user{} from 10.0.0.{} port 22",
+                i % 5,
+                i % 9
+            ));
+            records.push(format!(
+                "Failed password for user{} from 10.0.0.{} port 22",
+                i % 5,
+                i % 9
+            ));
             records.push(format!("Connection closed by 10.0.0.{}", i % 9));
         }
         let config = TrainConfig::default();
@@ -99,7 +142,11 @@ mod tests {
     #[test]
     fn known_patterns_match_trained_templates() {
         let (model, pre) = trained_model();
-        let result = match_record(&model, &pre, "Accepted password for user99 from 10.0.0.77 port 22");
+        let result = match_record(
+            &model,
+            &pre,
+            "Accepted password for user99 from 10.0.0.77 port 22",
+        );
         assert!(result.is_matched());
         assert!(result.template.contains("Accepted password for"));
         assert!(result.saturation > 0.5);
@@ -117,7 +164,11 @@ mod tests {
     #[test]
     fn most_precise_template_wins() {
         let (model, pre) = trained_model();
-        let result = match_record(&model, &pre, "Failed password for user1 from 10.0.0.3 port 22");
+        let result = match_record(
+            &model,
+            &pre,
+            "Failed password for user1 from 10.0.0.3 port 22",
+        );
         let node = model.node(result.node.unwrap()).unwrap();
         // The matched node must distinguish Accepted from Failed (i.e. not be a coarse
         // ancestor with a wildcard at the first position).
@@ -169,6 +220,9 @@ mod tests {
             }
         }
         let ratio = agree as f64 / records.len() as f64;
-        assert!(ratio > 0.8, "online matching diverged from training assignment: {ratio}");
+        assert!(
+            ratio > 0.8,
+            "online matching diverged from training assignment: {ratio}"
+        );
     }
 }

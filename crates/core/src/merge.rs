@@ -11,7 +11,11 @@ use crate::tree::{NodeId, TemplateToken, TreeNode};
 /// exactly the same token (wildcards only match wildcards). Different lengths score 0.
 pub fn template_similarity(a: &[TemplateToken], b: &[TemplateToken]) -> f64 {
     if a.len() != b.len() || a.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let matching = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
     matching as f64 / a.len() as f64
@@ -51,8 +55,7 @@ pub fn merge_models(base: &ParserModel, incoming: &ParserModel, threshold: f64) 
                 merge_subtree(incoming, *root, target, &mut merged, threshold);
             }
             _ => {
-                let mut incoming_to_merged: Vec<Option<NodeId>> =
-                    vec![None; incoming.nodes.len()];
+                let mut incoming_to_merged: Vec<Option<NodeId>> = vec![None; incoming.nodes.len()];
                 copy_subtree(incoming, *root, None, &mut merged, &mut incoming_to_merged);
                 let new_root = incoming_to_merged[root.0].expect("root was just copied");
                 merged.add_root(new_root);
@@ -135,7 +138,13 @@ fn merge_subtree(
             }
             _ => {
                 let mut mapping: Vec<Option<NodeId>> = vec![None; incoming.nodes.len()];
-                copy_subtree(incoming, incoming_child, Some(target_node), merged, &mut mapping);
+                copy_subtree(
+                    incoming,
+                    incoming_child,
+                    Some(target_node),
+                    merged,
+                    &mut mapping,
+                );
             }
         }
     }
@@ -208,7 +217,12 @@ mod tests {
         assert_eq!(merged.roots.len(), a.roots.len() + b.roots.len());
         let pre = Preprocessor::new(config.preprocess.clone());
         assert!(match_record(&merged, &pre, "cache hit for key 7").is_matched());
-        assert!(match_record(&merged, &pre, "connection refused from 10.0.0.9 after retry").is_matched());
+        assert!(match_record(
+            &merged,
+            &pre,
+            "connection refused from 10.0.0.9 after retry"
+        )
+        .is_matched());
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! chunked scoped-thread map is all that is needed: tasks are independent (one per initial
 //! group or one per batch of logs) and results are re-ordered by the caller.
 
-use crossbeam::thread;
-
 /// Apply `f` to every item of `items`, using up to `workers` OS threads. With
 /// `workers <= 1` (or a single item) the map runs inline on the calling thread.
 ///
@@ -34,17 +32,16 @@ where
         chunks.push(chunk);
     }
     let f = &f;
-    let results: Vec<Vec<R>> = thread::scope(|scope| {
+    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -169,10 +169,7 @@ mod tests {
 
     #[test]
     fn all_constant_positions_fully_saturated() {
-        let p = profile(&[
-            &["heartbeat", "ok"],
-            &["heartbeat", "ok"],
-        ]);
+        let p = profile(&[&["heartbeat", "ok"], &["heartbeat", "ok"]]);
         assert_eq!(saturation(&p, &full()), 1.0);
     }
 
@@ -208,10 +205,7 @@ mod tests {
 
     #[test]
     fn ablation_without_variable_reduces_to_constant_fraction() {
-        let p = profile(&[
-            &["svc", "start", "a"],
-            &["svc", "stop", "b"],
-        ]);
+        let p = profile(&[&["svc", "start", "a"], &["svc", "stop", "b"]]);
         let config = AblationConfig {
             variable_in_saturation: false,
             ..full()

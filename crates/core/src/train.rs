@@ -64,10 +64,8 @@ pub fn train_from_batch(batch: &PreprocessedBatch, config: &TrainConfig) -> Trai
         config.parallelism,
         group_inputs,
         move |(group_idx, members)| {
-            let group_logs: Vec<UniqueLog> = members
-                .iter()
-                .map(|&m| unique_logs[m].clone())
-                .collect();
+            let group_logs: Vec<UniqueLog> =
+                members.iter().map(|&m| unique_logs[m].clone()).collect();
             let local = cluster_group(
                 &group_logs,
                 config_ref,
@@ -166,7 +164,10 @@ mod tests {
         let outcome = train(&records, &TrainConfig::default());
         assert!(!outcome.model.is_empty());
         assert_eq!(outcome.training_assignment.len(), records.len());
-        assert!(outcome.model.roots.len() >= 2, "length grouping should give ≥2 roots");
+        assert!(
+            outcome.model.roots.len() >= 2,
+            "length grouping should give ≥2 roots"
+        );
     }
 
     #[test]
@@ -201,12 +202,17 @@ mod tests {
         let outcome = train(&records, &TrainConfig::default());
         let accepted = &outcome.training_assignment[0];
         let closed = &outcome.training_assignment[1];
-        assert_ne!(accepted, closed, "structurally different logs must not share a leaf");
+        assert_ne!(
+            accepted, closed,
+            "structurally different logs must not share a leaf"
+        );
     }
 
     #[test]
     fn sampling_caps_training_size() {
-        let records: Vec<String> = (0..500).map(|i| format!("event number {i} occurred")).collect();
+        let records: Vec<String> = (0..500)
+            .map(|i| format!("event number {i} occurred"))
+            .collect();
         let config = TrainConfig {
             max_training_records: 100,
             ..TrainConfig::default()

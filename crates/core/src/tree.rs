@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifier of a node within a [`ClusterTree`]/[`ParserModel`](crate::model::ParserModel).
+/// Identifier of a node within a clustering tree / [`ParserModel`](crate::model::ParserModel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
@@ -106,6 +106,22 @@ impl TreeNode {
         self.template
             .iter()
             .zip(tokens.iter())
+            .all(|(t, token)| match t {
+                TemplateToken::Wildcard => true,
+                TemplateToken::Const(c) => c == token,
+            })
+    }
+
+    /// Borrow-based variant of [`TreeNode::matches_tokens`] for the zero-copy matching
+    /// path: compares against a [`logtok::TokenView`] without materialising owned token
+    /// strings.
+    pub fn matches_view(&self, view: &logtok::TokenView<'_>) -> bool {
+        if view.len() != self.template.len() {
+            return false;
+        }
+        self.template
+            .iter()
+            .zip(view.iter())
             .all(|(t, token)| match t {
                 TemplateToken::Wildcard => true,
                 TemplateToken::Const(c) => c == token,

@@ -1,4 +1,8 @@
-//! Property-based tests for the core algorithm's invariants.
+//! Randomized property tests for the core algorithm's invariants.
+//!
+//! Ported from proptest to seeded randomized loops (the offline build environment has
+//! no proptest); every case is drawn from a fixed-seed [`StdRng`], so failures are
+//! deterministic and reproducible.
 
 use bytebrain::distance::ClusterProfile;
 use bytebrain::query::merge_consecutive_wildcards;
@@ -6,88 +10,117 @@ use bytebrain::saturation::saturation;
 use bytebrain::train::train;
 use bytebrain::{AblationConfig, TrainConfig};
 use logtok::EncodedLog;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small corpus of random logs built from a bounded vocabulary so that
-/// structure (shared templates) actually emerges.
-fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
-    let token = prop::sample::select(vec![
-        "open", "close", "read", "write", "file", "socket", "ok", "failed", "retry", "x1",
-        "x2", "x3", "x4", "x5",
-    ]);
-    prop::collection::vec(prop::collection::vec(token.prop_map(String::from), 1..6), 1..40)
+/// A small corpus of random logs built from a bounded vocabulary so that structure
+/// (shared templates) actually emerges.
+fn corpus(rng: &mut StdRng) -> Vec<Vec<String>> {
+    const VOCAB: [&str; 14] = [
+        "open", "close", "read", "write", "file", "socket", "ok", "failed", "retry", "x1", "x2",
+        "x3", "x4", "x5",
+    ];
+    let num_logs = rng.gen_range(1..40usize);
+    (0..num_logs)
+        .map(|_| {
+            let len = rng.gen_range(1..6usize);
+            (0..len)
+                .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())].to_string())
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    /// Saturation is always within [0, 1] for any cluster of equal-length logs, under
-    /// every ablation variant.
-    #[test]
-    fn saturation_is_bounded(corpus in corpus_strategy()) {
+/// Saturation is always within [0, 1] for any cluster of equal-length logs, under every
+/// ablation variant.
+#[test]
+fn saturation_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE1);
+    for _ in 0..60 {
+        let corpus = corpus(&mut rng);
         // Group by length so profiles are well-formed.
-        let mut by_len: std::collections::HashMap<usize, Vec<EncodedLog>> = std::collections::HashMap::new();
+        let mut by_len: std::collections::HashMap<usize, Vec<EncodedLog>> =
+            std::collections::HashMap::new();
         for tokens in &corpus {
-            by_len.entry(tokens.len()).or_default().push(EncodedLog::from_tokens(tokens));
+            by_len
+                .entry(tokens.len())
+                .or_default()
+                .push(EncodedLog::from_tokens(tokens));
         }
         for (len, logs) in by_len {
             let profile = ClusterProfile::from_logs(len, logs.iter());
             for (_, ablation) in AblationConfig::named_variants() {
                 let s = saturation(&profile, &ablation);
-                prop_assert!((0.0..=1.0).contains(&s), "saturation {s} out of range");
+                assert!((0.0..=1.0).contains(&s), "saturation {s} out of range");
             }
         }
     }
+}
 
-    /// Positional similarity is within [0, 1] and equals 1 for a log identical to a
-    /// singleton cluster's only member.
-    #[test]
-    fn similarity_is_bounded(corpus in corpus_strategy()) {
+/// Positional similarity is within [0, 1] and equals 1 for a log identical to a
+/// singleton cluster's only member.
+#[test]
+fn similarity_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE2);
+    for _ in 0..40 {
+        let corpus = corpus(&mut rng);
         for tokens in &corpus {
             let log = EncodedLog::from_tokens(tokens);
             let profile = ClusterProfile::from_logs(log.len(), [&log]);
             let s = profile.similarity(&log, true);
-            prop_assert!((s - 1.0).abs() < 1e-9);
+            assert!((s - 1.0).abs() < 1e-9);
             for other in &corpus {
                 if other.len() == tokens.len() {
                     let other_log = EncodedLog::from_tokens(other);
                     let sim = profile.similarity(&other_log, true);
-                    prop_assert!((0.0..=1.0 + 1e-9).contains(&sim));
+                    assert!((0.0..=1.0 + 1e-9).contains(&sim));
                 }
             }
         }
     }
+}
 
-    /// Training always produces a model whose assignment (a) covers every record, (b)
-    /// points at templates that actually match the record's token layout, and (c) keeps
-    /// saturation monotone along every tree path.
-    #[test]
-    fn training_invariants(corpus in corpus_strategy()) {
+/// Training always produces a model whose assignment (a) covers every record, (b)
+/// points at templates that actually match the record's token layout, and (c) keeps
+/// saturation monotone along every tree path.
+#[test]
+fn training_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE3);
+    for _ in 0..30 {
+        let corpus = corpus(&mut rng);
         let records: Vec<String> = corpus.iter().map(|t| t.join(" ")).collect();
         let config = TrainConfig::default();
         let outcome = train(&records, &config);
-        prop_assert_eq!(outcome.training_assignment.len(), records.len());
+        assert_eq!(outcome.training_assignment.len(), records.len());
         for node in &outcome.model.nodes {
             if let Some(parent) = node.parent {
                 let parent_node = outcome.model.node(parent).unwrap();
-                prop_assert!(node.saturation + 1e-9 >= parent_node.saturation);
+                assert!(node.saturation + 1e-9 >= parent_node.saturation);
             }
-            prop_assert!((0.0..=1.0).contains(&node.saturation));
+            assert!((0.0..=1.0).contains(&node.saturation));
         }
         // Root log counts sum to the number of records.
-        prop_assert_eq!(outcome.model.trained_records(), records.len() as u64);
+        assert_eq!(outcome.model.trained_records(), records.len() as u64);
     }
+}
 
-    /// Wildcard merging is idempotent and never increases the number of tokens.
-    #[test]
-    fn wildcard_merging_properties(tokens in prop::collection::vec(prop::sample::select(vec!["*", "a", "b", "c"]), 0..20)) {
+/// Wildcard merging is idempotent and never increases the number of tokens.
+#[test]
+fn wildcard_merging_properties() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE4);
+    const TOKENS: [&str; 4] = ["*", "a", "b", "c"];
+    for _ in 0..300 {
+        let len = rng.gen_range(0..20usize);
+        let tokens: Vec<&str> = (0..len).map(|_| TOKENS[rng.gen_range(0..4usize)]).collect();
         let template = tokens.join(" ");
         let once = merge_consecutive_wildcards(&template);
         let twice = merge_consecutive_wildcards(&once);
-        prop_assert_eq!(&once, &twice);
-        prop_assert!(once.split_whitespace().count() <= tokens.len());
+        assert_eq!(once, twice);
+        assert!(once.split_whitespace().count() <= tokens.len());
         // No two consecutive wildcards survive.
         let out_tokens: Vec<&str> = once.split_whitespace().collect();
         for pair in out_tokens.windows(2) {
-            prop_assert!(!(pair[0] == "*" && pair[1] == "*"));
+            assert!(!(pair[0] == "*" && pair[1] == "*"));
         }
     }
 }

@@ -324,34 +324,122 @@ pub fn seed_patterns(name: &str) -> Vec<&'static str> {
 }
 
 /// Vocabulary used when synthesizing additional templates beyond the seed set.
-fn synthesis_vocab(name: &str) -> (&'static [&'static str], &'static [&'static str], &'static [&'static str]) {
+fn synthesis_vocab(
+    name: &str,
+) -> (
+    &'static [&'static str],
+    &'static [&'static str],
+    &'static [&'static str],
+) {
     // (components, actions, details): templates look like
     //   "<component> <action> <detail...>"
     let components: &[&str] = match name {
-        "HDFS" => &["dfs.DataNode", "dfs.FSNamesystem", "dfs.DataBlockScanner", "dfs.PacketResponder"],
-        "Spark" => &["storage.MemoryStore", "scheduler.TaskSetManager", "executor.Executor", "shuffle.ShuffleBlockFetcherIterator", "spark.SecurityManager"],
+        "HDFS" => &[
+            "dfs.DataNode",
+            "dfs.FSNamesystem",
+            "dfs.DataBlockScanner",
+            "dfs.PacketResponder",
+        ],
+        "Spark" => &[
+            "storage.MemoryStore",
+            "scheduler.TaskSetManager",
+            "executor.Executor",
+            "shuffle.ShuffleBlockFetcherIterator",
+            "spark.SecurityManager",
+        ],
         "BGL" => &["KERNEL", "APP", "DISCOVERY", "HARDWARE", "MMCS", "LINKCARD"],
-        "Thunderbird" => &["kernel", "sshd", "crond", "pbs_mom", "postfix/smtpd", "ntpd", "xinetd"],
-        "Mac" => &["kernel", "WindowServer", "corecaptured", "mDNSResponder", "Bluetooth", "AirPort", "sandboxd"],
+        "Thunderbird" => &[
+            "kernel",
+            "sshd",
+            "crond",
+            "pbs_mom",
+            "postfix/smtpd",
+            "ntpd",
+            "xinetd",
+        ],
+        "Mac" => &[
+            "kernel",
+            "WindowServer",
+            "corecaptured",
+            "mDNSResponder",
+            "Bluetooth",
+            "AirPort",
+            "sandboxd",
+        ],
         "Linux" => &["kernel", "sshd", "su", "ftpd", "crond", "syslogd", "cups"],
-        "Android" => &["ActivityManager", "WindowManager", "PowerManagerService", "BluetoothAdapter", "AudioFlinger", "PackageManager"],
-        "Hadoop" => &["mapreduce.Job", "yarn.RMContainerAllocator", "hdfs.DFSClient", "ipc.Server", "mapred.Task"],
-        "Zookeeper" => &["NIOServerCnxn", "QuorumPeer", "FastLeaderElection", "CommitProcessor", "LearnerHandler"],
+        "Android" => &[
+            "ActivityManager",
+            "WindowManager",
+            "PowerManagerService",
+            "BluetoothAdapter",
+            "AudioFlinger",
+            "PackageManager",
+        ],
+        "Hadoop" => &[
+            "mapreduce.Job",
+            "yarn.RMContainerAllocator",
+            "hdfs.DFSClient",
+            "ipc.Server",
+            "mapred.Task",
+        ],
+        "Zookeeper" => &[
+            "NIOServerCnxn",
+            "QuorumPeer",
+            "FastLeaderElection",
+            "CommitProcessor",
+            "LearnerHandler",
+        ],
         "Windows" => &["CBS", "CSI", "SQM", "DPX", "WER"],
-        "OpenStack" => &["nova.compute.manager", "nova.virt.libvirt", "nova.api.openstack", "nova.scheduler"],
+        "OpenStack" => &[
+            "nova.compute.manager",
+            "nova.virt.libvirt",
+            "nova.api.openstack",
+            "nova.scheduler",
+        ],
         "HPC" => &["node", "gige", "interconnect", "psu", "fan"],
-        "HealthApp" => &["Step_StandReportReceiver", "Step_LSC", "Step_SPUtils", "Step_ExtSDM", "HiH_HealthKit"],
+        "HealthApp" => &[
+            "Step_StandReportReceiver",
+            "Step_LSC",
+            "Step_SPUtils",
+            "Step_ExtSDM",
+            "HiH_HealthKit",
+        ],
         "OpenSSH" => &["sshd", "pam_unix", "auth"],
         "Proxifier" => &["chrome", "firefox", "outlook", "telegram", "dropbox"],
         "Apache" => &["mod_jk", "workerEnv", "jk2_init", "mod_ssl"],
         _ => &["core", "worker", "scheduler", "io"],
     };
     let actions: &[&str] = &[
-        "initialized", "starting", "stopped", "registered", "received", "completed",
-        "failed", "retrying", "allocated", "released", "updated", "scanning", "flushed",
-        "committed", "rejected", "scheduled", "expired", "resumed", "suspended", "verified",
-        "loaded", "unloaded", "opened", "closed", "connected", "disconnected", "timeout",
-        "recovered", "synchronized", "elected",
+        "initialized",
+        "starting",
+        "stopped",
+        "registered",
+        "received",
+        "completed",
+        "failed",
+        "retrying",
+        "allocated",
+        "released",
+        "updated",
+        "scanning",
+        "flushed",
+        "committed",
+        "rejected",
+        "scheduled",
+        "expired",
+        "resumed",
+        "suspended",
+        "verified",
+        "loaded",
+        "unloaded",
+        "opened",
+        "closed",
+        "connected",
+        "disconnected",
+        "timeout",
+        "recovered",
+        "synchronized",
+        "elected",
     ];
     let details: &[&str] = &[
         "for <word> in <duration>",
@@ -444,7 +532,10 @@ mod tests {
     fn table1_counts_match_the_paper() {
         assert_eq!(dataset_spec("HDFS").unwrap().loghub_templates, 14);
         assert_eq!(dataset_spec("HDFS").unwrap().loghub2_templates, Some(46));
-        assert_eq!(dataset_spec("Thunderbird").unwrap().loghub2_templates, Some(1_241));
+        assert_eq!(
+            dataset_spec("Thunderbird").unwrap().loghub2_templates,
+            Some(1_241)
+        );
         assert_eq!(dataset_spec("Apache").unwrap().loghub_templates, 6);
         assert_eq!(dataset_spec("Mac").unwrap().loghub_templates, 341);
     }
@@ -485,7 +576,11 @@ mod tests {
         let mut forms: Vec<String> = pool.iter().map(|t| t.wildcard_form()).collect();
         forms.sort();
         forms.dedup();
-        assert_eq!(forms.len(), 300, "synthesized templates must be pairwise distinct");
+        assert_eq!(
+            forms.len(),
+            300,
+            "synthesized templates must be pairwise distinct"
+        );
     }
 
     #[test]

@@ -92,12 +92,12 @@ impl LabeledDataset {
     pub fn generate(config: &GeneratorConfig) -> Self {
         let spec = dataset_spec(&config.dataset)
             .unwrap_or_else(|| panic!("unknown dataset family {:?}", config.dataset));
-        let template_count = config
-            .num_templates
-            .unwrap_or(spec.loghub_templates)
-            .max(1);
+        let template_count = config.num_templates.unwrap_or(spec.loghub_templates).max(1);
         let templates = build_templates(&config.dataset, template_count);
-        let zipf = Zipf::new(templates.len(), config.zipf_exponent.unwrap_or(spec.zipf_exponent));
+        let zipf = Zipf::new(
+            templates.len(),
+            config.zipf_exponent.unwrap_or(spec.zipf_exponent),
+        );
         let pools = VariablePools {
             small_pool: config.small_pool,
             id_pool: config.id_pool,

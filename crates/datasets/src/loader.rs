@@ -24,9 +24,8 @@ pub fn load_structured_csv(name: &str, path: &Path) -> io::Result<LabeledDataset
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV file"))?;
     let columns = parse_csv_line(header);
-    let content_idx = find_column(&columns, &["Content"]).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "CSV has no Content column")
-    })?;
+    let content_idx = find_column(&columns, &["Content"])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "CSV has no Content column"))?;
     let template_idx = find_column(&columns, &["EventTemplate", "EventId"]).ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -73,8 +72,12 @@ pub fn load_structured_csv(name: &str, path: &Path) -> io::Result<LabeledDataset
 /// when the file does not exist.
 pub fn try_load_real(name: &str, data_dir: &Path) -> Option<LabeledDataset> {
     let candidates = [
-        data_dir.join(name).join(format!("{name}_2k.log_structured.csv")),
-        data_dir.join(name).join(format!("{name}_full.log_structured.csv")),
+        data_dir
+            .join(name)
+            .join(format!("{name}_2k.log_structured.csv")),
+        data_dir
+            .join(name)
+            .join(format!("{name}_full.log_structured.csv")),
         data_dir.join(format!("{name}_2k.log_structured.csv")),
     ];
     for path in candidates {

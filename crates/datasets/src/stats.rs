@@ -126,7 +126,13 @@ mod tests {
         let raw = duplication_counts(&records, |s| s.to_string());
         let masked = duplication_counts(&records, |s| {
             s.split_whitespace()
-                .map(|t| if t.chars().all(|c| c.is_ascii_digit()) { "<*>" } else { t })
+                .map(|t| {
+                    if t.chars().all(|c| c.is_ascii_digit()) {
+                        "<*>"
+                    } else {
+                        t
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join(" ")
         });

@@ -1,6 +1,6 @@
 //! Variable value generators for template slots.
 //!
-//! Every [`VarKind`](crate::template::VarKind) draws from a bounded pool so that the
+//! Every [`VarKind`] draws from a bounded pool so that the
 //! generated stream exhibits realistic exact-duplicate rates: real logs repeat the same
 //! block ids, hosts and users over and over, which is exactly what the deduplication
 //! optimisation (§4.1.3, Fig. 4) exploits.
@@ -28,20 +28,49 @@ impl Default for VariablePools {
 }
 
 const WORDS: &[&str] = &[
-    "success", "failed", "pending", "running", "stopped", "timeout", "retry", "aborted",
-    "active", "inactive", "ready", "closed", "opened", "granted", "denied", "expired",
-    "normal", "degraded", "primary", "secondary", "leader", "follower", "idle", "busy",
+    "success",
+    "failed",
+    "pending",
+    "running",
+    "stopped",
+    "timeout",
+    "retry",
+    "aborted",
+    "active",
+    "inactive",
+    "ready",
+    "closed",
+    "opened",
+    "granted",
+    "denied",
+    "expired",
+    "normal",
+    "degraded",
+    "primary",
+    "secondary",
+    "leader",
+    "follower",
+    "idle",
+    "busy",
 ];
 
 const USERS: &[&str] = &[
-    "root", "admin", "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
-    "ivan", "judy", "mallory", "oscar", "peggy", "trent", "victor", "wendy", "service",
-    "daemon", "operator", "deploy", "www", "nobody",
+    "root", "admin", "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan",
+    "judy", "mallory", "oscar", "peggy", "trent", "victor", "wendy", "service", "daemon",
+    "operator", "deploy", "www", "nobody",
 ];
 
 const PATH_ROOTS: &[&str] = &[
-    "/var/log", "/usr/local/bin", "/data/blocks", "/tmp", "/home/user", "/etc/conf.d",
-    "/opt/app", "/mnt/disk1", "/proc/sys", "/srv/data",
+    "/var/log",
+    "/usr/local/bin",
+    "/data/blocks",
+    "/tmp",
+    "/home/user",
+    "/etc/conf.d",
+    "/opt/app",
+    "/mnt/disk1",
+    "/proc/sys",
+    "/srv/data",
 ];
 
 const CLASSES: &[&str] = &[
@@ -66,7 +95,12 @@ pub fn render_value(kind: VarKind, rng: &mut StdRng, pools: &VariablePools) -> S
         }
         VarKind::Ipv4 => {
             let host = rng.gen_range(0..pools.small_pool.max(1)) as u8;
-            format!("10.{}.{}.{}", rng.gen_range(0..4u8), rng.gen_range(0..8u8), host)
+            format!(
+                "10.{}.{}.{}",
+                rng.gen_range(0..4u8),
+                rng.gen_range(0..8u8),
+                host
+            )
         }
         VarKind::IpPort => {
             let host = rng.gen_range(0..pools.small_pool.max(1)) as u8;
@@ -84,12 +118,21 @@ pub fn render_value(kind: VarKind, rng: &mut StdRng, pools: &VariablePools) -> S
             format!("{}/file_{}.dat", root, rng.gen_range(0..pools.id_pool))
         }
         VarKind::Host => format!("node-{:03}", rng.gen_range(0..pools.small_pool.max(1))),
-        VarKind::User => USERS[rng.gen_range(0..USERS.len().min(pools.small_pool.max(1)))].to_string(),
+        VarKind::User => {
+            USERS[rng.gen_range(0..USERS.len().min(pools.small_pool.max(1)))].to_string()
+        }
         VarKind::Duration => format!("{}ms", rng.gen_range(1..30_000u32)),
         VarKind::Size => format!("{}MB", rng.gen_range(1..4096u32)),
         VarKind::Uuid => {
             let a: u32 = rng.gen_range(0..pools.id_pool as u32);
-            format!("{:08x}-{:04x}-{:04x}-{:04x}-{:012x}", a, a % 0xffff, 0x4000 | (a % 0x0fff), 0x8000 | (a % 0x3fff), a as u64 * 99_991)
+            format!(
+                "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+                a,
+                a % 0xffff,
+                0x4000 | (a % 0x0fff),
+                0x8000 | (a % 0x3fff),
+                a as u64 * 99_991
+            )
         }
         VarKind::Word => WORDS[rng.gen_range(0..WORDS.len())].to_string(),
         VarKind::Float => format!("{:.2}", rng.gen_range(0.0..1000.0f64)),
@@ -131,7 +174,10 @@ mod tests {
         ] {
             let v = render_value(kind, &mut r, &pools);
             assert!(!v.is_empty(), "{kind:?} rendered empty");
-            assert!(!v.contains(' '), "{kind:?} rendered a value with spaces: {v}");
+            assert!(
+                !v.contains(' '),
+                "{kind:?} rendered a value with spaces: {v}"
+            );
         }
     }
 

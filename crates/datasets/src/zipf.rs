@@ -34,7 +34,9 @@ impl Zipf {
         if let Some(last) = weights.last_mut() {
             *last = 1.0;
         }
-        Zipf { cumulative: weights }
+        Zipf {
+            cumulative: weights,
+        }
     }
 
     /// Number of items.

@@ -1,65 +1,80 @@
-//! Property-based tests for the synthetic dataset generators.
+//! Randomized property tests for the synthetic dataset generators.
+//!
+//! Ported from proptest to seeded randomized loops (the offline build environment has
+//! no proptest); every case is drawn from a fixed-seed [`StdRng`], so failures are
+//! deterministic and reproducible.
 
 use datasets::{dataset_names, GeneratorConfig, LabeledDataset, Segment, Zipf};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every generated record is labelled with a valid template id and contains every
-    /// constant segment of that template, in order.
-    #[test]
-    fn records_are_consistent_with_their_labels(
-        dataset_idx in 0usize..16,
-        num_logs in 50usize..400,
-        seed in any::<u64>(),
-    ) {
-        let name = dataset_names()[dataset_idx];
+/// Every generated record is labelled with a valid template id and contains every
+/// constant segment of that template, in order.
+#[test]
+fn records_are_consistent_with_their_labels() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A1);
+    for _ in 0..16 {
+        let name = dataset_names()[rng.gen_range(0..16usize)];
+        let num_logs = rng.gen_range(50..400usize);
+        let seed = rng.gen_range(0..u64::MAX);
         let config = GeneratorConfig {
             num_logs,
             ..GeneratorConfig::loghub(name)
-        }.with_seed(seed);
+        }
+        .with_seed(seed);
         let ds = LabeledDataset::generate(&config);
-        prop_assert_eq!(ds.records.len(), num_logs);
-        prop_assert_eq!(ds.labels.len(), num_logs);
+        assert_eq!(ds.records.len(), num_logs);
+        assert_eq!(ds.labels.len(), num_logs);
         for (record, &label) in ds.records.iter().zip(&ds.labels) {
-            prop_assert!(label < ds.templates.len());
+            assert!(label < ds.templates.len());
             let mut cursor = 0usize;
             for segment in &ds.templates[label].segments {
                 if let Segment::Const(text) = segment {
                     match record[cursor..].find(text.as_str()) {
                         Some(found) => cursor += found + text.len(),
-                        None => prop_assert!(false, "segment {text:?} missing in {record:?}"),
+                        None => panic!("segment {text:?} missing in {record:?}"),
                     }
                 }
             }
         }
     }
+}
 
-    /// Generation is a pure function of its configuration.
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>()) {
+/// Generation is a pure function of its configuration.
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A2);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0..u64::MAX);
         let config = GeneratorConfig {
             num_logs: 200,
             ..GeneratorConfig::loghub("HDFS")
-        }.with_seed(seed);
+        }
+        .with_seed(seed);
         let a = LabeledDataset::generate(&config);
         let b = LabeledDataset::generate(&config);
-        prop_assert_eq!(a.records, b.records);
-        prop_assert_eq!(a.labels, b.labels);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.labels, b.labels);
     }
+}
 
-    /// Zipf sampling stays in range and its probabilities sum to one for any size/skew.
-    #[test]
-    fn zipf_is_well_formed(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+/// Zipf sampling stays in range and its probabilities sum to one for any size/skew.
+#[test]
+fn zipf_is_well_formed() {
+    let mut outer = StdRng::seed_from_u64(0xDA7A3);
+    for _ in 0..40 {
+        let n = outer.gen_range(1..500usize);
+        let s = outer.gen_range(0.0..3.0f64);
+        let seed = outer.gen_range(0..u64::MAX);
         let zipf = Zipf::new(n, s);
         let total: f64 = (0..n).map(|i| zipf.probability(i)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total} (n={n}, s={s})"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert!(zipf.sample(&mut rng) < n);
+            assert!(zipf.sample(&mut rng) < n);
         }
     }
 }

@@ -152,6 +152,9 @@ mod tests {
         let mut predicted = vec![0; 95];
         predicted.extend(vec![0; 5]); // rare template merged into the frequent one
         let report = grouping_report(&predicted, &truth);
-        assert_eq!(report.correct, 0, "merging poisons both groups under strict GA");
+        assert_eq!(
+            report.correct, 0,
+            "merging poisons both groups under strict GA"
+        );
     }
 }

@@ -17,7 +17,9 @@ impl ByteClass {
 
     /// A class containing the single byte `b`.
     pub fn single(b: u8) -> Self {
-        ByteClass { ranges: vec![(b, b)] }
+        ByteClass {
+            ranges: vec![(b, b)],
+        }
     }
 
     /// Add an inclusive range.
@@ -70,7 +72,9 @@ impl ByteClass {
 
     /// Digits `0-9`.
     pub fn digit() -> Self {
-        ByteClass { ranges: vec![(b'0', b'9')] }
+        ByteClass {
+            ranges: vec![(b'0', b'9')],
+        }
     }
 
     /// Word characters `[A-Za-z0-9_]`.

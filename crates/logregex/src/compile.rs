@@ -68,7 +68,10 @@ impl Compiler {
         for (i, branch) in branches.iter().enumerate() {
             if i + 1 < branches.len() {
                 let split_pc = self.next_pc();
-                self.insts.push(Inst::Split { prefer: 0, other: 0 });
+                self.insts.push(Inst::Split {
+                    prefer: 0,
+                    other: 0,
+                });
                 let branch_start = self.next_pc();
                 self.emit_ast(branch);
                 let jump_pc = self.next_pc();
@@ -98,7 +101,10 @@ impl Compiler {
             None => {
                 // Kleene star over the remaining repetitions: loop with greedy preference.
                 let split_pc = self.next_pc();
-                self.insts.push(Inst::Split { prefer: 0, other: 0 });
+                self.insts.push(Inst::Split {
+                    prefer: 0,
+                    other: 0,
+                });
                 let body_start = self.next_pc();
                 self.emit_ast(node);
                 self.insts.push(Inst::Jump(split_pc));
@@ -114,7 +120,10 @@ impl Compiler {
                 let mut split_pcs = Vec::with_capacity(optional as usize);
                 for _ in 0..optional {
                     let split_pc = self.next_pc();
-                    self.insts.push(Inst::Split { prefer: 0, other: 0 });
+                    self.insts.push(Inst::Split {
+                        prefer: 0,
+                        other: 0,
+                    });
                     split_pcs.push(split_pc);
                     let body_start = self.next_pc();
                     self.emit_ast(node);
@@ -128,7 +137,10 @@ impl Compiler {
                 let after = self.next_pc();
                 for pc in split_pcs {
                     if let Inst::Split { prefer, .. } = self.insts[pc] {
-                        self.insts[pc] = Inst::Split { prefer, other: after };
+                        self.insts[pc] = Inst::Split {
+                            prefer,
+                            other: after,
+                        };
                     }
                 }
             }

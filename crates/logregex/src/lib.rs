@@ -126,6 +126,14 @@ impl Regex {
     /// Replace every non-overlapping match with `replacement` (a literal string).
     pub fn replace_all(&self, haystack: &str, replacement: &str) -> String {
         let mut out = String::with_capacity(haystack.len());
+        self.replace_all_into(haystack, replacement, &mut out);
+        out
+    }
+
+    /// Like [`Regex::replace_all`], but appends into a caller-provided buffer so hot
+    /// paths (the streaming ingestion fast path) can reuse allocations across records.
+    /// The buffer is *not* cleared first.
+    pub fn replace_all_into(&self, haystack: &str, replacement: &str, out: &mut String) {
         let mut last = 0usize;
         for m in self.find_iter(haystack) {
             out.push_str(&haystack[last..m.start]);
@@ -133,7 +141,6 @@ impl Regex {
             last = m.end;
         }
         out.push_str(&haystack[last..]);
-        out
     }
 
     /// Split `haystack` on every match, returning the (possibly empty) fragments between
@@ -289,8 +296,8 @@ mod tests {
 
     #[test]
     fn full_match() {
-        let re = Regex::new(r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}")
-            .unwrap();
+        let re =
+            Regex::new(r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}").unwrap();
         assert!(re.is_full_match("123e4567-e89b-12d3-a456-426614174000"));
         assert!(!re.is_full_match("x123e4567-e89b-12d3-a456-426614174000"));
     }
@@ -307,7 +314,10 @@ mod tests {
     fn escaped_metacharacters() {
         let re = Regex::new(r"\[\d+\]").unwrap();
         assert!(re.is_match("pid[1234] started"));
-        assert_eq!(re.replace_all("pid[1234] started", "<pid>"), "pid<pid> started");
+        assert_eq!(
+            re.replace_all("pid[1234] started", "<pid>"),
+            "pid<pid> started"
+        );
     }
 
     #[test]
@@ -342,7 +352,10 @@ mod tests {
     #[test]
     fn word_class() {
         let re = Regex::new(r"\w+").unwrap();
-        let parts: Vec<_> = re.find_iter("hello, world_2!").map(|m| m.as_str("hello, world_2!")).collect();
+        let parts: Vec<_> = re
+            .find_iter("hello, world_2!")
+            .map(|m| m.as_str("hello, world_2!"))
+            .collect();
         assert_eq!(parts, vec!["hello", "world_2"]);
     }
 

@@ -84,7 +84,15 @@ pub fn find_at(program: &Program, haystack: &[u8], from: usize, len: usize) -> O
             }
             if let Inst::Byte(class) = &program.insts[th.pc] {
                 if class.contains(byte) {
-                    add_thread(program, &mut next, th.pc + 1, th.start, pos + 1, len, &mut best);
+                    add_thread(
+                        program,
+                        &mut next,
+                        th.pc + 1,
+                        th.start,
+                        pos + 1,
+                        len,
+                        &mut best,
+                    );
                 }
             }
         }

@@ -227,9 +227,7 @@ impl<'p> Parser<'p> {
                     self.bump();
                 }
                 Some(b'=') | Some(b'!') | Some(b'<') => {
-                    return Err(self.err(
-                        "look-around is not supported (linear-time subset only)",
-                    ));
+                    return Err(self.err("look-around is not supported (linear-time subset only)"));
                 }
                 _ => return Err(self.err("unsupported group syntax")),
             }
@@ -291,7 +289,9 @@ impl<'p> Parser<'p> {
     }
 
     fn parse_class_member(&mut self) -> Result<ClassMember, RegexError> {
-        let b = self.bump().ok_or_else(|| self.err("unclosed character class"))?;
+        let b = self
+            .bump()
+            .ok_or_else(|| self.err("unclosed character class"))?;
         if b == b'\\' {
             let class = self.parse_escape(true)?;
             if class.ranges.len() == 1 && class.ranges[0].0 == class.ranges[0].1 {
@@ -319,8 +319,12 @@ impl<'p> Parser<'p> {
             b'r' => ByteClass::single(b'\r'),
             b'0' => ByteClass::single(0),
             b'x' => {
-                let hi = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
-                let lo = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| self.err("truncated \\x escape"))?;
+                let lo = self
+                    .bump()
+                    .ok_or_else(|| self.err("truncated \\x escape"))?;
                 let hex = |c: u8| -> Option<u8> {
                     match c {
                         b'0'..=b'9' => Some(c - b'0'),
@@ -339,9 +343,9 @@ impl<'p> Parser<'p> {
                 if in_class {
                     ByteClass::single(b)
                 } else {
-                    return Err(self.err(
-                        "back-references are not supported (linear-time subset only)",
-                    ));
+                    return Err(
+                        self.err("back-references are not supported (linear-time subset only)")
+                    );
                 }
             }
             // Escaped metacharacters and punctuation map to their literal byte.

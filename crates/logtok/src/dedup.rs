@@ -59,9 +59,7 @@ impl Deduplicator {
         let mut seq_hash: u64 = 0xcbf2_9ce4_8422_2325;
         for t in tokens {
             // Order-sensitive combination of per-token hashes.
-            seq_hash = seq_hash
-                .rotate_left(5)
-                .wrapping_mul(0x0000_0100_0000_01b3)
+            seq_hash = seq_hash.rotate_left(5).wrapping_mul(0x0000_0100_0000_01b3)
                 ^ hash_token(t.as_ref());
         }
         let key = (seq_hash, tokens.len());

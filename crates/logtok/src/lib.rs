@@ -15,6 +15,8 @@
 //! * **Pipeline** ([`pipeline`]): glues the steps together into the exact preprocessing
 //!   sequence used by both the offline trainer and the online matcher.
 
+#![warn(missing_docs)]
+
 pub mod dedup;
 pub mod hashenc;
 pub mod masking;
@@ -26,7 +28,7 @@ pub use dedup::{DedupStats, Deduplicator, UniqueLog};
 pub use hashenc::{hash_token, EncodedLog, WILDCARD_HASH};
 pub use masking::{MaskRule, Masker};
 pub use ordinal::OrdinalEncoder;
-pub use pipeline::{PreprocessConfig, Preprocessor, PreprocessedBatch};
+pub use pipeline::{PreprocessConfig, PreprocessedBatch, Preprocessor, TokenScratch, TokenView};
 pub use tokenizer::{tokenize, Tokenizer, TokenizerConfig};
 
 /// The wildcard token text used in rendered templates (`*` in the paper's figures).

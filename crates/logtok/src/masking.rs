@@ -128,6 +128,21 @@ impl Masker {
         current
     }
 
+    /// Allocation-free variant of [`Masker::mask`] for hot paths: the masked record is
+    /// left in `out`, with `swap` used as the ping-pong buffer between rules. Both
+    /// buffers are reused across calls, so after warm-up no heap allocation happens.
+    pub fn mask_into(&self, record: &str, out: &mut String, swap: &mut String) {
+        out.clear();
+        out.push_str(record);
+        for rule in &self.rules {
+            if rule.matches(out) {
+                swap.clear();
+                rule.regex.replace_all_into(out, &rule.replacement, swap);
+                std::mem::swap(out, swap);
+            }
+        }
+    }
+
     /// Names of the configured rules, in application order.
     pub fn rule_names(&self) -> Vec<&str> {
         self.rules.iter().map(|r| r.name.as_str()).collect()

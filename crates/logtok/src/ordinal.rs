@@ -56,10 +56,7 @@ impl OrdinalEncoder {
     /// bytes plus an 8-byte id, which is what a minimal on-disk token→id mapping costs.
     /// This is the quantity plotted in Fig. 10.
     pub fn dictionary_size_bytes(&self) -> u64 {
-        self.id_to_token
-            .iter()
-            .map(|t| t.len() as u64 + 8)
-            .sum()
+        self.id_to_token.iter().map(|t| t.len() as u64 + 8).sum()
     }
 }
 

@@ -43,6 +43,71 @@ pub struct PreprocessedBatch {
     pub stats: DedupStats,
 }
 
+/// Reusable per-thread scratch buffers for the zero-copy preprocessing fast path.
+///
+/// [`Preprocessor::token_view`] masks and tokenizes a record into these buffers instead
+/// of allocating a fresh `Vec<String>` per record (what [`Preprocessor::tokens_of`]
+/// does). A shard worker of the streaming ingestion engine keeps one `TokenScratch`
+/// alive for its whole lifetime, so after the first few records the hot path performs
+/// no heap allocation.
+#[derive(Debug, Default)]
+pub struct TokenScratch {
+    /// The masked record text (reused capacity).
+    masked: String,
+    /// Ping-pong buffer for multi-rule masking.
+    swap: String,
+    /// Byte spans of the tokens within `masked`.
+    spans: Vec<(usize, usize)>,
+}
+
+impl TokenScratch {
+    /// Fresh scratch buffers (empty until the first [`Preprocessor::token_view`] call).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A borrowed view of one preprocessed record: the masked text plus token spans, both
+/// living inside a [`TokenScratch`]. Provides positional access without owning any
+/// token storage.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenView<'s> {
+    text: &'s str,
+    spans: &'s [(usize, usize)],
+}
+
+impl<'s> TokenView<'s> {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the record produced no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th token.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &'s str {
+        let (start, end) = self.spans[i];
+        &self.text[start..end]
+    }
+
+    /// Iterator over the tokens, in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &'s str> + '_ {
+        self.spans.iter().map(move |&(s, e)| &self.text[s..e])
+    }
+
+    /// Materialise the tokens as owned strings (used when a cold path — e.g. inserting
+    /// a temporary template for an unmatched record — needs to keep them).
+    pub fn to_owned_tokens(&self) -> Vec<String> {
+        self.iter().map(str::to_string).collect()
+    }
+}
+
 /// Reusable preprocessor (the configuration is parsed/compiled once).
 #[derive(Debug, Clone)]
 pub struct Preprocessor {
@@ -88,6 +153,22 @@ impl Preprocessor {
             .into_iter()
             .map(|t| t.to_string())
             .collect()
+    }
+
+    /// Zero-copy fast path: mask and tokenize `record` into `scratch`, returning a
+    /// borrowed [`TokenView`] over the result. Unlike [`Preprocessor::tokens_of`], this
+    /// performs no heap allocation once the scratch buffers have grown to a typical
+    /// record size, which is what keeps the online matching path of the streaming
+    /// ingestion engine cheap.
+    pub fn token_view<'s>(&self, record: &str, scratch: &'s mut TokenScratch) -> TokenView<'s> {
+        self.masker
+            .mask_into(record, &mut scratch.masked, &mut scratch.swap);
+        self.tokenizer
+            .tokenize_spans(&scratch.masked, &mut scratch.spans);
+        TokenView {
+            text: &scratch.masked,
+            spans: &scratch.spans,
+        }
     }
 
     /// Run the full pipeline over a batch of raw records.

@@ -72,8 +72,18 @@ impl Tokenizer {
     /// Split `record` into tokens. Tokens borrow from the input; no allocation happens
     /// beyond the output vector.
     pub fn tokenize<'a>(&self, record: &'a str) -> Vec<&'a str> {
+        let mut spans = Vec::with_capacity(16);
+        self.tokenize_spans(record, &mut spans);
+        spans.iter().map(|&(s, e)| &record[s..e]).collect()
+    }
+
+    /// Zero-copy core of [`Tokenizer::tokenize`]: write the byte span of every token
+    /// into `spans` (cleared first) instead of materialising a slice vector. The
+    /// streaming ingestion fast path calls this with a per-shard scratch vector so
+    /// tokenizing a record performs no allocation at all once the scratch has warmed up.
+    pub fn tokenize_spans(&self, record: &str, spans: &mut Vec<(usize, usize)>) {
+        spans.clear();
         let bytes = record.as_bytes();
-        let mut tokens: Vec<&'a str> = Vec::with_capacity(16);
         let mut start = 0usize;
         let mut i = 0usize;
         let len = bytes.len();
@@ -91,17 +101,18 @@ impl Tokenizer {
             let (is_delim, delim_len) = self.delimiter_at(bytes, i);
             if is_delim {
                 if i > start {
-                    tokens.push(&record[start..i]);
-                    if tokens.len() + 1 >= self.config.max_tokens {
+                    spans.push((start, i));
+                    if spans.len() + 1 >= self.config.max_tokens {
                         // Emit the rest of the record as one tail token and stop.
                         let rest_start = i + delim_len;
                         if rest_start < len {
                             let rest = record[rest_start..].trim();
                             if !rest.is_empty() {
-                                tokens.push(rest);
+                                let offset = rest.as_ptr() as usize - record.as_ptr() as usize;
+                                spans.push((offset, offset + rest.len()));
                             }
                         }
-                        return tokens;
+                        return;
                     }
                 }
                 i += delim_len;
@@ -111,9 +122,8 @@ impl Tokenizer {
             }
         }
         if start < len {
-            tokens.push(&record[start..len]);
+            spans.push((start, len));
         }
-        tokens
     }
 
     /// Is there a delimiter starting at byte offset `i`? Returns the delimiter length.
@@ -208,8 +218,8 @@ mod tests {
         assert_eq!(
             tokens,
             vec![
-                "release", "lock", "2337", "flg", "0x0", "tag", "View", "Lock", "name",
-                "systemui", "ws", "null"
+                "release", "lock", "2337", "flg", "0x0", "tag", "View", "Lock", "name", "systemui",
+                "ws", "null"
             ]
         );
     }
@@ -287,7 +297,10 @@ mod tests {
     #[test]
     fn colon_splits_but_not_protocol() {
         let tokens = tokenize("time:12:30:45 url=http://x.y/z");
-        assert_eq!(tokens, vec!["time", "12", "30", "45", "url", "http", "x.y/z"]);
+        assert_eq!(
+            tokens,
+            vec!["time", "12", "30", "45", "url", "http", "x.y/z"]
+        );
     }
 
     #[test]
@@ -311,7 +324,11 @@ mod tests {
         ];
         for record in records {
             let ours = tokenize(record);
-            let theirs: Vec<&str> = re.split(record).into_iter().filter(|s| !s.is_empty()).collect();
+            let theirs: Vec<&str> = re
+                .split(record)
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect();
             assert_eq!(ours, theirs, "tokenizer disagrees on {record:?}");
         }
     }

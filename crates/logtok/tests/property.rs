@@ -1,86 +1,198 @@
-//! Property-based tests for the preprocessing substrate.
+//! Randomized property tests for the preprocessing substrate.
+//!
+//! The original proptest-based versions are preserved as seeded randomized loops (the
+//! offline build environment has no proptest): each test draws a few hundred cases
+//! from a fixed-seed [`StdRng`], so failures are deterministic and reproducible.
 
 use logtok::{hash_token, Deduplicator, Masker, Preprocessor, Tokenizer};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Tokenization never produces empty tokens and never produces tokens containing the
-    /// default delimiters.
-    #[test]
-    fn tokens_are_nonempty_and_delimiter_free(record in "[ -~]{0,200}") {
-        let tokenizer = Tokenizer::default_rules();
+/// A random printable-ASCII string of length `0..max_len`.
+fn printable(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| rng.gen_range(0x20u8..0x7F) as char)
+        .collect()
+}
+
+/// A random string over an explicit alphabet.
+fn over_alphabet(rng: &mut StdRng, alphabet: &[char], min_len: usize, max_len: usize) -> String {
+    let len = rng.gen_range(min_len..max_len + 1);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+/// Tokenization never produces empty tokens and never produces tokens containing the
+/// default delimiters.
+#[test]
+fn tokens_are_nonempty_and_delimiter_free() {
+    let mut rng = StdRng::seed_from_u64(0x70C1);
+    let tokenizer = Tokenizer::default_rules();
+    for _ in 0..300 {
+        let record = printable(&mut rng, 200);
         for token in tokenizer.tokenize(&record) {
-            prop_assert!(!token.is_empty());
+            assert!(!token.is_empty());
             if token == "<*>" {
                 continue;
             }
             for forbidden in [' ', '\t', ';', ',', '(', ')', '[', ']', '{', '}', '"'] {
-                prop_assert!(
+                assert!(
                     !token.contains(forbidden),
-                    "token {token:?} contains delimiter {forbidden:?}"
+                    "token {token:?} contains delimiter {forbidden:?} (record {record:?})"
                 );
             }
         }
     }
+}
 
-    /// Every non-delimiter character of the input survives tokenization (tokens partition
-    /// the non-delimiter content).
-    #[test]
-    fn tokenization_preserves_alphanumeric_content(record in "[a-zA-Z0-9 =,:]{0,200}") {
-        let tokenizer = Tokenizer::default_rules();
+/// Every non-delimiter character of the input survives tokenization (tokens partition
+/// the non-delimiter content).
+#[test]
+fn tokenization_preserves_alphanumeric_content() {
+    let mut rng = StdRng::seed_from_u64(0x70C2);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 =,:"
+        .chars()
+        .collect();
+    let tokenizer = Tokenizer::default_rules();
+    for _ in 0..300 {
+        let record = over_alphabet(&mut rng, &alphabet, 0, 200);
         let tokens = tokenizer.tokenize(&record);
         let mut joined: String = tokens.concat();
         joined.retain(|c| c.is_ascii_alphanumeric());
         let mut original = record.clone();
         original.retain(|c| c.is_ascii_alphanumeric());
-        prop_assert_eq!(joined, original);
+        assert_eq!(joined, original, "content lost tokenizing {record:?}");
     }
+}
 
-    /// Hashing is deterministic and (practically) injective on small random token sets.
-    #[test]
-    fn hashing_is_deterministic_and_collision_free_on_samples(tokens in prop::collection::hash_set("[a-z0-9_]{1,12}", 1..50)) {
+/// Spans-based tokenization (the zero-copy fast path) agrees with the allocating API
+/// on arbitrary printable input.
+#[test]
+fn span_tokenization_agrees_with_slice_tokenization() {
+    let mut rng = StdRng::seed_from_u64(0x70C5);
+    let tokenizer = Tokenizer::default_rules();
+    let mut spans = Vec::new();
+    for _ in 0..300 {
+        let record = printable(&mut rng, 200);
+        let slices = tokenizer.tokenize(&record);
+        tokenizer.tokenize_spans(&record, &mut spans);
+        let from_spans: Vec<&str> = spans.iter().map(|&(s, e)| &record[s..e]).collect();
+        assert_eq!(slices, from_spans, "span mismatch on {record:?}");
+    }
+}
+
+/// Hashing is deterministic and (practically) injective on small random token sets.
+#[test]
+fn hashing_is_deterministic_and_collision_free_on_samples() {
+    let mut rng = StdRng::seed_from_u64(0x70C3);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789_".chars().collect();
+    for _ in 0..100 {
+        let tokens: std::collections::HashSet<String> = (0..rng.gen_range(1..50usize))
+            .map(|_| over_alphabet(&mut rng, &alphabet, 1, 12))
+            .collect();
         let mut hashes = std::collections::HashSet::new();
         for token in &tokens {
-            prop_assert_eq!(hash_token(token), hash_token(token));
+            assert_eq!(hash_token(token), hash_token(token));
             hashes.insert(hash_token(token));
         }
-        prop_assert_eq!(hashes.len(), tokens.len());
+        assert_eq!(hashes.len(), tokens.len());
     }
+}
 
-    /// Deduplication conserves record counts: the per-unique counts always sum to the
-    /// number of pushed records, regardless of input distribution.
-    #[test]
-    fn dedup_conserves_counts(records in prop::collection::vec(prop::collection::vec("[a-c]{1,3}", 1..5), 1..60)) {
+/// Deduplication conserves record counts: the per-unique counts always sum to the
+/// number of pushed records, regardless of input distribution.
+#[test]
+fn dedup_conserves_counts() {
+    let mut rng = StdRng::seed_from_u64(0x70C4);
+    let alphabet: Vec<char> = "abc".chars().collect();
+    for _ in 0..200 {
+        let records: Vec<Vec<String>> = (0..rng.gen_range(1..60usize))
+            .map(|_| {
+                (0..rng.gen_range(1..5usize))
+                    .map(|_| over_alphabet(&mut rng, &alphabet, 1, 3))
+                    .collect()
+            })
+            .collect();
         let mut dedup = Deduplicator::new();
         for (i, tokens) in records.iter().enumerate() {
             dedup.push(i, tokens);
         }
         let stats = dedup.stats();
-        prop_assert_eq!(stats.total_records, records.len() as u64);
+        assert_eq!(stats.total_records, records.len() as u64);
         let sum: u64 = dedup.unique().iter().map(|u| u.encoded.count).sum();
-        prop_assert_eq!(sum, records.len() as u64);
-        prop_assert!(stats.unique_records <= stats.total_records);
+        assert_eq!(sum, records.len() as u64);
+        assert!(stats.unique_records <= stats.total_records);
     }
+}
 
-    /// Masking never panics and never grows the number of maskable spans (applying the
-    /// default rules twice is the same as applying them once).
-    #[test]
-    fn masking_is_idempotent(record in "[ -~]{0,160}") {
-        let masker = Masker::default_rules();
+/// Masking never panics and never grows the number of maskable spans (applying the
+/// default rules twice is the same as applying them once).
+#[test]
+fn masking_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x70C6);
+    let masker = Masker::default_rules();
+    for _ in 0..300 {
+        let record = printable(&mut rng, 160);
         let once = masker.mask(&record);
         let twice = masker.mask(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "masking not idempotent on {record:?}");
     }
+}
 
-    /// The full preprocessing pipeline maps every record to exactly one unique log.
-    #[test]
-    fn pipeline_assigns_every_record(records in prop::collection::vec("[a-z0-9 .:=]{1,40}", 1..40)) {
-        let pre = Preprocessor::default_pipeline();
-        let owned: Vec<String> = records.clone();
-        let batch = pre.preprocess(&owned);
-        prop_assert_eq!(batch.record_to_unique.len(), records.len());
+/// The buffer-reusing masking fast path agrees with the allocating one.
+#[test]
+fn mask_into_agrees_with_mask() {
+    let mut rng = StdRng::seed_from_u64(0x70C7);
+    let masker = Masker::default_rules();
+    let mut out = String::new();
+    let mut swap = String::new();
+    for _ in 0..300 {
+        let record = printable(&mut rng, 160);
+        masker.mask_into(&record, &mut out, &mut swap);
+        assert_eq!(
+            out,
+            masker.mask(&record),
+            "mask_into mismatch on {record:?}"
+        );
+    }
+}
+
+/// The full preprocessing pipeline maps every record to exactly one unique log.
+#[test]
+fn pipeline_assigns_every_record() {
+    let mut rng = StdRng::seed_from_u64(0x70C8);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789 .:=".chars().collect();
+    let pre = Preprocessor::default_pipeline();
+    for _ in 0..150 {
+        let records: Vec<String> = (0..rng.gen_range(1..40usize))
+            .map(|_| over_alphabet(&mut rng, &alphabet, 1, 40))
+            .collect();
+        let batch = pre.preprocess(&records);
+        assert_eq!(batch.record_to_unique.len(), records.len());
         for &slot in &batch.record_to_unique {
-            prop_assert!(slot < batch.unique_logs.len());
+            assert!(slot < batch.unique_logs.len());
         }
+    }
+}
+
+/// The zero-copy `token_view` fast path produces exactly the tokens of `tokens_of`.
+#[test]
+fn token_view_agrees_with_tokens_of() {
+    let mut rng = StdRng::seed_from_u64(0x70C9);
+    let pre = Preprocessor::default_pipeline();
+    let mut scratch = logtok::TokenScratch::new();
+    for _ in 0..300 {
+        let record = printable(&mut rng, 160);
+        let owned = pre.tokens_of(&record);
+        let view = pre.token_view(&record, &mut scratch);
+        assert_eq!(
+            view.len(),
+            owned.len(),
+            "token count mismatch on {record:?}"
+        );
+        let viewed: Vec<String> = view.iter().map(str::to_string).collect();
+        assert_eq!(viewed, owned, "token mismatch on {record:?}");
     }
 }

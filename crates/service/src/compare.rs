@@ -93,7 +93,9 @@ mod tests {
         let shifts = compare_windows(&before, &after);
         assert_eq!(shifts.len(), 2);
         assert!(shifts.iter().any(|s| s.template == "old *" && s.after == 0));
-        assert!(shifts.iter().any(|s| s.template == "new *" && s.before == 0));
+        assert!(shifts
+            .iter()
+            .any(|s| s.template == "new *" && s.before == 0));
     }
 
     #[test]

@@ -1,0 +1,633 @@
+//! Sharded streaming ingestion engine (§3 "System Design": online matching must keep up
+//! with ingestion across thousands of topics).
+//!
+//! [`StreamIngestor`] is the high-throughput alternative to calling
+//! [`LogTopic::ingest`](crate::topic::LogTopic::ingest) one record (or one small batch)
+//! at a time. Records are routed to one of `shards` per-topic shard buffers — by a
+//! rotating counter for [`StreamIngestor::push`] (balanced) or by FNV key hash for
+//! [`StreamIngestor::push_keyed`] (per-key ordering, e.g. one shard per host). Each
+//! shard accumulates a batch that is flushed when it reaches `batch_records` (size
+//! bound) or when its oldest record has waited `flush_interval` (time bound), and
+//! flushed batches are matched in parallel by the shared [`MatcherPool`] over an
+//! immutable model snapshot.
+//!
+//! The matching hot path is zero-copy end to end: every pool worker keeps a private
+//! [`logtok::TokenScratch`], records travel to the workers and back by move, and the
+//! lean [`MatchId`](crate::matcher_pool::MatchId) results carry no rendered template
+//! text.
+//!
+//! Back-pressure is explicit: at most `max_in_flight` batches may be submitted and
+//! unharvested; a `push` that would exceed the bound first blocks on the next finished
+//! batch. [`IngestStats`] reports the waits, the high-water mark, and per-shard
+//! counters so saturation is observable rather than silent.
+//!
+//! ```text
+//!             push / push_keyed
+//!                    │ route (round-robin or key hash)
+//!        ┌───────────┼─────────────┐
+//!        ▼           ▼             ▼
+//!    [shard 0]   [shard 1]  …  [shard N-1]     per-shard batch buffers
+//!        │ size / time flush     │
+//!        ▼                       ▼
+//!            MatcherPool (worker threads, shared model snapshot,
+//!            per-worker TokenScratch — zero-copy preprocessing)
+//!        │                       │
+//!        ▼                       ▼
+//!     IdBatchResult  ──────►  completed records (seq-ordered on finish)
+//! ```
+
+use crate::matcher_pool::{IdBatchResult, MatcherPool};
+use bytebrain::{NodeId, ParserModel};
+use logtok::{hash_token, Preprocessor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the sharded streaming ingestion engine.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Number of shard buffers records are routed to.
+    pub shards: usize,
+    /// Size bound: a shard flushes its batch when it holds this many records.
+    pub batch_records: usize,
+    /// Time bound: a shard flushes a partial batch once its oldest record has waited
+    /// this long (checked on every push and in [`StreamIngestor::poll`]).
+    pub flush_interval: Duration,
+    /// Back-pressure bound: the maximum number of flushed-but-unharvested batches.
+    pub max_in_flight: usize,
+    /// Matcher pool worker threads (the paper bounds production topics to 1–5 cores).
+    pub workers: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            shards: 4,
+            batch_records: 512,
+            flush_interval: Duration::from_millis(50),
+            max_in_flight: 8,
+            workers: 4,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Override the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Override the per-batch record bound (clamped to at least 1).
+    pub fn with_batch_records(mut self, batch_records: usize) -> Self {
+        self.batch_records = batch_records.max(1);
+        self
+    }
+
+    /// Override the worker thread count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the time-based flush bound.
+    pub fn with_flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = interval;
+        self
+    }
+
+    /// Override the back-pressure bound (clamped to at least 1).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+}
+
+/// Monotonic counters of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Records routed to this shard.
+    pub records: u64,
+    /// Bytes routed to this shard (record text only).
+    pub bytes: u64,
+    /// Batches flushed from this shard.
+    pub batches: u64,
+    /// Records of this shard matched to an existing template.
+    pub matched: u64,
+    /// Records of this shard that matched no template.
+    pub unmatched: u64,
+    /// Flushes triggered by the size bound.
+    pub size_flushes: u64,
+    /// Flushes triggered by the time bound.
+    pub time_flushes: u64,
+    /// Flushes triggered by an explicit [`StreamIngestor::flush`] / `finish`.
+    pub forced_flushes: u64,
+}
+
+/// Aggregate statistics of one streaming run, including back-pressure behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardCounters>,
+    /// Batches submitted to the matcher pool.
+    pub submitted_batches: u64,
+    /// Batches whose results have been harvested.
+    pub completed_batches: u64,
+    /// Times a push blocked because `max_in_flight` batches were outstanding.
+    pub backpressure_waits: u64,
+    /// High-water mark of outstanding batches.
+    pub max_in_flight_observed: usize,
+}
+
+impl IngestStats {
+    /// Total records routed, across shards.
+    pub fn records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Total records matched to an existing template, across shards.
+    pub fn matched(&self) -> u64 {
+        self.shards.iter().map(|s| s.matched).sum()
+    }
+
+    /// Total records that matched no template, across shards.
+    pub fn unmatched(&self) -> u64 {
+        self.shards.iter().map(|s| s.unmatched).sum()
+    }
+}
+
+/// One record that has completed matching.
+#[derive(Debug, Clone)]
+pub struct MatchedRecord {
+    /// Arrival sequence number (0-based); [`IngestReport::records`] is sorted by it.
+    pub seq: u64,
+    /// Shard the record was routed to.
+    pub shard: usize,
+    /// The raw record text.
+    pub record: String,
+    /// Matched template, `None` when no template matched.
+    pub node: Option<NodeId>,
+    /// Saturation of the matched template (0 when unmatched).
+    pub saturation: f64,
+}
+
+/// Result of a completed streaming run.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Every ingested record with its match outcome, sorted by arrival order.
+    pub records: Vec<MatchedRecord>,
+    /// Shard/back-pressure statistics of the run.
+    pub stats: IngestStats,
+    /// Wall-clock duration from engine construction to `finish`.
+    pub elapsed: Duration,
+}
+
+impl IngestReport {
+    /// Records matched to an existing template.
+    pub fn matched(&self) -> u64 {
+        self.stats.matched()
+    }
+
+    /// Records that matched no template.
+    pub fn unmatched(&self) -> u64 {
+        self.stats.unmatched()
+    }
+
+    /// Throughput of the run in records per second.
+    pub fn records_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.records.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One shard's batch buffer.
+#[derive(Debug, Default)]
+struct ShardBuffer {
+    /// `(sequence number, record)` pairs of the open batch.
+    pending: Vec<(u64, String)>,
+    /// When the oldest pending record arrived (None while empty).
+    opened_at: Option<Instant>,
+}
+
+/// Why a shard batch is being flushed (drives the per-shard flush counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    Size,
+    Time,
+    Forced,
+}
+
+/// The sharded streaming ingestion engine: routes records to shard buffers, batches
+/// them, and drives batches through a [`MatcherPool`] in parallel. See the module
+/// documentation for the data flow.
+#[derive(Debug)]
+pub struct StreamIngestor {
+    config: IngestConfig,
+    pool: MatcherPool,
+    buffers: Vec<ShardBuffer>,
+    stats: IngestStats,
+    completed: Vec<MatchedRecord>,
+    next_seq: u64,
+    round_robin: usize,
+    in_flight: usize,
+    started: Instant,
+}
+
+impl StreamIngestor {
+    /// Build an engine over an immutable model snapshot. The model is shared with the
+    /// pool workers via `Arc`; training a new model means building a new engine, which
+    /// mirrors how the production system rolls models forward without locking the
+    /// ingestion path.
+    pub fn new(
+        model: Arc<ParserModel>,
+        preprocessor: Arc<Preprocessor>,
+        config: IngestConfig,
+    ) -> Self {
+        let config = IngestConfig {
+            shards: config.shards.max(1),
+            batch_records: config.batch_records.max(1),
+            max_in_flight: config.max_in_flight.max(1),
+            workers: config.workers.max(1),
+            ..config
+        };
+        let pool = MatcherPool::new(model, preprocessor, config.workers);
+        let buffers = (0..config.shards).map(|_| ShardBuffer::default()).collect();
+        let stats = IngestStats {
+            shards: vec![ShardCounters::default(); config.shards],
+            ..IngestStats::default()
+        };
+        StreamIngestor {
+            config,
+            pool,
+            buffers,
+            stats,
+            completed: Vec::new(),
+            next_seq: 0,
+            round_robin: 0,
+            in_flight: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Current statistics (updated as batches flush and results are harvested).
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Number of records accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Ingest one record, routed round-robin across shards (maximally balanced; use
+    /// [`StreamIngestor::push_keyed`] when per-key ordering matters).
+    pub fn push(&mut self, record: impl Into<String>) {
+        let shard = self.round_robin;
+        self.round_robin = (self.round_robin + 1) % self.config.shards;
+        self.push_to_shard(shard, record.into());
+    }
+
+    /// Ingest one record, routed by the FNV-1a hash of `key` so all records of a key
+    /// land on the same shard (and therefore stay in arrival order relative to each
+    /// other all the way through the pool).
+    pub fn push_keyed(&mut self, key: &str, record: impl Into<String>) {
+        let shard = (hash_token(key) % self.config.shards as u64) as usize;
+        self.push_to_shard(shard, record.into());
+    }
+
+    fn push_to_shard(&mut self, shard: usize, record: String) {
+        // Opportunistically harvest finished batches so `completed` keeps pace.
+        self.drain_ready();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let counters = &mut self.stats.shards[shard];
+        counters.records += 1;
+        counters.bytes += record.len() as u64;
+        let buffer = &mut self.buffers[shard];
+        if buffer.pending.is_empty() {
+            buffer.opened_at = Some(Instant::now());
+        }
+        buffer.pending.push((seq, record));
+        if buffer.pending.len() >= self.config.batch_records {
+            self.flush_shard(shard, FlushReason::Size);
+        } else {
+            self.flush_if_stale(shard);
+        }
+    }
+
+    /// Flush any shard whose open batch has exceeded the time bound and harvest
+    /// finished results. Long-lived callers with bursty input should call this
+    /// periodically; `push` also applies the time bound to the shard it touches.
+    pub fn poll(&mut self) {
+        for shard in 0..self.config.shards {
+            self.flush_if_stale(shard);
+        }
+        self.drain_ready();
+    }
+
+    /// Force-flush every shard's open batch regardless of the size/time bounds.
+    pub fn flush(&mut self) {
+        for shard in 0..self.config.shards {
+            if !self.buffers[shard].pending.is_empty() {
+                self.flush_shard(shard, FlushReason::Forced);
+            }
+        }
+    }
+
+    fn flush_if_stale(&mut self, shard: usize) {
+        let stale = match self.buffers[shard].opened_at {
+            Some(opened) => opened.elapsed() >= self.config.flush_interval,
+            None => false,
+        };
+        if stale && !self.buffers[shard].pending.is_empty() {
+            self.flush_shard(shard, FlushReason::Time);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize, reason: FlushReason) {
+        let batch = std::mem::take(&mut self.buffers[shard].pending);
+        self.buffers[shard].opened_at = None;
+        if batch.is_empty() {
+            return;
+        }
+        // Back-pressure: block on finished batches before exceeding the bound.
+        while self.in_flight >= self.config.max_in_flight {
+            self.stats.backpressure_waits += 1;
+            match self.pool.recv_ids() {
+                Some(result) => self.absorb(result),
+                None => self.panic_workers_died(),
+            }
+        }
+        let counters = &mut self.stats.shards[shard];
+        counters.batches += 1;
+        match reason {
+            FlushReason::Size => counters.size_flushes += 1,
+            FlushReason::Time => counters.time_flushes += 1,
+            FlushReason::Forced => counters.forced_flushes += 1,
+        }
+        self.pool.submit_ids(shard, batch);
+        self.in_flight += 1;
+        self.stats.submitted_batches += 1;
+        self.stats.max_in_flight_observed = self.stats.max_in_flight_observed.max(self.in_flight);
+    }
+
+    /// Harvest every batch the pool has already finished, without blocking.
+    fn drain_ready(&mut self) {
+        while let Some(result) = self.pool.try_recv_ids() {
+            self.absorb(result);
+        }
+    }
+
+    fn absorb(&mut self, result: IdBatchResult) {
+        self.in_flight -= 1;
+        self.stats.completed_batches += 1;
+        let IdBatchResult {
+            shard,
+            records,
+            results,
+            ..
+        } = result;
+        let counters = &mut self.stats.shards[shard];
+        for ((seq, record), id) in records.into_iter().zip(results) {
+            match id.node {
+                Some(_) => counters.matched += 1,
+                None => counters.unmatched += 1,
+            }
+            self.completed.push(MatchedRecord {
+                seq,
+                shard,
+                record,
+                node: id.node,
+                saturation: id.saturation,
+            });
+        }
+    }
+
+    /// A closed result channel while batches are outstanding means pool workers died
+    /// (a panic in matching/preprocessing). Records would be silently lost if this
+    /// were treated as a clean shutdown — fail loudly instead.
+    fn panic_workers_died(&self) -> ! {
+        panic!(
+            "matcher pool workers terminated with {} batch(es) outstanding — \
+             {} record(s) would be lost",
+            self.in_flight,
+            self.stats.records() - self.completed.len() as u64
+        );
+    }
+
+    /// Flush everything, wait for all outstanding batches, shut the pool down, and
+    /// return the full report with records in arrival order.
+    ///
+    /// # Panics
+    /// Panics if pool workers died with batches outstanding (records would otherwise
+    /// be silently dropped from the report).
+    pub fn finish(mut self) -> IngestReport {
+        self.flush();
+        while self.in_flight > 0 {
+            match self.pool.recv_ids() {
+                Some(result) => self.absorb(result),
+                None => self.panic_workers_died(),
+            }
+        }
+        let elapsed = self.started.elapsed();
+        let mut records = std::mem::take(&mut self.completed);
+        records.sort_unstable_by_key(|r| r.seq);
+        IngestReport {
+            records,
+            stats: std::mem::take(&mut self.stats),
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytebrain::train::train;
+    use bytebrain::TrainConfig;
+
+    fn trained() -> (Arc<ParserModel>, Arc<Preprocessor>) {
+        let records: Vec<String> = (0..200)
+            .map(|i| {
+                format!(
+                    "job {} finished on host node-{:02} in {}ms",
+                    i,
+                    i % 16,
+                    i % 500
+                )
+            })
+            .collect();
+        let config = TrainConfig::default();
+        let model = train(&records, &config).model;
+        (
+            Arc::new(model),
+            Arc::new(Preprocessor::new(config.preprocess.clone())),
+        )
+    }
+
+    fn stream(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "job {} finished on host node-{:02} in {}ms",
+                    i + 1000,
+                    i % 16,
+                    i % 777
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_pushed_record_comes_back_in_order() {
+        let (model, pre) = trained();
+        let mut ingestor =
+            StreamIngestor::new(model, pre, IngestConfig::default().with_batch_records(64));
+        for record in stream(1_000) {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        assert_eq!(report.records.len(), 1_000);
+        for (i, record) in report.records.iter().enumerate() {
+            assert_eq!(record.seq, i as u64, "records must be seq-ordered");
+        }
+        assert_eq!(report.matched() + report.unmatched(), 1_000);
+        assert!(
+            report.matched() > 900,
+            "stream shape was trained: {report:?}"
+        );
+    }
+
+    #[test]
+    fn records_spread_across_all_shards() {
+        let (model, pre) = trained();
+        let config = IngestConfig::default()
+            .with_shards(4)
+            .with_batch_records(32);
+        let mut ingestor = StreamIngestor::new(model, pre, config);
+        for record in stream(640) {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        assert_eq!(report.stats.shards.len(), 4);
+        for (shard, counters) in report.stats.shards.iter().enumerate() {
+            assert_eq!(counters.records, 160, "shard {shard} starved: {counters:?}");
+            assert!(counters.batches >= 5);
+            assert!(counters.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn keyed_routing_pins_keys_to_shards() {
+        let (model, pre) = trained();
+        let mut ingestor = StreamIngestor::new(model, pre, IngestConfig::default().with_shards(8));
+        for i in 0..400 {
+            let key = format!("host-{}", i % 5);
+            ingestor.push_keyed(&key, format!("job {i} finished on host node-01 in 3ms"));
+        }
+        let report = ingestor.finish();
+        // 5 keys can touch at most 5 of the 8 shards.
+        let active = report.stats.shards.iter().filter(|s| s.records > 0).count();
+        assert!(active <= 5, "{active} shards active for 5 keys");
+        // Every record of one key went to exactly one shard.
+        let mut shard_of_key: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::new();
+        for record in &report.records {
+            // Recover the key from the record text (job id mod 5).
+            let id: usize = record.record.split(' ').nth(1).unwrap().parse().unwrap();
+            let key = ["host-0", "host-1", "host-2", "host-3", "host-4"][id % 5];
+            let entry = shard_of_key.entry(key).or_insert(record.shard);
+            assert_eq!(*entry, record.shard, "key {key} hopped shards");
+        }
+    }
+
+    #[test]
+    fn size_bound_flushes_full_batches() {
+        let (model, pre) = trained();
+        let config = IngestConfig::default()
+            .with_shards(2)
+            .with_batch_records(50);
+        let mut ingestor = StreamIngestor::new(model, pre, config);
+        for record in stream(500) {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        let size_flushes: u64 = report.stats.shards.iter().map(|s| s.size_flushes).sum();
+        assert_eq!(size_flushes, 10, "250 records per shard / 50 per batch");
+    }
+
+    #[test]
+    fn time_bound_flushes_partial_batches() {
+        let (model, pre) = trained();
+        let config = IngestConfig::default()
+            .with_shards(1)
+            .with_batch_records(1_000_000)
+            .with_flush_interval(Duration::from_millis(1));
+        let mut ingestor = StreamIngestor::new(model, pre, config);
+        ingestor.push("job 1 finished on host node-01 in 5ms".to_string());
+        std::thread::sleep(Duration::from_millis(5));
+        ingestor.poll();
+        let time_flushes: u64 = ingestor.stats().shards.iter().map(|s| s.time_flushes).sum();
+        assert_eq!(time_flushes, 1, "stale partial batch must flush on poll");
+        let report = ingestor.finish();
+        assert_eq!(report.records.len(), 1);
+    }
+
+    #[test]
+    fn backpressure_bounds_outstanding_batches() {
+        let (model, pre) = trained();
+        let config = IngestConfig::default()
+            .with_shards(4)
+            .with_batch_records(10)
+            .with_max_in_flight(2);
+        let mut ingestor = StreamIngestor::new(model, pre, config);
+        for record in stream(2_000) {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        assert_eq!(report.records.len(), 2_000);
+        assert!(
+            report.stats.max_in_flight_observed <= 2,
+            "bound violated: {}",
+            report.stats.max_in_flight_observed
+        );
+        assert_eq!(
+            report.stats.submitted_batches,
+            report.stats.completed_batches
+        );
+    }
+
+    #[test]
+    fn unmatched_records_are_counted_per_shard() {
+        let (model, pre) = trained();
+        let mut ingestor = StreamIngestor::new(model, pre, IngestConfig::default());
+        ingestor.push("job 77 finished on host node-03 in 9ms".to_string());
+        ingestor.push("segfault at 0xffff in thread reaper".to_string());
+        let report = ingestor.finish();
+        assert_eq!(report.matched(), 1);
+        assert_eq!(report.unmatched(), 1);
+        let unmatched_record = report.records.iter().find(|r| r.node.is_none()).unwrap();
+        assert!(unmatched_record.record.contains("segfault"));
+        assert_eq!(unmatched_record.saturation, 0.0);
+    }
+
+    #[test]
+    fn report_throughput_is_positive() {
+        let (model, pre) = trained();
+        let mut ingestor = StreamIngestor::new(model, pre, IngestConfig::default());
+        for record in stream(100) {
+            ingestor.push(record);
+        }
+        let report = ingestor.finish();
+        assert!(report.records_per_second() > 0.0);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+}

@@ -10,6 +10,10 @@
 //! Modules:
 //!
 //! * [`topic`] — the `LogTopic`: ingestion, online matching, training lifecycle.
+//! * [`ingest`] — the sharded streaming ingestion engine: shard → batch → parallel
+//!   match over an immutable model snapshot, with back-pressure stats.
+//! * [`matcher_pool`] — the worker pool that executes matching for the engine and the
+//!   industrial-style experiments.
 //! * [`trigger`] — volume/time training triggers.
 //! * [`store`] — the "internal topic" that persists template metadata snapshots.
 //! * [`query`] — query API with per-query precision thresholds and template grouping.
@@ -17,9 +21,32 @@
 //!   detection between time windows.
 //! * [`library`] — the user-curated template library used for alert configuration.
 //! * [`compare`] — template-distribution comparison across time ranges.
+//!
+//! # Streaming ingestion quick start
+//!
+//! ```
+//! use service::{IngestConfig, LogTopic, TopicConfig};
+//!
+//! let mut topic = LogTopic::new(TopicConfig::new("web").with_volume_threshold(1_000_000));
+//! // Cold start: the first (batch) ingest triggers initial training.
+//! let warmup: Vec<String> = (0..200)
+//!     .map(|i| format!("GET /api/items/{} took {}ms", i % 20, i % 90))
+//!     .collect();
+//! topic.ingest(&warmup);
+//! // Steady state: stream through 4 shards with batched parallel matching.
+//! let stream: Vec<String> = (0..1000)
+//!     .map(|i| format!("GET /api/items/{} took {}ms", i % 30, i % 400))
+//!     .collect();
+//! let result = topic.ingest_stream(stream, &IngestConfig::default().with_shards(4));
+//! assert_eq!(result.stats.shards.len(), 4);
+//! assert!(result.outcome.matched > 900);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod anomaly;
 pub mod compare;
+pub mod ingest;
 pub mod library;
 pub mod manager;
 pub mod matcher_pool;
@@ -30,10 +57,13 @@ pub mod trigger;
 
 pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
 pub use compare::{compare_windows, DistributionShift};
+pub use ingest::{
+    IngestConfig, IngestReport, IngestStats, MatchedRecord, ShardCounters, StreamIngestor,
+};
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
-pub use matcher_pool::{BatchResult, MatcherPool};
+pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
 pub use query::{QueryEngine, QueryOptions, TemplateGroup};
 pub use store::ModelStore;
-pub use topic::{IngestOutcome, LogTopic, TopicConfig, TopicStats};
+pub use topic::{IngestOutcome, LogTopic, StreamOutcome, TopicConfig, TopicStats};
 pub use trigger::{TrainingTrigger, TriggerDecision};

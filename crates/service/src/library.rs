@@ -152,7 +152,11 @@ mod tests {
     #[test]
     fn save_get_and_remove() {
         let mut lib = TemplateLibrary::new();
-        lib.save("oom", "Out of memory: Killed process *", vec![AlertRule::OnAppearance]);
+        lib.save(
+            "oom",
+            "Out of memory: Killed process *",
+            vec![AlertRule::OnAppearance],
+        );
         assert_eq!(lib.len(), 1);
         assert!(lib.get("oom").is_some());
         assert!(lib.remove("oom"));
@@ -182,7 +186,11 @@ mod tests {
     #[test]
     fn appearance_alert_fires_when_template_seen() {
         let mut lib = TemplateLibrary::new();
-        lib.save("oom", "Out of memory: Killed process *", vec![AlertRule::OnAppearance]);
+        lib.save(
+            "oom",
+            "Out of memory: Killed process *",
+            vec![AlertRule::OnAppearance],
+        );
         let alerts = lib.evaluate_alerts(&distribution(&[
             ("Out of memory: Killed process *", 3),
             ("user login *", 500),
@@ -195,8 +203,16 @@ mod tests {
     #[test]
     fn count_threshold_alerts() {
         let mut lib = TemplateLibrary::new();
-        lib.save("errors", "request failed with status *", vec![AlertRule::CountAbove(100)]);
-        lib.save("heartbeat", "heartbeat from *", vec![AlertRule::CountBelow(5)]);
+        lib.save(
+            "errors",
+            "request failed with status *",
+            vec![AlertRule::CountAbove(100)],
+        );
+        lib.save(
+            "heartbeat",
+            "heartbeat from *",
+            vec![AlertRule::CountBelow(5)],
+        );
         let alerts = lib.evaluate_alerts(&distribution(&[
             ("request failed with status *", 250),
             ("heartbeat from *", 2),
@@ -207,7 +223,11 @@ mod tests {
     #[test]
     fn no_alerts_when_rules_not_met() {
         let mut lib = TemplateLibrary::new();
-        lib.save("errors", "request failed with status *", vec![AlertRule::CountAbove(100)]);
+        lib.save(
+            "errors",
+            "request failed with status *",
+            vec![AlertRule::CountAbove(100)],
+        );
         let alerts = lib.evaluate_alerts(&distribution(&[("request failed with status *", 10)]));
         assert!(alerts.is_empty());
     }

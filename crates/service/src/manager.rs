@@ -6,7 +6,8 @@
 //! [`LogTopic`]: it routes ingestion to the right topic, creates topics on first use with
 //! per-tenant defaults, and exposes fleet-wide statistics of the kind Table 5 reports.
 
-use crate::topic::{IngestOutcome, LogTopic, TopicConfig, TopicStats};
+use crate::ingest::IngestConfig;
+use crate::topic::{IngestOutcome, LogTopic, StreamOutcome, TopicConfig, TopicStats};
 use std::collections::BTreeMap;
 
 /// Per-tenant configuration defaults applied to newly created topics.
@@ -95,6 +96,27 @@ impl ServiceManager {
     /// Ingest a batch into a tenant's topic (creating it on first use).
     pub fn ingest(&mut self, tenant: &str, topic: &str, batch: &[String]) -> IngestOutcome {
         self.topic_mut(tenant, topic).ingest(batch)
+    }
+
+    /// Ingest a record stream into a tenant's topic (creating it on first use) through
+    /// the sharded streaming engine. The engine's worker count is clamped to the
+    /// topic's provisioned per-topic parallelism, mirroring the paper's 1–5 core bound.
+    pub fn ingest_stream<I>(
+        &mut self,
+        tenant: &str,
+        topic: &str,
+        records: I,
+        config: &IngestConfig,
+    ) -> StreamOutcome
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let topic = self.topic_mut(tenant, topic);
+        // Clamp against what the topic was provisioned with, not the (mutable)
+        // tenant-defaults map — later default changes must not widen existing topics.
+        let parallelism = topic.config().train.parallelism.max(1);
+        let config = config.clone().with_workers(config.workers.min(parallelism));
+        topic.ingest_stream(records, &config)
     }
 
     /// Per-topic statistics, keyed by `(tenant, topic)`.

@@ -6,31 +6,77 @@
 //! multiple processing queues: independent worker threads each own a handle to the shared
 //! (read-only) model and drain a work queue of log batches.
 //!
-//! This module implements that pool with `crossbeam` channels. It is used by the
-//! industrial-style experiments and exercised directly by the service tests; `LogTopic`
-//! uses the simpler scoped-thread path for synchronous ingestion.
+//! This module implements that pool with `std::sync::mpsc` channels (workers share the
+//! job queue through a mutex — matching a batch dwarfs the cost of one lock
+//! acquisition per batch). Every worker keeps a private [`TokenScratch`] alive, so the
+//! per-record preprocessing of both job kinds runs on the zero-copy fast path.
+//!
+//! Two job kinds are supported:
+//!
+//! * **Full** ([`MatcherPool::submit`]): returns rendered [`MatchResult`]s, used by the
+//!   industrial-style experiments and service tests.
+//! * **Lean** ([`MatcherPool::submit_ids`]): returns only `(node id, saturation)` pairs
+//!   plus the original records, skipping template rendering entirely. This is the path
+//!   the sharded streaming ingestion engine ([`crate::ingest`]) drives.
 
-use bytebrain::matcher::match_record;
-use bytebrain::{MatchResult, ParserModel};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use logtok::Preprocessor;
-use std::sync::Arc;
+use bytebrain::matcher::{match_record_with_scratch, match_view};
+use bytebrain::{MatchResult, NodeId, ParserModel};
+use logtok::{Preprocessor, TokenScratch};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A batch of records submitted to the pool, tagged so results can be re-associated.
 #[derive(Debug)]
-struct Job {
-    batch_id: u64,
-    records: Vec<String>,
+enum Job {
+    /// Full matching: render templates into [`MatchResult`]s.
+    Full { batch_id: u64, records: Vec<String> },
+    /// Lean matching for the ingestion path: node ids only, records handed back.
+    Ids {
+        batch_id: u64,
+        shard: usize,
+        records: Vec<(u64, String)>,
+    },
 }
 
-/// The result of one batch.
+/// The result of one full batch.
 #[derive(Debug)]
 pub struct BatchResult {
     /// Identifier returned by [`MatcherPool::submit`].
     pub batch_id: u64,
     /// One match result per submitted record, in submission order.
     pub results: Vec<MatchResult>,
+}
+
+/// Lean per-record outcome of the ingestion path: the matched node and its saturation,
+/// without the rendered template text (which the ingest engine does not need).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchId {
+    /// Matched node, `None` when no template matched.
+    pub node: Option<NodeId>,
+    /// Saturation of the matched node (0 when unmatched).
+    pub saturation: f64,
+}
+
+/// The result of one lean (ingestion) batch: the original records travel back with
+/// their match ids so the coordinator never has to clone or re-associate them.
+#[derive(Debug)]
+pub struct IdBatchResult {
+    /// Identifier returned by [`MatcherPool::submit_ids`].
+    pub batch_id: u64,
+    /// The shard this batch was flushed from.
+    pub shard: usize,
+    /// `(sequence number, record)` pairs, exactly as submitted.
+    pub records: Vec<(u64, String)>,
+    /// One match id per record, in submission order.
+    pub results: Vec<MatchId>,
+}
+
+#[derive(Debug)]
+enum Outcome {
+    Full(BatchResult),
+    Ids(IdBatchResult),
 }
 
 /// A pool of matcher workers sharing one immutable model snapshot.
@@ -41,35 +87,93 @@ pub struct BatchResult {
 #[derive(Debug)]
 pub struct MatcherPool {
     job_tx: Option<Sender<Job>>,
-    result_rx: Receiver<BatchResult>,
+    result_rx: Receiver<Outcome>,
     workers: Vec<JoinHandle<()>>,
     next_batch: u64,
+    /// Results of the *other* kind received while waiting for a specific kind.
+    full_buffer: VecDeque<BatchResult>,
+    ids_buffer: VecDeque<IdBatchResult>,
 }
 
 impl MatcherPool {
     /// Spawn `workers` matcher threads over a shared model snapshot.
     pub fn new(model: Arc<ParserModel>, preprocessor: Arc<Preprocessor>, workers: usize) -> Self {
         let workers = workers.max(1);
-        let (job_tx, job_rx) = unbounded::<Job>();
-        let (result_tx, result_rx) = unbounded::<BatchResult>();
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel::<Outcome>();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let job_rx: Receiver<Job> = job_rx.clone();
+            let job_rx = Arc::clone(&job_rx);
             let result_tx = result_tx.clone();
             let model = Arc::clone(&model);
             let preprocessor = Arc::clone(&preprocessor);
             handles.push(std::thread::spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    let results = job
-                        .records
-                        .iter()
-                        .map(|r| match_record(&model, &preprocessor, r))
-                        .collect();
+                // One scratch per worker: the whole pool runs preprocessing on the
+                // zero-copy fast path.
+                let mut scratch = TokenScratch::new();
+                loop {
+                    // Hold the lock only while dequeueing, never while matching. A
+                    // poisoned lock means a sibling worker panicked mid-dequeue; exit
+                    // cleanly instead of cascading the panic across the pool — the
+                    // coordinator detects the closed result channel and reports the
+                    // loss loudly.
+                    let job = {
+                        let guard = match job_rx.lock() {
+                            Ok(guard) => guard,
+                            Err(_) => break,
+                        };
+                        match guard.recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        }
+                    };
+                    let outcome = match job {
+                        Job::Full { batch_id, records } => {
+                            let results = records
+                                .iter()
+                                .map(|r| {
+                                    match_record_with_scratch(
+                                        &model,
+                                        &preprocessor,
+                                        r,
+                                        &mut scratch,
+                                    )
+                                })
+                                .collect();
+                            Outcome::Full(BatchResult { batch_id, results })
+                        }
+                        Job::Ids {
+                            batch_id,
+                            shard,
+                            records,
+                        } => {
+                            let results = records
+                                .iter()
+                                .map(|(_, r)| {
+                                    let view = preprocessor.token_view(r, &mut scratch);
+                                    match match_view(&model, &view) {
+                                        Some(id) => MatchId {
+                                            node: Some(id),
+                                            saturation: model.nodes[id.0].saturation,
+                                        },
+                                        None => MatchId {
+                                            node: None,
+                                            saturation: 0.0,
+                                        },
+                                    }
+                                })
+                                .collect();
+                            Outcome::Ids(IdBatchResult {
+                                batch_id,
+                                shard,
+                                records,
+                                results,
+                            })
+                        }
+                    };
                     // The receiver may already be gone during shutdown; that is fine.
-                    let _ = result_tx.send(BatchResult {
-                        batch_id: job.batch_id,
-                        results,
-                    });
+                    let _ = result_tx.send(outcome);
                 }
             }));
         }
@@ -78,27 +182,86 @@ impl MatcherPool {
             result_rx,
             workers: handles,
             next_batch: 0,
+            full_buffer: VecDeque::new(),
+            ids_buffer: VecDeque::new(),
         }
     }
 
-    /// Submit a batch for matching; returns the batch id used to identify its result.
-    pub fn submit(&mut self, records: Vec<String>) -> u64 {
+    fn next_batch_id(&mut self) -> u64 {
         let batch_id = self.next_batch;
         self.next_batch += 1;
+        batch_id
+    }
+
+    /// Submit a batch for full matching; returns the batch id used to identify its
+    /// result.
+    pub fn submit(&mut self, records: Vec<String>) -> u64 {
+        let batch_id = self.next_batch_id();
         self.job_tx
             .as_ref()
             .expect("pool is running")
-            .send(Job { batch_id, records })
+            .send(Job::Full { batch_id, records })
             .expect("workers are alive");
         batch_id
     }
 
-    /// Block until the next finished batch is available.
-    pub fn recv(&self) -> Option<BatchResult> {
-        self.result_rx.recv().ok()
+    /// Submit a lean (ids-only) batch from `shard`; returns the batch id. Used by the
+    /// streaming ingestion engine, which needs template ids but not rendered templates.
+    pub fn submit_ids(&mut self, shard: usize, records: Vec<(u64, String)>) -> u64 {
+        let batch_id = self.next_batch_id();
+        self.job_tx
+            .as_ref()
+            .expect("pool is running")
+            .send(Job::Ids {
+                batch_id,
+                shard,
+                records,
+            })
+            .expect("workers are alive");
+        batch_id
     }
 
-    /// Number of batches submitted so far.
+    /// Block until the next finished full batch is available.
+    pub fn recv(&mut self) -> Option<BatchResult> {
+        if let Some(buffered) = self.full_buffer.pop_front() {
+            return Some(buffered);
+        }
+        loop {
+            match self.result_rx.recv().ok()? {
+                Outcome::Full(result) => return Some(result),
+                Outcome::Ids(result) => self.ids_buffer.push_back(result),
+            }
+        }
+    }
+
+    /// Block until the next finished lean batch is available.
+    pub fn recv_ids(&mut self) -> Option<IdBatchResult> {
+        if let Some(buffered) = self.ids_buffer.pop_front() {
+            return Some(buffered);
+        }
+        loop {
+            match self.result_rx.recv().ok()? {
+                Outcome::Ids(result) => return Some(result),
+                Outcome::Full(result) => self.full_buffer.push_back(result),
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`MatcherPool::recv_ids`]: returns immediately with
+    /// `None` when no lean batch has finished yet.
+    pub fn try_recv_ids(&mut self) -> Option<IdBatchResult> {
+        if let Some(buffered) = self.ids_buffer.pop_front() {
+            return Some(buffered);
+        }
+        loop {
+            match self.result_rx.try_recv().ok()? {
+                Outcome::Ids(result) => return Some(result),
+                Outcome::Full(result) => self.full_buffer.push_back(result),
+            }
+        }
+    }
+
+    /// Number of batches submitted so far (all kinds).
     pub fn submitted(&self) -> u64 {
         self.next_batch
     }
@@ -162,7 +325,14 @@ mod tests {
         let batches: Vec<Vec<String>> = (0..8)
             .map(|b| {
                 (0..50)
-                    .map(|i| format!("request {} routed to shard {} in {}ms", b * 100 + i, i % 8, i))
+                    .map(|i| {
+                        format!(
+                            "request {} routed to shard {} in {}ms",
+                            b * 100 + i,
+                            i % 8,
+                            i
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -201,5 +371,44 @@ mod tests {
         let (model, pre) = model_and_preprocessor();
         let pool = MatcherPool::new(model, pre, 3);
         drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn lean_batches_return_ids_and_records() {
+        let (model, pre) = model_and_preprocessor();
+        let mut pool = MatcherPool::new(model, pre, 2);
+        let records: Vec<(u64, String)> = (0..20)
+            .map(|i| {
+                (
+                    i,
+                    format!("request {} routed to shard {} in {}ms", i, i % 8, i),
+                )
+            })
+            .collect();
+        let id = pool.submit_ids(3, records.clone());
+        let result = pool.recv_ids().expect("one lean batch");
+        assert_eq!(result.batch_id, id);
+        assert_eq!(result.shard, 3);
+        assert_eq!(result.records, records);
+        assert_eq!(result.results.len(), 20);
+        assert!(result.results.iter().all(|r| r.node.is_some()));
+        assert!(result.results.iter().all(|r| r.saturation > 0.0));
+    }
+
+    #[test]
+    fn full_and_lean_batches_interleave() {
+        let (model, pre) = model_and_preprocessor();
+        let mut pool = MatcherPool::new(model, pre, 2);
+        pool.submit(vec!["request 1 routed to shard 1 in 5ms".to_string()]);
+        pool.submit_ids(
+            0,
+            vec![(0, "request 2 routed to shard 2 in 6ms".to_string())],
+        );
+        // Receiving in the opposite order of completion must still route correctly.
+        let ids = pool.recv_ids().expect("lean batch");
+        assert_eq!(ids.results.len(), 1);
+        let full = pool.recv().expect("full batch");
+        assert_eq!(full.results.len(), 1);
+        assert!(full.results[0].is_matched());
     }
 }

@@ -113,9 +113,17 @@ mod tests {
         let mut batch = Vec::new();
         for i in 0..120 {
             batch.push(format!("user u{} logged in from 10.0.0.{}", i % 10, i % 20));
-            batch.push(format!("user u{} logged out after {} minutes", i % 10, i % 50));
+            batch.push(format!(
+                "user u{} logged out after {} minutes",
+                i % 10,
+                i % 50
+            ));
             if i % 4 == 0 {
-                batch.push(format!("payment of {} EUR processed for order {}", i, 1000 + i));
+                batch.push(format!(
+                    "payment of {} EUR processed for order {}",
+                    i,
+                    1000 + i
+                ));
             }
         }
         topic.ingest(&batch);

@@ -3,9 +3,9 @@
 //! online matching and query-time threshold navigation need — no external database.
 
 use bytebrain::ParserModel;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Metadata describing one persisted model snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,7 +43,7 @@ impl ModelStore {
     /// Persist `model` as the next snapshot version and return its metadata.
     pub fn save(&self, model: &ParserModel) -> SnapshotInfo {
         let payload = serde_json::to_string(model).expect("model serializes to JSON");
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("store lock poisoned");
         let version = inner.latest + 1;
         let info = SnapshotInfo {
             version,
@@ -58,7 +58,7 @@ impl ModelStore {
 
     /// Load a snapshot by version.
     pub fn load(&self, version: u64) -> Option<ParserModel> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         inner
             .snapshots
             .get(&version)
@@ -67,7 +67,7 @@ impl ModelStore {
 
     /// Load the most recent snapshot.
     pub fn load_latest(&self) -> Option<ParserModel> {
-        let version = self.inner.read().latest;
+        let version = self.inner.read().expect("store lock poisoned").latest;
         if version == 0 {
             None
         } else {
@@ -77,13 +77,20 @@ impl ModelStore {
 
     /// Metadata of the most recent snapshot.
     pub fn latest_info(&self) -> Option<SnapshotInfo> {
-        let inner = self.inner.read();
-        inner.snapshots.get(&inner.latest).map(|(info, _)| info.clone())
+        let inner = self.inner.read().expect("store lock poisoned");
+        inner
+            .snapshots
+            .get(&inner.latest)
+            .map(|(info, _)| info.clone())
     }
 
     /// Number of stored snapshots.
     pub fn len(&self) -> usize {
-        self.inner.read().snapshots.len()
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .snapshots
+            .len()
     }
 
     /// True when no snapshot has been stored.
@@ -94,7 +101,7 @@ impl ModelStore {
     /// Drop all snapshots older than the most recent `keep` versions (retention policy —
     /// storage efficiency is one of the paper's stated goals).
     pub fn prune(&self, keep: usize) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("store lock poisoned");
         let latest = inner.latest;
         inner
             .snapshots

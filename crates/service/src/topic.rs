@@ -6,6 +6,7 @@
 //! most-precise template id for querying. Training is triggered by volume or time and the
 //! refreshed model is merged with the previous one.
 
+use crate::ingest::{IngestConfig, IngestStats, StreamIngestor};
 use crate::store::ModelStore;
 use crate::trigger::{TrainingTrigger, TriggerDecision};
 use bytebrain::matcher::match_batch;
@@ -13,6 +14,7 @@ use bytebrain::merge::merge_models;
 use bytebrain::train::train;
 use bytebrain::{NodeId, ParserModel, TrainConfig};
 use logtok::Preprocessor;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a log topic.
@@ -91,12 +93,23 @@ pub struct TopicStats {
     pub last_training_seconds: f64,
 }
 
+/// Outcome of one [`LogTopic::ingest_stream`] call: the usual ingest outcome plus the
+/// streaming engine's shard and back-pressure statistics.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Matched/unmatched/trained counters, identical in meaning to [`LogTopic::ingest`].
+    pub outcome: IngestOutcome,
+    /// Per-shard counters and back-pressure stats of the streaming run (empty when the
+    /// cold-start fallback took the batch path).
+    pub stats: IngestStats,
+}
+
 /// A log topic with online matching and periodic training.
 #[derive(Debug)]
 pub struct LogTopic {
     config: TopicConfig,
-    preprocessor: Preprocessor,
-    model: ParserModel,
+    preprocessor: Arc<Preprocessor>,
+    model: Arc<ParserModel>,
     store: ModelStore,
     trigger: TrainingTrigger,
     training_buffer: Vec<String>,
@@ -109,12 +122,12 @@ pub struct LogTopic {
 impl LogTopic {
     /// Create an empty topic.
     pub fn new(config: TopicConfig) -> Self {
-        let preprocessor = Preprocessor::new(config.train.preprocess.clone());
+        let preprocessor = Arc::new(Preprocessor::new(config.train.preprocess.clone()));
         let trigger = TrainingTrigger::new(config.volume_threshold, config.interval);
         LogTopic {
             config,
             preprocessor,
-            model: ParserModel::new(),
+            model: Arc::new(ParserModel::new()),
             store: ModelStore::new(),
             trigger,
             training_buffer: Vec::new(),
@@ -128,6 +141,11 @@ impl LogTopic {
     /// The topic name.
     pub fn name(&self) -> &str {
         &self.config.name
+    }
+
+    /// The topic's configuration (as provisioned at creation).
+    pub fn config(&self) -> &TopicConfig {
+        &self.config
     }
 
     /// The current model.
@@ -165,31 +183,7 @@ impl LogTopic {
             .collect()
         };
         for (record, matched) in batch.iter().zip(&matches) {
-            let template = match matched {
-                Some(id) => {
-                    outcome.matched += 1;
-                    Some(*id)
-                }
-                None => {
-                    outcome.unmatched += 1;
-                    // Rare/unseen logs become temporary templates so identical records
-                    // match until the next training cycle absorbs them (§3).
-                    if self.model.is_empty() {
-                        None
-                    } else {
-                        let tokens = self.preprocessor.tokens_of(record);
-                        Some(self.model.insert_temporary(&tokens))
-                    }
-                }
-            };
-            self.total_bytes += record.len() as u64 + 1;
-            self.records.push(StoredRecord {
-                record: record.clone(),
-                template,
-            });
-            if self.training_buffer.len() < self.config.training_buffer {
-                self.training_buffer.push(record.clone());
-            }
+            self.apply_record(record.clone(), *matched, &mut outcome);
         }
         self.trigger.observe(batch.len() as u64);
         if self.trigger.decide(Instant::now()).should_train() {
@@ -199,9 +193,105 @@ impl LogTopic {
         outcome
     }
 
+    /// Apply one matched record to the topic state: count it, insert a temporary
+    /// template when unmatched (§3), account bytes, and push it into the store and the
+    /// training buffer. Shared by the batch and streaming ingestion paths so the
+    /// topic-state invariants live in exactly one place.
+    fn apply_record(
+        &mut self,
+        record: String,
+        matched: Option<NodeId>,
+        outcome: &mut IngestOutcome,
+    ) {
+        let template = match matched {
+            Some(id) => {
+                outcome.matched += 1;
+                Some(id)
+            }
+            None => {
+                outcome.unmatched += 1;
+                // Rare/unseen logs become temporary templates so identical records
+                // match until the next training cycle absorbs them (§3). With no model
+                // at all there is nothing to insert into yet.
+                if self.model.is_empty() {
+                    None
+                } else {
+                    let tokens = self.preprocessor.tokens_of(&record);
+                    Some(Arc::make_mut(&mut self.model).insert_temporary(&tokens))
+                }
+            }
+        };
+        self.total_bytes += record.len() as u64 + 1;
+        if self.training_buffer.len() < self.config.training_buffer {
+            self.training_buffer.push(record.clone());
+        }
+        self.records.push(StoredRecord { record, template });
+    }
+
     /// Whether the trigger would start training now (exposed for tests and schedulers).
     pub fn pending_trigger(&self) -> TriggerDecision {
         self.trigger.decide(Instant::now())
+    }
+
+    /// A cheap shared snapshot of the current model (used to build a
+    /// [`StreamIngestor`]; the snapshot stays valid while training replaces the
+    /// topic's own copy).
+    pub fn model_snapshot(&self) -> Arc<ParserModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// A cheap shared handle to the topic's preprocessing pipeline.
+    pub fn preprocessor_snapshot(&self) -> Arc<Preprocessor> {
+        Arc::clone(&self.preprocessor)
+    }
+
+    /// Ingest a stream of records through the sharded streaming engine
+    /// ([`StreamIngestor`]): records are routed round-robin to shard buffers, batched
+    /// by size/time, matched in parallel against an immutable snapshot of the current
+    /// model, and then applied to the topic exactly as [`LogTopic::ingest`] would —
+    /// unmatched records become temporary templates, everything lands in the store and
+    /// the training buffer, and the volume/time trigger may start a training run.
+    ///
+    /// Falls back to the batch path when no model exists yet (the first training run
+    /// needs buffered records, not matching throughput).
+    pub fn ingest_stream<I>(&mut self, records: I, config: &IngestConfig) -> StreamOutcome
+    where
+        I: IntoIterator<Item = String>,
+    {
+        if self.model.is_empty() {
+            let batch: Vec<String> = records.into_iter().collect();
+            let outcome = self.ingest(&batch);
+            return StreamOutcome {
+                outcome,
+                stats: IngestStats::default(),
+            };
+        }
+        let mut ingestor = StreamIngestor::new(
+            self.model_snapshot(),
+            self.preprocessor_snapshot(),
+            config.clone(),
+        );
+        let mut total = 0u64;
+        for record in records {
+            ingestor.push(record);
+            total += 1;
+        }
+        let report = ingestor.finish();
+        let mut outcome = IngestOutcome::default();
+        // The snapshot Arc has been dropped with the engine, so temporary-template
+        // insertion inside apply_record does not clone the model.
+        for matched in report.records {
+            self.apply_record(matched.record, matched.node, &mut outcome);
+        }
+        self.trigger.observe(total);
+        if self.trigger.decide(Instant::now()).should_train() {
+            self.run_training();
+            outcome.trained = true;
+        }
+        StreamOutcome {
+            outcome,
+            stats: report.stats,
+        }
     }
 
     /// Force a training cycle on the buffered records.
@@ -213,9 +303,13 @@ impl LogTopic {
         let outcome = train(&self.training_buffer, &self.config.train);
         let new_model = outcome.model;
         self.model = if self.model.is_empty() {
-            new_model
+            Arc::new(new_model)
         } else {
-            merge_models(&self.model, &new_model, self.config.merge_threshold)
+            Arc::new(merge_models(
+                &self.model,
+                &new_model,
+                self.config.merge_threshold,
+            ))
         };
         self.last_training_seconds = started.elapsed().as_secs_f64();
         self.training_runs += 1;
@@ -286,7 +380,10 @@ mod tests {
     fn first_ingest_triggers_initial_training() {
         let mut topic = small_topic(1_000_000);
         let outcome = topic.ingest(&web_access_batch(0, 200));
-        assert!(outcome.trained, "initial training must run on the first batch");
+        assert!(
+            outcome.trained,
+            "initial training must run on the first batch"
+        );
         assert!(topic.stats().templates > 0);
         assert_eq!(topic.stats().training_runs, 1);
     }
@@ -296,7 +393,11 @@ mod tests {
         let mut topic = small_topic(1_000_000);
         topic.ingest(&web_access_batch(0, 300));
         // After initial training, previously-unassigned records are backfilled.
-        let assigned = topic.records().iter().filter(|r| r.template.is_some()).count();
+        let assigned = topic
+            .records()
+            .iter()
+            .filter(|r| r.template.is_some())
+            .count();
         assert_eq!(assigned, topic.records().len());
     }
 

@@ -18,7 +18,11 @@ fn main() {
             format!("user{}@example.com", i % 37)
         };
         logs.push(format!("register callback for {email}"));
-        logs.push(format!("callback invoked after {}ms with status {}", i % 500, i % 7));
+        logs.push(format!(
+            "callback invoked after {}ms with status {}",
+            i % 500,
+            i % 7
+        ));
     }
 
     let mut parser = ByteBrainParser::new(TrainConfig::default());
@@ -34,7 +38,10 @@ fn main() {
                     .or_insert(0) += 1;
             }
         }
-        println!("=== saturation threshold {threshold} -> {} templates", groups.len());
+        println!(
+            "=== saturation threshold {threshold} -> {} templates",
+            groups.len()
+        );
         for (template, count) in groups.iter().filter(|(t, _)| t.contains("register")) {
             println!("  {count:>5}  {template}");
         }

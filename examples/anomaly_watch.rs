@@ -26,7 +26,10 @@ fn window(offset: usize, incident: bool) -> Vec<String> {
                 ));
             }
             if i % 400 == 0 {
-                logs.push(format!("circuit breaker OPEN for billing-service shard {}", n % 8));
+                logs.push(format!(
+                    "circuit breaker OPEN for billing-service shard {}",
+                    n % 8
+                ));
             }
         } else if n % 97 == 0 {
             logs.push(format!(
@@ -73,6 +76,9 @@ fn main() {
     );
     println!("\n=== fired alerts");
     for alert in library.evaluate_alerts(&current) {
-        println!("  [{}] rule {:?} observed {}", alert.entry, alert.rule, alert.observed);
+        println!(
+            "  [{}] rule {:?} observed {}",
+            alert.entry, alert.rule, alert.observed
+        );
     }
 }

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example cloud_topic`
 
 use bytebrain_repro::datasets::LabeledDataset;
-use bytebrain_repro::service::{
-    compare_windows, LogTopic, QueryEngine, QueryOptions, TopicConfig,
-};
+use bytebrain_repro::service::{compare_windows, LogTopic, QueryEngine, QueryOptions, TopicConfig};
 
 fn main() {
     let corpus = LabeledDataset::loghub2("HDFS", 30_000);

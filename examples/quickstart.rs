@@ -16,11 +16,17 @@ fn main() {
             i % 50,
             5000 + i
         ));
-        training_logs.push(format!("Connection closed by 10.0.{}.{} [preauth]", i % 4, i % 50));
+        training_logs.push(format!(
+            "Connection closed by 10.0.{}.{} [preauth]",
+            i % 4,
+            i % 50
+        ));
         if i % 5 == 0 {
             training_logs.push(format!(
                 "Failed password for invalid user guest{} from 10.1.0.{} port {} ssh2",
-                i, i % 30, 6000 + i
+                i,
+                i % 30,
+                6000 + i
             ));
         }
     }
@@ -28,7 +34,11 @@ fn main() {
     // 2. Offline training: hierarchical clustering builds the template tree.
     let mut parser = ByteBrainParser::new(TrainConfig::default());
     parser.train(&training_logs);
-    println!("trained on {} logs -> {} templates\n", training_logs.len(), parser.model().len());
+    println!(
+        "trained on {} logs -> {} templates\n",
+        training_logs.len(),
+        parser.model().len()
+    );
 
     // 3. Online matching of new logs.
     for log in [
@@ -38,11 +48,15 @@ fn main() {
     ] {
         let result = parser.match_log(log);
         println!("log     : {log}");
-        println!("template: {}  (saturation {:.2})\n", result.template, result.saturation);
+        println!(
+            "template: {}  (saturation {:.2})\n",
+            result.template, result.saturation
+        );
     }
 
     // 4. Query-time precision control: the same matched log presented at three precisions.
-    let matched = parser.match_log_readonly("Accepted password for user3 from 10.0.2.9 port 5123 ssh2");
+    let matched =
+        parser.match_log_readonly("Accepted password for user3 from 10.0.2.9 port 5123 ssh2");
     if let Some(node) = matched.node {
         for threshold in [0.1, 0.6, 0.95] {
             println!(

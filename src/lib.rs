@@ -1,8 +1,8 @@
 //! `bytebrain-repro` — umbrella crate for the ByteBrain-LogParser reproduction.
 //!
 //! Re-exports every workspace crate so examples and integration tests can use a single
-//! dependency. See `README.md` for the project overview and `DESIGN.md` for the system
-//! inventory and experiment index.
+//! dependency. See `README.md` for the project overview and `ARCHITECTURE.md` for the
+//! system design and experiment index.
 
 pub use baselines;
 pub use bytebrain;

@@ -15,10 +15,7 @@ fn ga_on(dataset: &str, threshold: f64) -> f64 {
 fn bytebrain_accuracy_on_simple_datasets() {
     for dataset in ["Apache", "HDFS", "Proxifier"] {
         let ga = ga_on(dataset, 0.6);
-        assert!(
-            ga > 0.75,
-            "grouping accuracy on {dataset} too low: {ga:.3}"
-        );
+        assert!(ga > 0.75, "grouping accuracy on {dataset} too low: {ga:.3}");
     }
 }
 
@@ -26,10 +23,7 @@ fn bytebrain_accuracy_on_simple_datasets() {
 fn bytebrain_accuracy_on_complex_datasets() {
     for dataset in ["OpenSSH", "Zookeeper", "HealthApp"] {
         let ga = ga_on(dataset, 0.6);
-        assert!(
-            ga > 0.6,
-            "grouping accuracy on {dataset} too low: {ga:.3}"
-        );
+        assert!(ga > 0.6, "grouping accuracy on {dataset} too low: {ga:.3}");
     }
 }
 
@@ -44,5 +38,8 @@ fn threshold_sweep_keeps_reasonable_accuracy() {
         values.push(grouping_accuracy(&predicted, &ds.labels));
     }
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
-    assert!(max > 0.8, "best threshold should exceed 0.8 GA, got {values:?}");
+    assert!(
+        max > 0.8,
+        "best threshold should exceed 0.8 GA, got {values:?}"
+    );
 }

@@ -4,8 +4,7 @@
 use bytebrain_repro::datasets::LabeledDataset;
 use bytebrain_repro::service::library::AlertRule;
 use bytebrain_repro::service::{
-    AnomalyDetector, AnomalyKind, LogTopic, QueryEngine, QueryOptions, TemplateLibrary,
-    TopicConfig,
+    AnomalyDetector, AnomalyKind, LogTopic, QueryEngine, QueryOptions, TemplateLibrary, TopicConfig,
 };
 
 #[test]
@@ -17,7 +16,10 @@ fn topic_lifecycle_ingest_train_query() {
     }
     let stats = topic.stats();
     assert_eq!(stats.total_records, corpus.records.len() as u64);
-    assert!(stats.training_runs >= 2, "volume trigger should have re-trained");
+    assert!(
+        stats.training_runs >= 2,
+        "volume trigger should have re-trained"
+    );
     assert!(stats.templates > 0);
     // The model is small relative to the data it describes (storage-efficiency goal).
     assert!(stats.model_size_bytes * 2 < stats.total_bytes);
@@ -37,7 +39,13 @@ fn new_error_template_is_detected_as_anomaly() {
     let baseline = QueryEngine::new(&topic).template_distribution(0.9);
 
     let incident: Vec<String> = (0..500)
-        .map(|i| format!("payment {} declined: fraud score {} exceeds limit", i, 80 + i % 20))
+        .map(|i| {
+            format!(
+                "payment {} declined: fraud score {} exceeds limit",
+                i,
+                80 + i % 20
+            )
+        })
         .collect();
     topic.ingest(&incident);
     topic.run_training();
@@ -45,8 +53,9 @@ fn new_error_template_is_detected_as_anomaly() {
 
     let reports = AnomalyDetector::default().detect(&baseline, &current);
     assert!(
-        reports.iter().any(|r| r.kind == AnomalyKind::NewTemplate
-            && r.template.contains("declined")),
+        reports
+            .iter()
+            .any(|r| r.kind == AnomalyKind::NewTemplate && r.template.contains("declined")),
         "expected a new-template anomaly, got {reports:?}"
     );
 }

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this workspace vendors a minimal
+//! wall-clock benchmark harness exposing the `criterion` API subset its benches use:
+//! [`Criterion::benchmark_group`], [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], per-group [`Throughput`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is warmed up, then
+//! timed over a fixed number of samples; the mean, min, and (when configured) derived
+//! throughput are printed to stdout.
+//!
+//! Numbers from this harness are honest wall-clock measurements, but it performs no
+//! outlier rejection or statistical testing — treat small deltas with suspicion.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`]. The shim times
+/// setup and routine together per element, subtracting nothing; batch size only caps
+/// memory, matching criterion's semantics closely enough for relative comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per measurement.
+    SmallInput,
+    /// Large inputs: batch few per measurement.
+    LargeInput,
+    /// One input per measurement.
+    PerIteration,
+}
+
+/// Throughput hint used to derive per-byte / per-element rates from elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration of the most recent `iter*` call.
+    last_mean: Duration,
+    /// Fastest observed sample.
+    last_min: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_mean: Duration::ZERO,
+            last_min: Duration::MAX,
+        }
+    }
+
+    /// Time `routine`, called once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few untimed iterations so lazy initialisation and cache
+        // effects do not pollute the first sample.
+        for _ in 0..2 {
+            std_black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.last_min = min;
+    }
+
+    /// Time `routine` over inputs produced by `setup`. Setup time is excluded from the
+    /// measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.last_min = min;
+    }
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let mut line = format!(
+        "bench {full:<48} mean {:>12}   min {:>12}",
+        human(bencher.last_mean),
+        human(bencher.last_min)
+    );
+    if let Some(tp) = throughput {
+        let secs = bencher.last_mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(bytes) => {
+                    line.push_str(&format!(
+                        "   {:>10.2} MiB/s",
+                        bytes as f64 / secs / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::Elements(elements) => {
+                    line.push_str(&format!("   {:>12.0} elem/s", elements as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput hint used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        report(Some(&self.name), name, &bencher, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        report(None, name, &bencher, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

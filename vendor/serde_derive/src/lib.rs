@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the type shapes
+//! this workspace actually contains — non-generic structs with named fields, tuple
+//! structs, and enums whose variants are unit or tuple variants — without depending on
+//! `syn`/`quote` (the build environment has no network access). The input item is
+//! parsed directly from the `proc_macro::TokenStream` and the generated impl is built
+//! as a string and re-parsed, which is entirely adequate for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item, extracted from its token stream.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum; each variant is a name plus its tuple arity (0 = unit variant).
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count top-level comma-separated entries inside a group (0 for an empty group).
+fn count_top_level_entries(group: &[TokenTree]) -> usize {
+    if group.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    for token in group {
+        if let TokenTree::Punct(p) = token {
+            if p.as_char() == ',' {
+                count += 1;
+            }
+        }
+    }
+    // A trailing comma does not start a new entry.
+    if matches!(group.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Parse named-struct fields: identifiers immediately followed by `:` at top level.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs_and_vis(group, i);
+        // Field name.
+        let Some(TokenTree::Ident(id)) = group.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        // `:`
+        match group.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive shim: expected `:` after field `{name}`"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma. Generic angle brackets contain
+        // no commas at proc-macro top level only if we track `<`/`>` depth.
+        i += 2;
+        let mut angle_depth = 0i32;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse enum variants: name plus tuple arity (0 = unit). Struct variants are rejected.
+fn parse_variants(group: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs_and_vis(group, i);
+        let Some(TokenTree::Ident(id)) = group.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut arity = 0;
+        match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                arity = count_top_level_entries(&inner);
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct enum variants are not supported ({name})");
+            }
+            _ => {}
+        }
+        // Skip a discriminant (`= expr`) and the separating comma.
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+/// Parse the deriving item out of the raw derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type {name} is not supported");
+    }
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Struct {
+                name,
+                fields: parse_named_fields(&inner),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::TupleStruct {
+                name,
+                arity: count_top_level_entries(&inner),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::Enum {
+                name,
+                variants: parse_variants(&inner),
+            }
+        }
+        _ => panic!("serde_derive shim: unsupported item shape for {name}"),
+    }
+}
+
+/// `#[derive(Serialize)]`: implement `serde::Serialize` (to the `serde::Value` model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize(inner))]),\n"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`: implement `serde::Deserialize` (from the `serde::Value`
+/// model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(value.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| ::serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+            } else {
+                let gets: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}({})),\n\
+                         other => Err(::serde::Error::msg(format!(\"expected {arity}-element array for {name}, got {{other:?}}\"))),\n\
+                     }}",
+                    gets.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            let tuple_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize(inner)?)),\n"
+                        )
+                    } else {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}::{v}({})),\n\
+                                 other => Err(::serde::Error::msg(format!(\"expected {arity}-element array for {name}::{v}, got {{other:?}}\"))),\n\
+                             }},\n",
+                            gets.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (variant, inner) = &fields[0];\n\
+                                 #[allow(unused_variables)]\n\
+                                 match variant.as_str() {{\n\
+                                     {tuple_arms}\
+                                     other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
