@@ -4,13 +4,14 @@
 //! batches). These are the measurements behind the "batched streaming beats
 //! line-at-a-time" claim — run with `cargo bench --bench ingest`.
 
+use bytebrain::incremental::DriftConfig;
 use bytebrain::matcher::{match_record, match_record_with_scratch, match_view};
 use bytebrain::train::train;
 use bytebrain::{ParserModel, TrainConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use datasets::LabeledDataset;
 use logtok::{Preprocessor, TokenScratch};
-use service::{IngestConfig, LogTopic, StreamIngestor, TopicConfig};
+use service::{IngestConfig, LogTopic, MaintenancePolicy, StreamIngestor, TopicConfig};
 use std::sync::Arc;
 
 const TRAIN_LINES: usize = 4_000;
@@ -153,5 +154,98 @@ fn bench_matcher_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topic_ingest_paths, bench_matcher_paths);
+/// A drifting stream: the trained family early, a novel family ramping in late —
+/// the workload where model maintenance policy dominates sustained throughput.
+fn drifting_stream(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            // The second half progressively switches to a family the warm-up model
+            // has never seen.
+            if i * 2 > n && (i * 7) % 10 < 6 {
+                format!(
+                    "gpu worker {} evicted tensor block {} after {} allocations",
+                    i % 8,
+                    i % 500,
+                    1 + i % 9_999
+                )
+            } else {
+                format!(
+                    "GET /static/asset-{}.js served {} bytes in {}us",
+                    i % 64,
+                    100 + i % 9_000,
+                    i % 800
+                )
+            }
+        })
+        .collect()
+}
+
+/// Model maintenance under drift: full retrain (stop-the-world pauses at every
+/// volume trigger, plus a re-match pass over everything stored) versus incremental
+/// delta maintenance (drift-triggered folding of the unmatched buffer, stable node
+/// ids, mid-stream hot swap). Same drifting stream, same volume trigger — the
+/// throughput gap *is* the retrain pause disappearing from the trace.
+fn bench_maintenance_under_drift(c: &mut Criterion) {
+    let warm = drifting_stream(4_000)[..2_000].to_vec(); // trained family only
+    let stream = drifting_stream(16_000);
+    let mut group = c.benchmark_group("maintenance_drift");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    let ingest = IngestConfig::default()
+        .with_shards(4)
+        .with_workers(4)
+        .with_batch_records(1_024);
+
+    group.bench_function("full_retrain", |b| {
+        b.iter_batched(
+            || {
+                let mut topic =
+                    LogTopic::new(TopicConfig::new("drift-full").with_volume_threshold(4_000));
+                topic.ingest(&warm);
+                (topic, stream.clone())
+            },
+            |(mut topic, records)| {
+                let result = topic.ingest_stream(records, &ingest);
+                assert!(topic.stats().training_runs > 1, "retrain must have fired");
+                result.outcome.matched
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || {
+                let mut topic = LogTopic::new(
+                    TopicConfig::new("drift-inc")
+                        .with_volume_threshold(4_000)
+                        .with_maintenance(MaintenancePolicy::Incremental {
+                            drift: DriftConfig::default(),
+                            check_interval: 2_048,
+                        }),
+                );
+                topic.ingest(&warm);
+                (topic, stream.clone())
+            },
+            |(mut topic, records)| {
+                let result = topic.ingest_stream(records, &ingest);
+                let stats = topic.stats();
+                assert_eq!(stats.training_runs, 1, "no stop-the-world retrain");
+                assert!(stats.maintenance_runs >= 1, "maintenance must have fired");
+                result.outcome.matched
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topic_ingest_paths,
+    bench_matcher_paths,
+    bench_maintenance_under_drift
+);
 criterion_main!(benches);

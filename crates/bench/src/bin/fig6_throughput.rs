@@ -2,7 +2,10 @@
 //! including the "ByteBrain Sequential" (single core) and "ByteBrain w/o JIT"
 //! (de-optimised single-core path, see EXPERIMENTS.md) variants.
 
-use bench::{eval_all_methods, eval_bytebrain, eval_bytebrain_stream, loghub2_scale, maybe_write};
+use bench::{
+    eval_all_methods, eval_bytebrain, eval_bytebrain_incremental, eval_bytebrain_stream,
+    loghub2_scale, maybe_write,
+};
 use bytebrain::{AblationConfig, TrainConfig};
 use datasets::{loghub2_dataset_names, LabeledDataset};
 use eval::report::{fmt_sci, ExperimentRecord, TextTable};
@@ -54,6 +57,13 @@ fn main() {
             .entry("ByteBrain (stream 4x4)".to_string())
             .or_default()
             .insert(dataset.to_string(), streamed.throughput.logs_per_second);
+        // Online incremental maintenance: cold-start train on half the corpus, stream
+        // the rest with drift-triggered delta folding instead of full retrains.
+        let incremental = eval_bytebrain_incremental(&ds, 4, 4);
+        throughput
+            .entry("ByteBrain (incremental 4x4)".to_string())
+            .or_default()
+            .insert(dataset.to_string(), incremental.throughput.logs_per_second);
     }
 
     let mut methods: Vec<String> = bench::paper_method_order()
@@ -67,6 +77,7 @@ fn main() {
     methods.push("ByteBrain w/o JIT".to_string());
     methods.push("ByteBrain (parallel)".to_string());
     methods.push("ByteBrain (stream 4x4)".to_string());
+    methods.push("ByteBrain (incremental 4x4)".to_string());
     // The single-threaded default run is stored under "ByteBrain".
     let sequential = throughput.remove("ByteBrain").unwrap_or_default();
     throughput.insert("ByteBrain Sequential".to_string(), sequential);

@@ -36,6 +36,7 @@ pub mod cluster;
 pub mod config;
 pub mod distance;
 pub mod grouping;
+pub mod incremental;
 pub mod matcher;
 pub mod merge;
 pub mod model;
@@ -47,6 +48,9 @@ pub mod train;
 pub mod tree;
 
 pub use config::{AblationConfig, TrainConfig};
+pub use incremental::{
+    apply_delta, train_delta, DeltaParent, DriftConfig, DriftDecision, DriftDetector, ModelDelta,
+};
 pub use matcher::MatchResult;
 pub use model::ParserModel;
 pub use parser::ByteBrainParser;

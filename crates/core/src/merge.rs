@@ -31,7 +31,7 @@ pub fn merge_models(base: &ParserModel, incoming: &ParserModel, threshold: f64) 
     // 1. Copy the non-temporary part of `base`.
     let mut base_to_merged: Vec<Option<NodeId>> = vec![None; base.nodes.len()];
     for root in &base.roots {
-        if base.nodes[root.0].temporary {
+        if base.nodes[root.0].temporary || base.nodes[root.0].retired {
             continue;
         }
         copy_subtree(base, *root, None, &mut merged, &mut base_to_merged);
@@ -85,6 +85,7 @@ fn copy_subtree(
         log_count: source_node.log_count,
         unique_count: source_node.unique_count,
         temporary: source_node.temporary,
+        retired: source_node.retired,
     });
     mapping[node.0] = Some(new_id);
     if let Some(parent) = parent {
@@ -250,6 +251,7 @@ mod tests {
             log_count: 5,
             unique_count: 1,
             temporary: false,
+            retired: false,
         });
         base.add_root(root_a);
         base.rebuild_match_order();
@@ -265,6 +267,7 @@ mod tests {
             log_count: 3,
             unique_count: 1,
             temporary: false,
+            retired: false,
         });
         incoming.add_root(root_b);
         incoming.rebuild_match_order();

@@ -70,15 +70,21 @@ impl ParserModel {
         chain
     }
 
-    /// Leaf nodes (most precise templates).
+    /// Leaf nodes (most precise templates). Retired nodes are excluded.
     pub fn leaves(&self) -> impl Iterator<Item = &TreeNode> {
-        self.nodes.iter().filter(|n| n.is_leaf())
+        self.nodes.iter().filter(|n| n.is_leaf() && !n.retired)
     }
 
     /// Recompute the matching order. Must be called after the last structural change
-    /// (training, merging, or inserting temporary templates).
+    /// (training, merging, inserting temporary templates, or applying a
+    /// [`ModelDelta`](crate::incremental::ModelDelta)). Retired nodes are excluded.
     pub fn rebuild_match_order(&mut self) {
-        let mut order: Vec<NodeId> = self.nodes.iter().map(|n| n.id).collect();
+        let mut order: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.retired)
+            .map(|n| n.id)
+            .collect();
         order.sort_by(|&a, &b| {
             let na = &self.nodes[a.0];
             let nb = &self.nodes[b.0];
@@ -141,6 +147,7 @@ impl ParserModel {
             log_count: 1,
             unique_count: 1,
             temporary: true,
+            retired: false,
         };
         let id = self.push_node(node);
         self.add_root(id);
@@ -148,9 +155,26 @@ impl ParserModel {
         id
     }
 
-    /// Number of temporary (unmatched-log) templates currently in the model.
+    /// Number of temporary (unmatched-log) templates currently active in the model.
+    /// Temporaries that were retired by incremental maintenance are not counted.
     pub fn temporary_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.temporary).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.temporary && !n.retired)
+            .count()
+    }
+
+    /// Number of retired nodes (slots kept for id stability but excluded from matching).
+    pub fn retired_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.retired).count()
+    }
+
+    /// Retire `id`: remove it from the root set (when present) and exclude it from
+    /// matching while keeping its slot so other [`NodeId`]s remain stable. The caller is
+    /// responsible for calling [`ParserModel::rebuild_match_order`] afterwards.
+    pub fn retire(&mut self, id: NodeId) {
+        self.nodes[id.0].retired = true;
+        self.roots.retain(|&r| r != id);
     }
 }
 
@@ -178,6 +202,7 @@ mod tests {
             log_count: 1,
             unique_count: 1,
             temporary: false,
+            retired: false,
         }
     }
 

@@ -87,6 +87,7 @@ mod tests {
             log_count: 1,
             unique_count: 1,
             temporary: false,
+            retired: false,
         };
         let root = model.push_node(make(0.3, 0, &["*", "lock", "*", "*"]));
         let mid = model.push_node(make(0.7, 1, &["release", "lock", "*", "*"]));

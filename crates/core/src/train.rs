@@ -96,6 +96,7 @@ pub fn train_from_batch(batch: &PreprocessedBatch, config: &TrainConfig) -> Trai
                 log_count: local.log_count,
                 unique_count,
                 temporary: false,
+                retired: false,
             };
             local_to_global.push(model.push_node(node));
         }

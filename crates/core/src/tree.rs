@@ -67,6 +67,12 @@ pub struct TreeNode {
     /// True when the node was inserted by the online matcher for an unmatched log and has
     /// not yet been absorbed by a training cycle (§3 "Online Matching").
     pub temporary: bool,
+    /// True when the node has been retired from matching (e.g. a temporary template
+    /// absorbed by incremental maintenance). Retired nodes keep their slot so existing
+    /// [`NodeId`]s stay valid — stored records never need re-matching after a delta is
+    /// applied — but they are excluded from the match order, the root set and the leaf
+    /// iterator.
+    pub retired: bool,
 }
 
 impl TreeNode {
@@ -153,6 +159,7 @@ mod tests {
             log_count: 1,
             unique_count: 1,
             temporary: false,
+            retired: false,
         }
     }
 

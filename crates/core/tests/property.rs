@@ -124,3 +124,88 @@ fn wildcard_merging_properties() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy matching equivalence (seeded; CI varies BYTEBRAIN_TEST_SEED)
+// ---------------------------------------------------------------------------
+
+/// Base seed for the adversarial cases; CI runs a small matrix of values.
+fn adversarial_seed() -> u64 {
+    std::env::var("BYTEBRAIN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Adversarial probe records for the matcher: trained shapes with substituted
+/// values, unicode, empty lines, very long tokens, and wildcard-token injection.
+fn matcher_probe(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..8u32) {
+        0 => String::new(),
+        1 => "   \t  ".to_string(),
+        2 => format!(
+            "job {} finished on host node-{:02} in {}ms",
+            rng.gen_range(0..100_000u64),
+            rng.gen_range(0..100u64),
+            rng.gen_range(0..100_000u64)
+        ),
+        3 => format!(
+            "任务 {} 在 节点 {} 完成",
+            rng.gen_range(0..99u64),
+            rng.gen_range(0..9u64)
+        ),
+        4 => format!(
+            "job {} finished",
+            "x".repeat(rng.gen_range(500..5_000usize))
+        ),
+        5 => format!("<*> {} <*>", rng.gen_range(0..50u64)),
+        6 => "job <*> finished on host <*> in <*>".to_string(),
+        _ => format!(
+            "completely novel statement {} with {} entropy",
+            rng.gen_range(0..1_000u64),
+            "very ".repeat(rng.gen_range(1..200usize))
+        ),
+    }
+}
+
+/// The zero-copy matching paths (`match_view` through a long-lived scratch, and
+/// `match_record_with_scratch`) agree with the owned-allocation `match_record` on
+/// adversarial probes — same matched node, same saturation, same template.
+#[test]
+fn zero_copy_matching_agrees_with_owned_path() {
+    use bytebrain::matcher::{match_record, match_record_with_scratch, match_tokens, match_view};
+    use logtok::{Preprocessor, TokenScratch};
+
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xAD7E_0004);
+    let mut records = Vec::new();
+    for i in 0..120 {
+        records.push(format!(
+            "job {} finished on host node-{:02} in {}ms",
+            i,
+            i % 16,
+            i % 500
+        ));
+        records.push(format!("任务 {} 在 节点 {} 完成", i, i % 4));
+        records.push(format!("cache {} invalidated after {} hits", i % 9, i * 3));
+    }
+    let config = TrainConfig::default();
+    let model = train(&records, &config).model;
+    let pre = Preprocessor::new(config.preprocess.clone());
+    let mut scratch = TokenScratch::new();
+    for _ in 0..600 {
+        let probe = matcher_probe(&mut rng);
+        let owned = match_record(&model, &pre, &probe);
+        let scratched = match_record_with_scratch(&model, &pre, &probe, &mut scratch);
+        assert_eq!(owned, scratched, "scratch path diverged on {probe:?}");
+        // The raw view path agrees with token-level matching.
+        let view = pre.token_view(&probe, &mut scratch);
+        let view_node = match_view(&model, &view);
+        assert_eq!(owned.node, view_node, "view path diverged on {probe:?}");
+        let tokens = pre.tokens_of(&probe);
+        assert_eq!(
+            match_tokens(&model, &tokens),
+            view_node,
+            "token path diverged on {probe:?}"
+        );
+    }
+}

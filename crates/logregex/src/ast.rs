@@ -127,6 +127,114 @@ pub enum Ast {
     EndAnchor,
 }
 
+impl Ast {
+    /// Render the AST back into pattern syntax such that re-parsing the output yields a
+    /// structurally identical AST (`parse(ast.to_pattern()) == *ast`, verified by the
+    /// seeded fuzz suite). Because the printer is deterministic, `parse → print` is a
+    /// *canonical form*: printing is idempotent over its own output, which is what makes
+    /// pattern round-trips stable.
+    pub fn to_pattern(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, false);
+        out
+    }
+
+    /// Append this node's pattern syntax to `out`. `atomic` forces grouping so the
+    /// rendered fragment can safely take a quantifier or sit inside a concatenation.
+    fn render(&self, out: &mut String, atomic: bool) {
+        match self {
+            Ast::Empty => {
+                if atomic {
+                    out.push_str("(?:)");
+                }
+                // At top level the empty pattern renders as the empty string.
+            }
+            Ast::Class(class) => render_class(class, out),
+            Ast::StartAnchor => out.push('^'),
+            Ast::EndAnchor => out.push('$'),
+            Ast::Concat(items) => {
+                if atomic {
+                    out.push_str("(?:");
+                }
+                for item in items {
+                    item.render(out, true);
+                }
+                if atomic {
+                    out.push(')');
+                }
+            }
+            Ast::Alternate(branches) => {
+                out.push_str("(?:");
+                for (i, branch) in branches.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    // Branches are concatenation-level: no extra grouping needed, and
+                    // an empty branch renders as the empty string (`(?:a|)`).
+                    match branch {
+                        Ast::Concat(items) => {
+                            for item in items {
+                                item.render(out, true);
+                            }
+                        }
+                        Ast::Empty => {}
+                        other => other.render(out, true),
+                    }
+                }
+                out.push(')');
+            }
+            Ast::Repeat { node, min, max } => {
+                // In atomic position (inside a concatenation or under another
+                // quantifier) the whole repetition must be grouped, or the printed
+                // braces would stack onto the preceding fragment's quantifier.
+                if atomic {
+                    out.push_str("(?:");
+                }
+                node.render(out, true);
+                match max {
+                    Some(max) => out.push_str(&format!("{{{min},{max}}}")),
+                    None => out.push_str(&format!("{{{min},}}")),
+                }
+                if atomic {
+                    out.push(')');
+                }
+            }
+        }
+    }
+}
+
+/// Render a byte class in `[...]` syntax (or the never-matching complement form for the
+/// empty class, which has no direct syntax).
+fn render_class(class: &ByteClass, out: &mut String) {
+    if class.ranges.is_empty() {
+        // A class that matches nothing: print the negation of the full byte range.
+        out.push_str(r"[^\x00-\xff]");
+        return;
+    }
+    out.push('[');
+    for &(lo, hi) in &class.ranges {
+        render_class_byte(lo, out);
+        if hi > lo {
+            out.push('-');
+            render_class_byte(hi, out);
+        }
+    }
+    out.push(']');
+}
+
+/// Render one byte inside a character class, escaping everything the class parser
+/// treats specially (and all non-printable bytes as `\xHH`).
+fn render_class_byte(b: u8, out: &mut String) {
+    match b {
+        b'\\' | b']' | b'^' | b'-' | b'[' => {
+            out.push('\\');
+            out.push(b as char);
+        }
+        0x20..=0x7E => out.push(b as char),
+        _ => out.push_str(&format!("\\x{b:02x}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

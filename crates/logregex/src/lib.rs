@@ -163,6 +163,17 @@ impl Regex {
     }
 }
 
+/// Parse `pattern` and render it back in canonical syntax.
+///
+/// The canonical form is stable — `canonicalize(canonicalize(p)?) == canonicalize(p)` —
+/// and behaviour-preserving: the canonical pattern compiles to a program that matches
+/// exactly what `pattern` matches. Character classes come back normalized (sorted,
+/// merged ranges), groups come back non-capturing, and quantifiers come back in brace
+/// form; the seeded fuzz suite exercises the round-trip on arbitrary inputs.
+pub fn canonicalize(pattern: &str) -> Result<String, RegexError> {
+    Ok(parser::parse(pattern)?.to_pattern())
+}
+
 /// Iterator returned by [`Regex::find_iter`].
 pub struct Matches<'r, 'h> {
     regex: &'r Regex,

@@ -1,0 +1,217 @@
+//! Seeded fuzz-style tests for the `logregex` parser and compiler: arbitrary byte
+//! strings must never panic the pipeline, and parse → print → parse round-trips must
+//! be stable (the canonical form is a fixed point) and behaviour-preserving.
+//!
+//! Like the other randomized suites in this workspace, every case is drawn from a
+//! fixed-seed RNG so failures reproduce deterministically. The CI seed matrix varies
+//! the base seed through `BYTEBRAIN_TEST_SEED`.
+
+use logregex::{canonicalize, Regex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base seed for all randomized cases; CI runs a small matrix of values.
+fn base_seed() -> u64 {
+    std::env::var("BYTEBRAIN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A random string over printable ASCII, heavily seasoned with regex metacharacters.
+fn metachar_soup(rng: &mut StdRng, max_len: usize) -> String {
+    const FRAGMENTS: &[&str] = &[
+        "a", "b", "Z", "0", "9", "_", " ", r"\d", r"\w", r"\s", r"\D", r"\W", r"\S", r"\n", r"\t",
+        r"\x41", r"\.", r"\\", ".", "(", ")", "(?:", "|", "*", "+", "?", "{2}", "{1,3}", "{2,}",
+        "{,3}", "[", "]", "[a-f]", "[^0-9]", "[]]", "^", "$", "{", "}", "-", ":", "/", r"\1",
+        "(?=", "(?!", "(?<",
+    ];
+    let len = rng.gen_range(0..max_len + 1);
+    let mut out = String::new();
+    for _ in 0..len {
+        out.push_str(FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())]);
+    }
+    out
+}
+
+/// A random string of arbitrary bytes, lossily converted to UTF-8 (so multi-byte and
+/// replacement characters appear alongside ASCII).
+fn arbitrary_bytes_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u16) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A random ASCII haystack to exercise matching.
+fn ascii_haystack(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| rng.gen_range(0x20u8..0x7F) as char)
+        .collect()
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_inputs() {
+    let mut rng = StdRng::seed_from_u64(base_seed() ^ 0xF022);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for case in 0..2_000 {
+        let pattern = if case % 2 == 0 {
+            metachar_soup(&mut rng, 24)
+        } else {
+            arbitrary_bytes_string(&mut rng, 40)
+        };
+        // The only contract: no panic. Both outcomes must occur over the corpus.
+        match Regex::new(&pattern) {
+            Ok(_) => accepted += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    assert!(accepted > 100, "generator produced too few valid patterns");
+    assert!(
+        rejected > 100,
+        "generator produced too few invalid patterns"
+    );
+}
+
+#[test]
+fn compiled_arbitrary_patterns_match_safely() {
+    let mut rng = StdRng::seed_from_u64(base_seed() ^ 0x5AFE);
+    let mut exercised = 0usize;
+    for _ in 0..1_500 {
+        let pattern = metachar_soup(&mut rng, 16);
+        let Ok(re) = Regex::new(&pattern) else {
+            continue;
+        };
+        exercised += 1;
+        let haystack = ascii_haystack(&mut rng, 80);
+        // Matching must terminate, produce in-bounds offsets, and never panic.
+        let _ = re.is_match(&haystack);
+        for m in re.find_iter(&haystack) {
+            assert!(m.start <= m.end, "inverted match in {pattern:?}");
+            assert!(
+                m.end <= haystack.len(),
+                "out-of-bounds match in {pattern:?}"
+            );
+            let _ = m.as_str(&haystack);
+        }
+        let replaced = re.replace_all(&haystack, "<*>");
+        assert!(replaced.len() <= haystack.len() + 3 * (haystack.len() + 1));
+        let parts = re.split(&haystack);
+        let rejoined: usize = parts.iter().map(|p| p.len()).sum();
+        assert!(rejoined <= haystack.len());
+    }
+    assert!(exercised > 200, "too few valid patterns exercised");
+}
+
+#[test]
+fn parse_print_parse_round_trips_are_stable() {
+    let mut rng = StdRng::seed_from_u64(base_seed() ^ 0x2007);
+    let mut round_tripped = 0usize;
+    for case in 0..2_000 {
+        let pattern = if case % 3 == 0 {
+            arbitrary_bytes_string(&mut rng, 30)
+        } else {
+            metachar_soup(&mut rng, 20)
+        };
+        let Ok(canonical) = canonicalize(&pattern) else {
+            continue;
+        };
+        round_tripped += 1;
+        // The canonical form must itself parse, and be a fixed point of printing.
+        let again = canonicalize(&canonical).unwrap_or_else(|e| {
+            panic!("canonical pattern {canonical:?} (of {pattern:?}) failed to parse: {e}")
+        });
+        assert_eq!(
+            canonical, again,
+            "canonicalization is not idempotent for {pattern:?}"
+        );
+        // And it must preserve behaviour.
+        let original = Regex::new(&pattern).expect("pattern parsed before");
+        let printed = Regex::new(&canonical).expect("canonical form parses");
+        for _ in 0..10 {
+            let haystack = ascii_haystack(&mut rng, 60);
+            assert_eq!(
+                original.is_match(&haystack),
+                printed.is_match(&haystack),
+                "behaviour diverged for {pattern:?} vs {canonical:?} on {haystack:?}"
+            );
+            let a = original.find(&haystack);
+            let b = printed.find(&haystack);
+            assert_eq!(
+                a, b,
+                "match positions diverged for {pattern:?} on {haystack:?}"
+            );
+        }
+    }
+    assert!(round_tripped > 300, "too few valid patterns round-tripped");
+}
+
+#[test]
+fn round_trip_preserves_real_world_patterns() {
+    // Every pattern the workspace actually ships: the default mask rules and the
+    // paper's tokenizer pattern.
+    let patterns = [
+        r"\d{4}-\d{2}-\d{2}[ T]\d{2}:\d{2}:\d{2}(\.\d+)?",
+        r"\d{2}:\d{2}:\d{2}(\.\d+)?",
+        r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}(/\d{1,2})?(:\d{1,5})?",
+        r"[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
+        r"[0-9a-f]{32}",
+        r"0x[0-9a-fA-F]{4,16}",
+        r"\d+(\.\d+)?(KB|MB|GB|TB|kb|mb|gb|B)",
+        r"\d+(\.\d+)?(ms|us|ns|sec|secs|seconds)",
+        r#"(?:://)|(?:(?:[\s'";=()\[\]{}?@&<>:\n\t\r,])|(?:\.(\s|$))|(?:\\["']))+"#,
+    ];
+    let haystacks = [
+        "2025-04-12 08:15:12.123 INFO dfs.DataNode started",
+        "Failed password for root from 183.62.140.253 port 22 ssh2",
+        "request 123e4567-e89b-12d3-a456-426614174000 flag 0xDEADBEEF done",
+        "allocated 512MB in 35ms",
+        r#"release:lock=2337, flg=0x0, tag="View Lock", name=systemui, ws=null"#,
+        "",
+        "no variables here at all",
+    ];
+    for pattern in patterns {
+        let canonical = canonicalize(pattern).expect("shipped pattern parses");
+        assert_eq!(
+            canonicalize(&canonical).unwrap(),
+            canonical,
+            "canonical form of {pattern:?} is not a fixed point"
+        );
+        let original = Regex::new(pattern).unwrap();
+        let printed = Regex::new(&canonical).unwrap();
+        for haystack in haystacks {
+            assert_eq!(
+                original.replace_all(haystack, "<*>"),
+                printed.replace_all(haystack, "<*>"),
+                "replacement diverged for {pattern:?} on {haystack:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unicode_patterns_round_trip_bytewise() {
+    let patterns = ["用户", "héllo|wörld", "日志{1,2}", "[α-ω]?"];
+    for pattern in patterns {
+        match canonicalize(pattern) {
+            Ok(canonical) => {
+                assert_eq!(canonicalize(&canonical).unwrap(), canonical);
+                let original = Regex::new(pattern).unwrap();
+                let printed = Regex::new(&canonical).unwrap();
+                for haystack in ["用户 登录 成功", "héllo wörld", "ascii only", ""] {
+                    assert_eq!(
+                        original.is_match(haystack),
+                        printed.is_match(haystack),
+                        "unicode behaviour diverged for {pattern:?}"
+                    );
+                }
+            }
+            Err(_) => {
+                // Rejection is fine (e.g. byte-range classes over multi-byte chars);
+                // it just must be deterministic.
+                assert!(canonicalize(pattern).is_err());
+            }
+        }
+    }
+}

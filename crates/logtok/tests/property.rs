@@ -196,3 +196,146 @@ fn token_view_agrees_with_tokens_of() {
         assert_eq!(viewed, owned, "token mismatch on {record:?}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial zero-copy equivalence (seeded; CI varies BYTEBRAIN_TEST_SEED)
+// ---------------------------------------------------------------------------
+
+/// Base seed for the adversarial cases; CI runs a small matrix of values.
+fn adversarial_seed() -> u64 {
+    std::env::var("BYTEBRAIN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// An adversarial record: unicode runs, empty lines, very long tokens, delimiter
+/// bursts, embedded wildcards, maskable variables and control characters — the
+/// inputs most likely to expose divergence between the owned-allocation
+/// preprocessing path and the zero-copy scratch path.
+fn adversarial_record(rng: &mut StdRng) -> String {
+    const UNICODE: &[&str] = &[
+        "用户",
+        "登录",
+        "ßß",
+        "émoji🦀",
+        "Ωmega",
+        "\u{200b}",
+        "naïve",
+    ];
+    const MASKABLE: &[&str] = &[
+        "2025-04-12 08:00:01",
+        "10.0.0.5:8080",
+        "123e4567-e89b-12d3-a456-426614174000",
+        "0xDEADBEEF",
+        "512MB",
+        "35ms",
+        "d41d8cd98f00b204e9800998ecf8427e",
+    ];
+    const DELIMS: &[&str] = &[
+        "  ", "\t", "::", ",,", "=[]{}", "(?)", "<>", "\"''\"", "\\\"", ". ",
+    ];
+    match rng.gen_range(0..10u32) {
+        // Empty and whitespace-only lines.
+        0 => String::new(),
+        1 => " \t ".repeat(rng.gen_range(1..10usize)),
+        // One very long token (far beyond any scratch warm-up size).
+        2 => "x".repeat(rng.gen_range(1_000..20_000usize)),
+        // A very long token glued to maskable fragments.
+        3 => format!(
+            "{} {} {}",
+            "payload".repeat(rng.gen_range(200..2_000usize)),
+            MASKABLE[rng.gen_range(0..MASKABLE.len())],
+            "y".repeat(rng.gen_range(0..50usize)),
+        ),
+        // Pure unicode runs.
+        4 => (0..rng.gen_range(1..30usize))
+            .map(|_| UNICODE[rng.gen_range(0..UNICODE.len())])
+            .collect::<Vec<_>>()
+            .join(" "),
+        // The wildcard token itself, glued into odd positions.
+        5 => format!("<*>{}<*><*>{}", "a".repeat(rng.gen_range(0..5)), "<*"),
+        _ => {
+            // Mixed soup of everything, including control chars.
+            let mut out = String::new();
+            for _ in 0..rng.gen_range(1..40usize) {
+                match rng.gen_range(0..5u32) {
+                    0 => out.push_str(UNICODE[rng.gen_range(0..UNICODE.len())]),
+                    1 => out.push_str(MASKABLE[rng.gen_range(0..MASKABLE.len())]),
+                    2 => out.push_str(DELIMS[rng.gen_range(0..DELIMS.len())]),
+                    3 => out.push(rng.gen_range(0x20u8..0x7F) as char),
+                    _ => out.push_str(&"tok".repeat(rng.gen_range(1..80usize))),
+                }
+            }
+            out
+        }
+    }
+}
+
+/// `Masker::mask_into` agrees with `Masker::mask` on adversarial inputs, including
+/// repeated reuse of the same (already warm and dirty) scratch buffers.
+#[test]
+fn mask_into_agrees_with_mask_on_adversarial_inputs() {
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xAD7E_0001);
+    let masker = Masker::default_rules();
+    let mut out = String::new();
+    let mut swap = String::new();
+    for _ in 0..400 {
+        let record = adversarial_record(&mut rng);
+        masker.mask_into(&record, &mut out, &mut swap);
+        assert_eq!(
+            out,
+            masker.mask(&record),
+            "mask_into mismatch on {record:?}"
+        );
+    }
+}
+
+/// `Tokenizer::tokenize_spans` emits spans that slice back to exactly the tokens of
+/// `Tokenizer::tokenize`, with in-bounds, ordered, non-overlapping offsets — on
+/// adversarial inputs.
+#[test]
+fn tokenize_spans_agree_with_tokenize_on_adversarial_inputs() {
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xAD7E_0002);
+    let tokenizer = Tokenizer::default_rules();
+    let mut spans = Vec::new();
+    for _ in 0..400 {
+        let record = adversarial_record(&mut rng);
+        let owned = tokenizer.tokenize(&record);
+        tokenizer.tokenize_spans(&record, &mut spans);
+        let sliced: Vec<&str> = spans.iter().map(|&(s, e)| &record[s..e]).collect();
+        assert_eq!(sliced, owned, "span mismatch on {record:?}");
+        let mut last_end = 0usize;
+        for &(start, end) in &spans {
+            assert!(
+                start <= end && end <= record.len(),
+                "bad span in {record:?}"
+            );
+            assert!(start >= last_end, "overlapping spans in {record:?}");
+            last_end = end;
+        }
+    }
+}
+
+/// The full zero-copy pipeline (`token_view` over a long-lived scratch) agrees with
+/// the owned path (`tokens_of`) on adversarial inputs — the property the streaming
+/// ingestion hot path depends on.
+#[test]
+fn token_view_agrees_with_tokens_of_on_adversarial_inputs() {
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xAD7E_0003);
+    let pre = Preprocessor::default_pipeline();
+    let mut scratch = logtok::TokenScratch::new();
+    for _ in 0..400 {
+        let record = adversarial_record(&mut rng);
+        let owned = pre.tokens_of(&record);
+        let view = pre.token_view(&record, &mut scratch);
+        assert_eq!(
+            view.len(),
+            owned.len(),
+            "token count mismatch on {record:?}"
+        );
+        assert_eq!(view.is_empty(), owned.is_empty());
+        let viewed: Vec<String> = view.to_owned_tokens();
+        assert_eq!(viewed, owned, "token mismatch on {record:?}");
+    }
+}

@@ -42,6 +42,19 @@ use logtok::{hash_token, Preprocessor};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How [`LogTopic::ingest_stream`](crate::topic::LogTopic::ingest_stream) routes each
+/// record to a shard buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Rotate through the shards (maximally balanced; the default).
+    #[default]
+    RoundRobin,
+    /// Hash the record's first whitespace-delimited token (a host/component proxy in
+    /// most log formats), so all records of a key land on one shard and stay in
+    /// arrival order relative to each other.
+    FirstTokenKey,
+}
+
 /// Configuration of the sharded streaming ingestion engine.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -56,6 +69,8 @@ pub struct IngestConfig {
     pub max_in_flight: usize,
     /// Matcher pool worker threads (the paper bounds production topics to 1–5 cores).
     pub workers: usize,
+    /// Shard-routing strategy used by the topic-level streaming entry point.
+    pub routing: Routing,
 }
 
 impl Default for IngestConfig {
@@ -66,6 +81,7 @@ impl Default for IngestConfig {
             flush_interval: Duration::from_millis(50),
             max_in_flight: 8,
             workers: 4,
+            routing: Routing::RoundRobin,
         }
     }
 }
@@ -98,6 +114,12 @@ impl IngestConfig {
     /// Override the back-pressure bound (clamped to at least 1).
     pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// Override the shard-routing strategy.
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -136,6 +158,8 @@ pub struct IngestStats {
     pub backpressure_waits: u64,
     /// High-water mark of outstanding batches.
     pub max_in_flight_observed: usize,
+    /// Model snapshots hot-swapped in via [`StreamIngestor::swap_model`].
+    pub model_swaps: u64,
 }
 
 impl IngestStats {
@@ -173,7 +197,10 @@ pub struct MatchedRecord {
 /// Result of a completed streaming run.
 #[derive(Debug)]
 pub struct IngestReport {
-    /// Every ingested record with its match outcome, sorted by arrival order.
+    /// The completed records with their match outcomes, sorted by arrival order.
+    /// When [`StreamIngestor::drain_completed`] harvested records mid-stream, this
+    /// holds only the records released after the last harvest; [`IngestStats`]
+    /// always covers the full run.
     pub records: Vec<MatchedRecord>,
     /// Shard/back-pressure statistics of the run.
     pub stats: IngestStats,
@@ -192,11 +219,13 @@ impl IngestReport {
         self.stats.unmatched()
     }
 
-    /// Throughput of the run in records per second.
+    /// Throughput of the run in records per second, counting every ingested record
+    /// (including those harvested mid-stream via
+    /// [`StreamIngestor::drain_completed`]).
     pub fn records_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
-            self.records.len() as f64 / secs
+            self.stats.records() as f64 / secs
         } else {
             f64::INFINITY
         }
@@ -227,9 +256,16 @@ enum FlushReason {
 pub struct StreamIngestor {
     config: IngestConfig,
     pool: MatcherPool,
+    /// The model snapshot captured at the next shard flush. [`StreamIngestor::swap_model`]
+    /// replaces it; already-flushed batches keep the snapshot they were flushed under.
+    model: Arc<ParserModel>,
     buffers: Vec<ShardBuffer>,
     stats: IngestStats,
-    completed: Vec<MatchedRecord>,
+    /// Completed records keyed by sequence number, so mid-stream harvesting can
+    /// release a contiguous, deterministic arrival-order prefix.
+    completed: std::collections::BTreeMap<u64, MatchedRecord>,
+    /// First sequence number not yet released by [`StreamIngestor::drain_completed`].
+    next_release: u64,
     next_seq: u64,
     round_robin: usize,
     in_flight: usize,
@@ -253,7 +289,7 @@ impl StreamIngestor {
             workers: config.workers.max(1),
             ..config
         };
-        let pool = MatcherPool::new(model, preprocessor, config.workers);
+        let pool = MatcherPool::new(Arc::clone(&model), preprocessor, config.workers);
         let buffers = (0..config.shards).map(|_| ShardBuffer::default()).collect();
         let stats = IngestStats {
             shards: vec![ShardCounters::default(); config.shards],
@@ -262,14 +298,31 @@ impl StreamIngestor {
         StreamIngestor {
             config,
             pool,
+            model,
             buffers,
             stats,
-            completed: Vec::new(),
+            completed: std::collections::BTreeMap::new(),
+            next_release: 0,
             next_seq: 0,
             round_robin: 0,
             in_flight: 0,
             started: Instant::now(),
         }
+    }
+
+    /// Hot-swap the model snapshot. The swap takes effect at shard-flush
+    /// boundaries: batches flushed after this call are matched against `model`,
+    /// batches already submitted keep the snapshot they were flushed under. This
+    /// is how incremental maintenance rolls a patched model into a live stream
+    /// without tearing down the worker pool or pausing ingestion.
+    pub fn swap_model(&mut self, model: Arc<ParserModel>) {
+        self.model = model;
+        self.stats.model_swaps += 1;
+    }
+
+    /// The model snapshot that the next flushed batch will be matched against.
+    pub fn current_model(&self) -> &Arc<ParserModel> {
+        &self.model
     }
 
     /// The engine's configuration.
@@ -301,6 +354,21 @@ impl StreamIngestor {
     pub fn push_keyed(&mut self, key: &str, record: impl Into<String>) {
         let shard = (hash_token(key) % self.config.shards as u64) as usize;
         self.push_to_shard(shard, record.into());
+    }
+
+    /// Ingest one record, routed by the engine's configured [`Routing`] strategy:
+    /// round-robin, or keyed by the record's first whitespace-delimited token.
+    pub fn push_routed(&mut self, record: impl Into<String>) {
+        let record = record.into();
+        match self.config.routing {
+            Routing::RoundRobin => self.push(record),
+            Routing::FirstTokenKey => {
+                let trimmed = record.trim_start();
+                let key_end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+                let shard = (hash_token(&trimmed[..key_end]) % self.config.shards as u64) as usize;
+                self.push_to_shard(shard, record);
+            }
+        }
     }
 
     fn push_to_shard(&mut self, shard: usize, record: String) {
@@ -373,7 +441,7 @@ impl StreamIngestor {
             FlushReason::Time => counters.time_flushes += 1,
             FlushReason::Forced => counters.forced_flushes += 1,
         }
-        self.pool.submit_ids(shard, batch);
+        self.pool.submit_ids(shard, batch, Arc::clone(&self.model));
         self.in_flight += 1;
         self.stats.submitted_batches += 1;
         self.stats.max_in_flight_observed = self.stats.max_in_flight_observed.max(self.in_flight);
@@ -401,14 +469,33 @@ impl StreamIngestor {
                 Some(_) => counters.matched += 1,
                 None => counters.unmatched += 1,
             }
-            self.completed.push(MatchedRecord {
+            self.completed.insert(
                 seq,
-                shard,
-                record,
-                node: id.node,
-                saturation: id.saturation,
-            });
+                MatchedRecord {
+                    seq,
+                    shard,
+                    record,
+                    node: id.node,
+                    saturation: id.saturation,
+                },
+            );
         }
+    }
+
+    /// Harvest finished batches without blocking and return the records that form a
+    /// contiguous arrival-order prefix (i.e. every record up to the first one still
+    /// outstanding). Long-lived callers use this to apply results — and detect
+    /// drift — while the stream is still running; the contiguity guarantee keeps
+    /// downstream application order identical to the batch path regardless of how
+    /// batches raced through the pool.
+    pub fn drain_completed(&mut self) -> Vec<MatchedRecord> {
+        self.drain_ready();
+        let mut out = Vec::new();
+        while let Some(record) = self.completed.remove(&self.next_release) {
+            out.push(record);
+            self.next_release += 1;
+        }
+        out
     }
 
     /// A closed result channel while batches are outstanding means pool workers died
@@ -419,12 +506,14 @@ impl StreamIngestor {
             "matcher pool workers terminated with {} batch(es) outstanding — \
              {} record(s) would be lost",
             self.in_flight,
-            self.stats.records() - self.completed.len() as u64
+            self.stats.records() - self.next_release - self.completed.len() as u64
         );
     }
 
     /// Flush everything, wait for all outstanding batches, shut the pool down, and
-    /// return the full report with records in arrival order.
+    /// return the full report with records in arrival order. When
+    /// [`StreamIngestor::drain_completed`] harvested records mid-stream, the report
+    /// contains only the records released after the last harvest.
     ///
     /// # Panics
     /// Panics if pool workers died with batches outstanding (records would otherwise
@@ -438,8 +527,8 @@ impl StreamIngestor {
             }
         }
         let elapsed = self.started.elapsed();
-        let mut records = std::mem::take(&mut self.completed);
-        records.sort_unstable_by_key(|r| r.seq);
+        let records: Vec<MatchedRecord> =
+            std::mem::take(&mut self.completed).into_values().collect();
         IngestReport {
             records,
             stats: std::mem::take(&mut self.stats),

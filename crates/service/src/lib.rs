@@ -58,12 +58,14 @@ pub mod trigger;
 pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
 pub use compare::{compare_windows, DistributionShift};
 pub use ingest::{
-    IngestConfig, IngestReport, IngestStats, MatchedRecord, ShardCounters, StreamIngestor,
+    IngestConfig, IngestReport, IngestStats, MatchedRecord, Routing, ShardCounters, StreamIngestor,
 };
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
 pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
 pub use query::{QueryEngine, QueryOptions, TemplateGroup};
-pub use store::ModelStore;
-pub use topic::{IngestOutcome, LogTopic, StreamOutcome, TopicConfig, TopicStats};
+pub use store::{ModelStore, SnapshotInfo, SnapshotKind};
+pub use topic::{
+    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
+};
 pub use trigger::{TrainingTrigger, TriggerDecision};

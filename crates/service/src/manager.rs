@@ -7,7 +7,9 @@
 //! per-tenant defaults, and exposes fleet-wide statistics of the kind Table 5 reports.
 
 use crate::ingest::IngestConfig;
-use crate::topic::{IngestOutcome, LogTopic, StreamOutcome, TopicConfig, TopicStats};
+use crate::topic::{
+    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
+};
 use std::collections::BTreeMap;
 
 /// Per-tenant configuration defaults applied to newly created topics.
@@ -17,6 +19,9 @@ pub struct TenantDefaults {
     pub volume_threshold: u64,
     /// Worker threads per topic (the paper bounds this to 1–5 in production).
     pub parallelism: usize,
+    /// Model-maintenance policy for the tenant's topics (full retrain by default;
+    /// evolving-workload tenants opt into incremental maintenance).
+    pub maintenance: MaintenancePolicy,
 }
 
 impl Default for TenantDefaults {
@@ -24,6 +29,7 @@ impl Default for TenantDefaults {
         TenantDefaults {
             volume_threshold: 50_000,
             parallelism: 2,
+            maintenance: MaintenancePolicy::FullRetrain,
         }
     }
 }
@@ -81,7 +87,8 @@ impl ServiceManager {
         if !self.topics.contains_key(&key) {
             let defaults = self.defaults.get(tenant).cloned().unwrap_or_default();
             let mut config = TopicConfig::new(&format!("{tenant}/{topic}"))
-                .with_volume_threshold(defaults.volume_threshold);
+                .with_volume_threshold(defaults.volume_threshold)
+                .with_maintenance(defaults.maintenance);
             config.train.parallelism = defaults.parallelism;
             self.topics.insert(key.clone(), LogTopic::new(config));
         }
@@ -198,6 +205,7 @@ mod tests {
             TenantDefaults {
                 volume_threshold: 10,
                 parallelism: 1,
+                ..TenantDefaults::default()
             },
         );
         // The low volume threshold makes the second small batch trigger retraining.
@@ -225,5 +233,35 @@ mod tests {
     fn missing_topic_lookup_returns_none() {
         let manager = ServiceManager::new();
         assert!(manager.topic("nobody", "nothing").is_none());
+    }
+
+    #[test]
+    fn incremental_tenant_defaults_propagate_to_topics() {
+        use bytebrain::incremental::DriftConfig;
+        let mut manager = ServiceManager::new();
+        manager.set_tenant_defaults(
+            "evolving",
+            TenantDefaults {
+                maintenance: MaintenancePolicy::Incremental {
+                    drift: DriftConfig::default()
+                        .with_window(200)
+                        .with_min_samples(50)
+                        .with_max_unmatched_rate(0.3),
+                    check_interval: 512,
+                },
+                ..TenantDefaults::default()
+            },
+        );
+        manager.ingest("evolving", "app", &batch("app", 300));
+        // A drifting follow-up maintains incrementally instead of retraining.
+        let novel: Vec<String> = (0..150)
+            .map(|i| format!("thermal throttle on core {} at {} mC", i % 8, 70_000 + i))
+            .collect();
+        let outcome = manager.ingest("evolving", "app", &novel);
+        assert!(!outcome.trained);
+        assert!(outcome.maintained >= 1, "drift must maintain: {outcome:?}");
+        let stats = manager.topic("evolving", "app").unwrap().stats();
+        assert_eq!(stats.training_runs, 1);
+        assert!(stats.maintenance_runs >= 1);
     }
 }

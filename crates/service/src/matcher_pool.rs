@@ -33,10 +33,15 @@ enum Job {
     /// Full matching: render templates into [`MatchResult`]s.
     Full { batch_id: u64, records: Vec<String> },
     /// Lean matching for the ingestion path: node ids only, records handed back.
+    /// The job carries the model snapshot it must match against, so the ingestion
+    /// engine can hot-swap to a refreshed model at a shard-flush boundary without
+    /// tearing the pool down — batches flushed before the swap keep the snapshot
+    /// they were flushed under.
     Ids {
         batch_id: u64,
         shard: usize,
         records: Vec<(u64, String)>,
+        model: Arc<ParserModel>,
     },
 }
 
@@ -147,15 +152,16 @@ impl MatcherPool {
                             batch_id,
                             shard,
                             records,
+                            model: job_model,
                         } => {
                             let results = records
                                 .iter()
                                 .map(|(_, r)| {
                                     let view = preprocessor.token_view(r, &mut scratch);
-                                    match match_view(&model, &view) {
+                                    match match_view(&job_model, &view) {
                                         Some(id) => MatchId {
                                             node: Some(id),
-                                            saturation: model.nodes[id.0].saturation,
+                                            saturation: job_model.nodes[id.0].saturation,
                                         },
                                         None => MatchId {
                                             node: None,
@@ -205,9 +211,17 @@ impl MatcherPool {
         batch_id
     }
 
-    /// Submit a lean (ids-only) batch from `shard`; returns the batch id. Used by the
-    /// streaming ingestion engine, which needs template ids but not rendered templates.
-    pub fn submit_ids(&mut self, shard: usize, records: Vec<(u64, String)>) -> u64 {
+    /// Submit a lean (ids-only) batch from `shard` to be matched against `model`;
+    /// returns the batch id. Used by the streaming ingestion engine, which needs
+    /// template ids but not rendered templates and passes the model snapshot that
+    /// was current when the batch was flushed (hot-swap happens between batches,
+    /// never inside one).
+    pub fn submit_ids(
+        &mut self,
+        shard: usize,
+        records: Vec<(u64, String)>,
+        model: Arc<ParserModel>,
+    ) -> u64 {
         let batch_id = self.next_batch_id();
         self.job_tx
             .as_ref()
@@ -216,6 +230,7 @@ impl MatcherPool {
                 batch_id,
                 shard,
                 records,
+                model,
             })
             .expect("workers are alive");
         batch_id
@@ -376,7 +391,7 @@ mod tests {
     #[test]
     fn lean_batches_return_ids_and_records() {
         let (model, pre) = model_and_preprocessor();
-        let mut pool = MatcherPool::new(model, pre, 2);
+        let mut pool = MatcherPool::new(Arc::clone(&model), pre, 2);
         let records: Vec<(u64, String)> = (0..20)
             .map(|i| {
                 (
@@ -385,7 +400,7 @@ mod tests {
                 )
             })
             .collect();
-        let id = pool.submit_ids(3, records.clone());
+        let id = pool.submit_ids(3, records.clone(), model);
         let result = pool.recv_ids().expect("one lean batch");
         assert_eq!(result.batch_id, id);
         assert_eq!(result.shard, 3);
@@ -398,11 +413,12 @@ mod tests {
     #[test]
     fn full_and_lean_batches_interleave() {
         let (model, pre) = model_and_preprocessor();
-        let mut pool = MatcherPool::new(model, pre, 2);
+        let mut pool = MatcherPool::new(Arc::clone(&model), pre, 2);
         pool.submit(vec!["request 1 routed to shard 1 in 5ms".to_string()]);
         pool.submit_ids(
             0,
             vec![(0, "request 2 routed to shard 2 in 6ms".to_string())],
+            model,
         );
         // Receiving in the opposite order of completion must still route correctly.
         let ids = pool.recv_ids().expect("lean batch");

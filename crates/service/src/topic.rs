@@ -5,10 +5,20 @@
 //! the append-only store), buffered for the next training cycle, and retained with their
 //! most-precise template id for querying. Training is triggered by volume or time and the
 //! refreshed model is merged with the previous one.
+//!
+//! Two maintenance policies exist. [`MaintenancePolicy::FullRetrain`] (the default)
+//! re-clusters the whole training buffer when a trigger fires — a stop-the-world pause
+//! that renumbers the tree and forces every stored record to be re-matched.
+//! [`MaintenancePolicy::Incremental`] instead watches per-shard drift (unmatched-rate
+//! surges, saturation decay) and folds only the small *unmatched buffer* into the
+//! existing model as a copy-on-write delta ([`bytebrain::incremental`]): node ids stay
+//! stable, the delta is persisted to the model store as lineage, and the refreshed
+//! snapshot is hot-swapped into a running stream at a shard-flush boundary.
 
-use crate::ingest::{IngestConfig, IngestStats, StreamIngestor};
+use crate::ingest::{IngestConfig, IngestStats, MatchedRecord, StreamIngestor};
 use crate::store::ModelStore;
 use crate::trigger::{TrainingTrigger, TriggerDecision};
+use bytebrain::incremental::{apply_delta, train_delta, DriftConfig, DriftDetector};
 use bytebrain::matcher::match_batch;
 use bytebrain::merge::merge_models;
 use bytebrain::train::train;
@@ -16,6 +26,30 @@ use bytebrain::{NodeId, ParserModel, TrainConfig};
 use logtok::Preprocessor;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How a topic keeps its model current as the workload evolves.
+#[derive(Debug, Clone)]
+pub enum MaintenancePolicy {
+    /// Volume/time triggers run a full retrain over the training buffer and merge the
+    /// result into the previous model (the paper's baseline behaviour).
+    FullRetrain,
+    /// Drift detection and volume/time triggers fold the unmatched buffer into the
+    /// current model as an incremental delta — no stop-the-world retrain, stable node
+    /// ids, delta lineage in the model store.
+    Incremental {
+        /// Sliding-window drift detection bounds.
+        drift: DriftConfig,
+        /// During [`LogTopic::ingest_stream`], harvest completed records and check for
+        /// drift every this many pushed records (clamped to at least 1).
+        check_interval: usize,
+    },
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::FullRetrain
+    }
+}
 
 /// Configuration of a log topic.
 #[derive(Debug, Clone)]
@@ -33,6 +67,8 @@ pub struct TopicConfig {
     pub training_buffer: usize,
     /// Template-similarity threshold used when merging a new model into the old one.
     pub merge_threshold: f64,
+    /// Full-retrain or incremental model maintenance.
+    pub maintenance: MaintenancePolicy,
 }
 
 impl TopicConfig {
@@ -45,12 +81,29 @@ impl TopicConfig {
             interval: Duration::from_secs(600),
             training_buffer: 500_000,
             merge_threshold: 0.6,
+            maintenance: MaintenancePolicy::FullRetrain,
         }
     }
 
     /// Override the volume threshold.
     pub fn with_volume_threshold(mut self, threshold: u64) -> Self {
         self.volume_threshold = threshold;
+        self
+    }
+
+    /// Switch the topic to incremental maintenance with the given drift bounds and a
+    /// default mid-stream check interval.
+    pub fn with_incremental_maintenance(mut self, drift: DriftConfig) -> Self {
+        self.maintenance = MaintenancePolicy::Incremental {
+            drift,
+            check_interval: 2_048,
+        };
+        self
+    }
+
+    /// Override the full maintenance policy.
+    pub fn with_maintenance(mut self, maintenance: MaintenancePolicy) -> Self {
+        self.maintenance = maintenance;
         self
     }
 }
@@ -72,8 +125,10 @@ pub struct IngestOutcome {
     pub matched: usize,
     /// Records that matched no template (inserted as temporary templates).
     pub unmatched: usize,
-    /// Whether this ingest call triggered a training run.
+    /// Whether this ingest call triggered a full training run.
     pub trained: bool,
+    /// Number of incremental maintenance runs this call triggered.
+    pub maintained: usize,
 }
 
 /// Aggregate statistics of a topic (reported in the Table 5 reproduction).
@@ -91,6 +146,10 @@ pub struct TopicStats {
     pub training_runs: u64,
     /// Wall-clock time of the most recent training run, in seconds.
     pub last_training_seconds: f64,
+    /// Number of completed incremental maintenance runs.
+    pub maintenance_runs: u64,
+    /// Wall-clock time of the most recent incremental maintenance run, in seconds.
+    pub last_maintenance_seconds: f64,
 }
 
 /// Outcome of one [`LogTopic::ingest_stream`] call: the usual ingest outcome plus the
@@ -113,10 +172,15 @@ pub struct LogTopic {
     store: ModelStore,
     trigger: TrainingTrigger,
     training_buffer: Vec<String>,
+    /// Raw text of records that matched no template, pending incremental absorption.
+    unmatched_buffer: Vec<String>,
+    drift: Option<DriftDetector>,
     records: Vec<StoredRecord>,
     total_bytes: u64,
     training_runs: u64,
     last_training_seconds: f64,
+    maintenance_runs: u64,
+    last_maintenance_seconds: f64,
 }
 
 impl LogTopic {
@@ -124,6 +188,10 @@ impl LogTopic {
     pub fn new(config: TopicConfig) -> Self {
         let preprocessor = Arc::new(Preprocessor::new(config.train.preprocess.clone()));
         let trigger = TrainingTrigger::new(config.volume_threshold, config.interval);
+        let drift = match &config.maintenance {
+            MaintenancePolicy::FullRetrain => None,
+            MaintenancePolicy::Incremental { drift, .. } => Some(DriftDetector::new(drift.clone())),
+        };
         LogTopic {
             config,
             preprocessor,
@@ -131,10 +199,14 @@ impl LogTopic {
             store: ModelStore::new(),
             trigger,
             training_buffer: Vec::new(),
+            unmatched_buffer: Vec::new(),
+            drift,
             records: Vec::new(),
             total_bytes: 0,
             training_runs: 0,
             last_training_seconds: 0.0,
+            maintenance_runs: 0,
+            last_maintenance_seconds: 0.0,
         }
     }
 
@@ -163,14 +235,25 @@ impl LogTopic {
         &self.store
     }
 
+    /// The drift detector, when the topic runs incremental maintenance.
+    pub fn drift_detector(&self) -> Option<&DriftDetector> {
+        self.drift.as_ref()
+    }
+
+    /// Number of unmatched records pending incremental absorption.
+    pub fn unmatched_pending(&self) -> usize {
+        self.unmatched_buffer.len()
+    }
+
     /// Ingest a batch of records: match them online, buffer them for training, and run a
-    /// training cycle if the trigger fires.
+    /// training cycle (or, under [`MaintenancePolicy::Incremental`], an incremental
+    /// maintenance run) if the trigger fires or drift is detected.
     pub fn ingest(&mut self, batch: &[String]) -> IngestOutcome {
         let mut outcome = IngestOutcome::default();
         // Online matching against the current model (template ids must be available
         // before the records are written to storage).
-        let matches: Vec<Option<NodeId>> = if self.model.is_empty() {
-            vec![None; batch.len()]
+        let matches: Vec<(Option<NodeId>, f64)> = if self.model.is_empty() {
+            vec![(None, 0.0); batch.len()]
         } else {
             match_batch(
                 &self.model,
@@ -179,18 +262,52 @@ impl LogTopic {
                 self.config.train.parallelism,
             )
             .into_iter()
-            .map(|m| m.node)
+            .map(|m| (m.node, m.saturation))
             .collect()
         };
-        for (record, matched) in batch.iter().zip(&matches) {
+        for (record, (matched, saturation)) in batch.iter().zip(&matches) {
             self.apply_record(record.clone(), *matched, &mut outcome);
+            if let Some(detector) = &mut self.drift {
+                // The batch entry point has no shard routing; observe on shard 0.
+                detector.observe(0, matched.is_some(), *saturation);
+            }
         }
         self.trigger.observe(batch.len() as u64);
-        if self.trigger.decide(Instant::now()).should_train() {
+        self.maintain(&mut outcome);
+        outcome
+    }
+
+    /// Run whatever maintenance the policy calls for right now: initial or full
+    /// training under [`MaintenancePolicy::FullRetrain`]; initial training or delta
+    /// absorption under [`MaintenancePolicy::Incremental`].
+    fn maintain(&mut self, outcome: &mut IngestOutcome) {
+        let decision = self.trigger.decide(Instant::now());
+        let incremental = matches!(
+            self.config.maintenance,
+            MaintenancePolicy::Incremental { .. }
+        );
+        if !incremental {
+            if decision.should_train() {
+                self.run_training();
+                outcome.trained = true;
+            }
+            return;
+        }
+        if decision == TriggerDecision::InitialTraining {
+            // The first model must be trained from scratch — there is nothing to
+            // fold a delta into yet.
             self.run_training();
             outcome.trained = true;
+            return;
         }
-        outcome
+        let drifting = self
+            .drift
+            .as_ref()
+            .map(|d| d.assess().is_drifting())
+            .unwrap_or(false);
+        if (decision.should_train() || drifting) && self.run_incremental_maintenance() {
+            outcome.maintained += 1;
+        }
     }
 
     /// Apply one matched record to the topic state: count it, insert a temporary
@@ -210,6 +327,9 @@ impl LogTopic {
             }
             None => {
                 outcome.unmatched += 1;
+                if self.unmatched_buffer.len() < self.config.training_buffer {
+                    self.unmatched_buffer.push(record.clone());
+                }
                 // Rare/unseen logs become temporary templates so identical records
                 // match until the next training cycle absorbs them (§3). With no model
                 // at all there is nothing to insert into yet.
@@ -246,11 +366,19 @@ impl LogTopic {
     }
 
     /// Ingest a stream of records through the sharded streaming engine
-    /// ([`StreamIngestor`]): records are routed round-robin to shard buffers, batched
-    /// by size/time, matched in parallel against an immutable snapshot of the current
-    /// model, and then applied to the topic exactly as [`LogTopic::ingest`] would —
-    /// unmatched records become temporary templates, everything lands in the store and
-    /// the training buffer, and the volume/time trigger may start a training run.
+    /// ([`StreamIngestor`]): records are routed to shard buffers (round-robin or by
+    /// first-token key, per [`IngestConfig::routing`]), batched by size/time, matched
+    /// in parallel against an immutable snapshot of the current model, and then
+    /// applied to the topic exactly as [`LogTopic::ingest`] would — unmatched records
+    /// become temporary templates, everything lands in the store and the training
+    /// buffer, and the volume/time trigger may start a training run.
+    ///
+    /// Under [`MaintenancePolicy::Incremental`], completed records are additionally
+    /// harvested *while the stream runs* (every `check_interval` pushed records, in
+    /// arrival order): they feed the per-shard drift detector, and when drift or a
+    /// volume trigger fires, the unmatched buffer is folded into the model as a delta
+    /// and the refreshed snapshot is hot-swapped into the running engine at the next
+    /// shard-flush boundary — ingestion never pauses for a full retrain.
     ///
     /// Falls back to the batch path when no model exists yet (the first training run
     /// needs buffered records, not matching throughput).
@@ -266,32 +394,86 @@ impl LogTopic {
                 stats: IngestStats::default(),
             };
         }
+        let check_interval = match &self.config.maintenance {
+            MaintenancePolicy::FullRetrain => None,
+            MaintenancePolicy::Incremental { check_interval, .. } => Some((*check_interval).max(1)),
+        };
         let mut ingestor = StreamIngestor::new(
             self.model_snapshot(),
             self.preprocessor_snapshot(),
             config.clone(),
         );
-        let mut total = 0u64;
+        let mut outcome = IngestOutcome::default();
+        let mut since_check = 0usize;
+        let mut swapped = false;
         for record in records {
-            ingestor.push(record);
-            total += 1;
+            ingestor.push_routed(record);
+            if let Some(interval) = check_interval {
+                since_check += 1;
+                if since_check >= interval {
+                    since_check = 0;
+                    // Time-flush every shard first: a quiet shard's open batch would
+                    // otherwise hold the contiguous-prefix gate shut for the whole
+                    // stream (skewed keyed routing), silently disabling drift checks.
+                    ingestor.poll();
+                    let drained = ingestor.drain_completed();
+                    self.apply_stream_records(drained, swapped, &mut outcome);
+                    let maintained_before = outcome.maintained;
+                    self.maintain(&mut outcome);
+                    if outcome.maintained > maintained_before {
+                        // Roll the patched model into the running stream; batches
+                        // flushed from here on match against it.
+                        ingestor.swap_model(self.model_snapshot());
+                        swapped = true;
+                    }
+                }
+            }
         }
         let report = ingestor.finish();
-        let mut outcome = IngestOutcome::default();
         // The snapshot Arc has been dropped with the engine, so temporary-template
         // insertion inside apply_record does not clone the model.
-        for matched in report.records {
-            self.apply_record(matched.record, matched.node, &mut outcome);
-        }
-        self.trigger.observe(total);
-        if self.trigger.decide(Instant::now()).should_train() {
-            self.run_training();
-            outcome.trained = true;
-        }
+        self.apply_stream_records(report.records, swapped, &mut outcome);
+        self.maintain(&mut outcome);
         StreamOutcome {
             outcome,
             stats: report.stats,
         }
+    }
+
+    /// Apply a chunk of completed streaming records (already in arrival order) to the
+    /// topic state, feeding the drift detector with per-shard outcomes.
+    ///
+    /// `rematch_unmatched` is set once a maintenance run hot-swapped the model
+    /// mid-stream: records that raced through the pool against the *pre-swap*
+    /// snapshot and came back unmatched are re-matched against the current model
+    /// before being applied — the maintenance run usually just absorbed their
+    /// pattern, and treating them as unmatched again would insert duplicate
+    /// temporaries and re-trigger maintenance on already-absorbed drift.
+    fn apply_stream_records(
+        &mut self,
+        records: Vec<MatchedRecord>,
+        rematch_unmatched: bool,
+        outcome: &mut IngestOutcome,
+    ) {
+        let count = records.len() as u64;
+        for matched in records {
+            let (node, saturation) = match matched.node {
+                Some(id) => (Some(id), matched.saturation),
+                None if rematch_unmatched => {
+                    let tokens = self.preprocessor.tokens_of(&matched.record);
+                    match bytebrain::matcher::match_tokens(&self.model, &tokens) {
+                        Some(id) => (Some(id), self.model.nodes[id.0].saturation),
+                        None => (None, 0.0),
+                    }
+                }
+                None => (None, 0.0),
+            };
+            self.apply_record(matched.record, node, outcome);
+            if let Some(detector) = &mut self.drift {
+                detector.observe(matched.shard, node.is_some(), saturation);
+            }
+        }
+        self.trigger.observe(count);
     }
 
     /// Force a training cycle on the buffered records.
@@ -316,11 +498,56 @@ impl LogTopic {
         self.trigger.mark_trained(Instant::now());
         self.store.save(&self.model);
         self.training_buffer.clear();
+        // The training buffer contained every unmatched record, so the retrain absorbed
+        // them; drift windows restart against the refreshed model.
+        self.unmatched_buffer.clear();
+        if let Some(detector) = &mut self.drift {
+            detector.reset_windows();
+        }
         // Re-match every stored record: node ids refer to the model that existed at ingest
         // time, and training (with merging) renumbers the tree. The production system
         // stores template ids alongside a model version and remaps lazily at query time;
         // re-matching eagerly exercises the same code path at laptop scale.
         self.rematch_all();
+    }
+
+    /// Fold the unmatched buffer into the current model as an incremental delta
+    /// ([`train_delta`] + [`apply_delta`]): existing node ids stay valid — no stored
+    /// record needs re-matching — absorbed temporaries are retired, and the delta is
+    /// persisted to the model store with its lineage. Returns `true` when a delta was
+    /// applied.
+    pub fn run_incremental_maintenance(&mut self) -> bool {
+        if self.model.is_empty() {
+            return false;
+        }
+        if self.unmatched_buffer.is_empty() && self.model.temporary_count() == 0 {
+            // Nothing to absorb; restart the trigger clock so the check does not spin.
+            self.trigger.mark_maintained(Instant::now());
+            if let Some(detector) = &mut self.drift {
+                detector.reset_windows();
+            }
+            return false;
+        }
+        let started = Instant::now();
+        let batch = std::mem::take(&mut self.unmatched_buffer);
+        let delta = train_delta(
+            &self.model,
+            &batch,
+            &self.config.train,
+            self.config.merge_threshold,
+        );
+        self.model = Arc::new(apply_delta(&self.model, &delta));
+        self.store.save_delta(&delta, &self.model);
+        self.last_maintenance_seconds = started.elapsed().as_secs_f64();
+        self.maintenance_runs += 1;
+        self.trigger.mark_maintained(Instant::now());
+        if let Some(detector) = &mut self.drift {
+            detector.reset_windows();
+        }
+        // Only records that pointed at a now-retired temporary (or matched nothing)
+        // need a fresh assignment; everyone else's node id is still valid.
+        self.rematch_retired();
+        true
     }
 
     /// Re-assign template ids for every stored record against the current model.
@@ -340,15 +567,51 @@ impl LogTopic {
         }
     }
 
+    /// Re-assign template ids only for stored records that are unassigned or point at
+    /// a retired node — the cheap post-delta fix-up (everything else kept its id).
+    fn rematch_retired(&mut self) {
+        if self.records.is_empty() || self.model.is_empty() {
+            return;
+        }
+        let needs_rematch: Vec<usize> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, stored)| match stored.template {
+                None => true,
+                Some(id) => self.model.node(id).map(|node| node.retired).unwrap_or(true),
+            })
+            .map(|(idx, _)| idx)
+            .collect();
+        if needs_rematch.is_empty() {
+            return;
+        }
+        let texts: Vec<String> = needs_rematch
+            .iter()
+            .map(|&idx| self.records[idx].record.clone())
+            .collect();
+        let results = match_batch(
+            &self.model,
+            &self.preprocessor,
+            &texts,
+            self.config.train.parallelism,
+        );
+        for (&idx, result) in needs_rematch.iter().zip(results) {
+            self.records[idx].template = result.node;
+        }
+    }
+
     /// Current topic statistics.
     pub fn stats(&self) -> TopicStats {
         TopicStats {
             total_records: self.records.len() as u64,
             total_bytes: self.total_bytes,
-            templates: self.model.len(),
+            templates: self.model.len() - self.model.retired_count(),
             model_size_bytes: self.model.approx_size_bytes(),
             training_runs: self.training_runs,
             last_training_seconds: self.last_training_seconds,
+            maintenance_runs: self.maintenance_runs,
+            last_maintenance_seconds: self.last_maintenance_seconds,
         }
     }
 }
@@ -372,8 +635,34 @@ mod tests {
             .collect()
     }
 
+    fn novel_batch(offset: usize, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "disk scrubber pass {} repaired sector {} on volume vol-{}",
+                    (offset + i) % 7,
+                    offset + i,
+                    (offset + i) % 3
+                )
+            })
+            .collect()
+    }
+
     fn small_topic(volume_threshold: u64) -> LogTopic {
         LogTopic::new(TopicConfig::new("web-access").with_volume_threshold(volume_threshold))
+    }
+
+    fn incremental_topic(volume_threshold: u64) -> LogTopic {
+        LogTopic::new(
+            TopicConfig::new("web-access-inc")
+                .with_volume_threshold(volume_threshold)
+                .with_incremental_maintenance(
+                    DriftConfig::default()
+                        .with_window(200)
+                        .with_min_samples(50)
+                        .with_max_unmatched_rate(0.3),
+                ),
+        )
     }
 
     #[test]
@@ -473,5 +762,125 @@ mod tests {
         topic.ingest(&web_access_batch(0, 150));
         topic.ingest(&web_access_batch(150, 150));
         assert!(topic.store().len() >= 2);
+    }
+
+    // -- incremental maintenance --------------------------------------------
+
+    #[test]
+    fn drift_triggers_incremental_maintenance_not_retraining() {
+        let mut topic = incremental_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 400)); // initial (full) training
+        assert_eq!(topic.stats().training_runs, 1);
+        let templates_before = topic.stats().templates;
+        // A novel family floods in: unmatched rate in the drift window surges.
+        let outcome = topic.ingest(&novel_batch(0, 200));
+        assert!(outcome.unmatched > 100, "novel family must not match");
+        assert!(!outcome.trained, "no full retrain under incremental policy");
+        assert!(
+            outcome.maintained >= 1,
+            "drift must trigger incremental maintenance: {outcome:?}"
+        );
+        let stats = topic.stats();
+        assert_eq!(stats.training_runs, 1, "still exactly one full train");
+        assert!(stats.maintenance_runs >= 1);
+        assert!(stats.templates > templates_before);
+        // The absorbed family now matches as real (non-temporary) templates.
+        let followup = topic.ingest(&novel_batch(500, 50));
+        assert_eq!(followup.matched, 50, "absorbed family must match");
+        assert_eq!(topic.model().temporary_count(), 0);
+    }
+
+    #[test]
+    fn incremental_maintenance_keeps_node_ids_stable() {
+        let mut topic = incremental_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 400));
+        let assignment_before: Vec<Option<NodeId>> =
+            topic.records().iter().map(|r| r.template).collect();
+        let outcome = topic.ingest(&novel_batch(0, 200));
+        assert!(outcome.maintained >= 1);
+        // Every pre-drift record kept its template id — no re-match pass happened.
+        for (before, stored) in assignment_before.iter().zip(topic.records()) {
+            assert_eq!(*before, stored.template, "node id changed for {stored:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_records_delta_lineage() {
+        let mut topic = incremental_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 400)); // v1: full snapshot
+        topic.ingest(&novel_batch(0, 200)); // v2: delta
+        let store = topic.store();
+        assert_eq!(store.len(), 2);
+        let latest = store.latest_info().unwrap();
+        assert_eq!(latest.kind, crate::store::SnapshotKind::Delta);
+        assert_eq!(latest.parent, Some(1));
+        // The delta version reconstructs to the live model.
+        let reconstructed = store.load(latest.version).unwrap();
+        assert_eq!(reconstructed.len(), topic.model().len());
+    }
+
+    #[test]
+    fn volume_trigger_under_incremental_policy_folds_deltas() {
+        let mut topic = incremental_topic(300);
+        topic.ingest(&web_access_batch(0, 400)); // initial training
+                                                 // Mostly-matching traffic with a sprinkle of novelty: volume trigger fires,
+                                                 // and the unmatched sprinkle is folded incrementally.
+        let mut mixed = web_access_batch(400, 280);
+        mixed.extend(novel_batch(0, 40));
+        let outcome = topic.ingest(&mixed);
+        assert!(!outcome.trained);
+        assert!(outcome.maintained >= 1, "volume trigger must maintain");
+        assert_eq!(topic.stats().training_runs, 1);
+    }
+
+    #[test]
+    fn streaming_ingest_hot_swaps_model_mid_stream() {
+        let mut topic = LogTopic::new(
+            TopicConfig::new("stream-inc")
+                .with_volume_threshold(1_000_000)
+                .with_maintenance(MaintenancePolicy::Incremental {
+                    drift: DriftConfig::default()
+                        .with_window(256)
+                        .with_min_samples(64)
+                        .with_max_unmatched_rate(0.2),
+                    check_interval: 512,
+                }),
+        );
+        topic.ingest(&web_access_batch(0, 500)); // cold start: full training
+                                                 // Stream: known traffic first, then a sustained novel family. The novel
+                                                 // tail is long relative to the engine's completion lag (open buffers +
+                                                 // in-flight batches, bounded below by the small batch/back-pressure
+                                                 // limits) so a mid-stream drift check is guaranteed to see the surge.
+        let mut stream = web_access_batch(500, 2_000);
+        stream.extend(novel_batch(0, 4_000));
+        let result = topic.ingest_stream(
+            stream,
+            &IngestConfig::default()
+                .with_shards(4)
+                .with_batch_records(64)
+                .with_max_in_flight(4),
+        );
+        assert!(
+            result.outcome.maintained >= 1,
+            "mid-stream drift must trigger maintenance: {:?}",
+            result.outcome
+        );
+        assert!(
+            result.stats.model_swaps >= 1,
+            "the refreshed model must be hot-swapped into the stream"
+        );
+        assert!(!result.outcome.trained, "no stop-the-world retrain");
+        // Post-swap, the tail of the novel family matched against the patched model.
+        let followup = topic.ingest(&novel_batch(9_000, 50));
+        assert_eq!(followup.matched, 50);
+    }
+
+    #[test]
+    fn incremental_topic_with_stable_traffic_never_maintains() {
+        let mut topic = incremental_topic(1_000_000);
+        topic.ingest(&web_access_batch(0, 400));
+        let outcome = topic.ingest(&web_access_batch(400, 400));
+        assert_eq!(outcome.maintained, 0);
+        assert_eq!(topic.stats().maintenance_runs, 0);
     }
 }

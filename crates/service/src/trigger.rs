@@ -88,6 +88,14 @@ impl TrainingTrigger {
         self.last_training = Some(now);
         self.ever_trained = true;
     }
+
+    /// Mark that an incremental maintenance run completed at `now`. Same effect as
+    /// [`TrainingTrigger::mark_trained`] — the pending-record counter resets and the
+    /// interval clock restarts — kept distinct so call sites record whether a full
+    /// retrain or a delta absorption satisfied the trigger.
+    pub fn mark_maintained(&mut self, now: Instant) {
+        self.mark_trained(now);
+    }
 }
 
 impl Default for TrainingTrigger {

@@ -1,0 +1,319 @@
+//! Differential test harness: every ingestion path of the service must agree.
+//!
+//! Seeded random workloads from `datasets::generator` flow through (a) batch
+//! `LogTopic::ingest`, (b) streaming `LogTopic::ingest_stream` under both shard
+//! strategies and 1/2/4 workers, and (c) the incremental-maintenance path — and all
+//! of them must produce identical template assignments and identical ingest stats.
+//! A second harness drives a drifting 100k-line workload through a full-retrain
+//! topic and an incremental topic side by side and proves the incremental path
+//! converges to the same template groupings without a single stop-the-world
+//! retrain.
+//!
+//! The base seed is `BYTEBRAIN_TEST_SEED` (default 1); CI runs a seed matrix.
+
+use bytebrain_repro::bytebrain::incremental::DriftConfig;
+use bytebrain_repro::bytebrain::matcher::match_batch;
+use bytebrain_repro::bytebrain::NodeId;
+use bytebrain_repro::datasets::{GeneratorConfig, LabeledDataset};
+use bytebrain_repro::eval::ga::grouping_report;
+use bytebrain_repro::service::{IngestConfig, LogTopic, MaintenancePolicy, Routing, TopicConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn base_seed() -> u64 {
+    std::env::var("BYTEBRAIN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A seeded random workload: a generated corpus split into a warm-up prefix (cold-start
+/// training) and the measured stream.
+fn workload(dataset: &str, total: usize, warmup: usize) -> (Vec<String>, Vec<String>) {
+    let config = GeneratorConfig::loghub2(dataset, total).with_seed(base_seed() ^ 0xD1FF);
+    let ds = LabeledDataset::generate(&config);
+    let (warm, stream) = ds.records.split_at(warmup);
+    (warm.to_vec(), stream.to_vec())
+}
+
+/// The per-record template assignment of everything ingested after the warm-up.
+fn assignment_after(topic: &LogTopic, warmup: usize) -> Vec<Option<NodeId>> {
+    topic.records()[warmup..]
+        .iter()
+        .map(|r| r.template)
+        .collect()
+}
+
+/// Reference behaviour: one batch `ingest` call over the whole stream.
+fn batch_reference(
+    warm: &[String],
+    stream: &[String],
+) -> (LogTopic, Vec<Option<NodeId>>, usize, usize) {
+    let mut topic = LogTopic::new(TopicConfig::new("ref").with_volume_threshold(u64::MAX));
+    topic.ingest(warm);
+    let outcome = topic.ingest(stream);
+    assert!(
+        !outcome.trained,
+        "reference run must not retrain mid-stream"
+    );
+    let assignment = assignment_after(&topic, warm.len());
+    (topic, assignment, outcome.matched, outcome.unmatched)
+}
+
+#[test]
+fn streaming_paths_agree_with_batch_ingest() {
+    for dataset in ["Apache", "OpenSSH"] {
+        let (warm, stream) = workload(dataset, 6_000, 2_500);
+        let (_ref_topic, ref_assignment, ref_matched, ref_unmatched) =
+            batch_reference(&warm, &stream);
+        assert_eq!(ref_assignment.len(), stream.len());
+
+        for routing in [Routing::RoundRobin, Routing::FirstTokenKey] {
+            for workers in [1usize, 2, 4] {
+                let mut topic =
+                    LogTopic::new(TopicConfig::new("stream").with_volume_threshold(u64::MAX));
+                topic.ingest(&warm);
+                let config = IngestConfig::default()
+                    .with_shards(4)
+                    .with_batch_records(256)
+                    .with_workers(workers)
+                    .with_routing(routing);
+                let result = topic.ingest_stream(stream.clone(), &config);
+                let label = format!("{dataset}/{routing:?}/workers={workers}");
+                assert_eq!(
+                    result.outcome.matched, ref_matched,
+                    "matched diverged for {label}"
+                );
+                assert_eq!(
+                    result.outcome.unmatched, ref_unmatched,
+                    "unmatched diverged for {label}"
+                );
+                assert!(!result.outcome.trained, "{label} must not retrain");
+                assert_eq!(
+                    result.stats.records(),
+                    stream.len() as u64,
+                    "stats lost records for {label}"
+                );
+                assert_eq!(
+                    result.stats.matched() as usize,
+                    ref_matched,
+                    "per-shard matched counters diverged for {label}"
+                );
+                assert_eq!(
+                    assignment_after(&topic, warm.len()),
+                    ref_assignment,
+                    "template assignment diverged for {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_path_agrees_with_batch_ingest_on_stable_workloads() {
+    // On a stable workload the drift detector stays quiet and the incremental
+    // topic must behave byte-for-byte like the batch path — same template ids,
+    // same stats, no maintenance.
+    for dataset in ["Apache", "HDFS"] {
+        let (warm, stream) = workload(dataset, 6_000, 2_500);
+        let (_ref_topic, ref_assignment, ref_matched, ref_unmatched) =
+            batch_reference(&warm, &stream);
+
+        let mut topic = LogTopic::new(
+            TopicConfig::new("inc")
+                .with_volume_threshold(u64::MAX)
+                .with_maintenance(MaintenancePolicy::Incremental {
+                    // Thresholds a healthy workload never trips (the generated
+                    // corpora keep a small unmatched tail of rare templates, so the
+                    // rate bound sits far above it).
+                    drift: DriftConfig::default()
+                        .with_window(1_024)
+                        .with_min_samples(256)
+                        .with_max_unmatched_rate(0.5),
+                    check_interval: 512,
+                }),
+        );
+        topic.ingest(&warm);
+        let result = topic.ingest_stream(
+            stream.clone(),
+            &IngestConfig::default()
+                .with_shards(4)
+                .with_batch_records(256),
+        );
+        assert_eq!(result.outcome.matched, ref_matched, "{dataset}: matched");
+        assert_eq!(
+            result.outcome.unmatched, ref_unmatched,
+            "{dataset}: unmatched"
+        );
+        assert_eq!(
+            result.outcome.maintained, 0,
+            "{dataset}: spurious maintenance"
+        );
+        assert!(!result.outcome.trained);
+        assert_eq!(
+            assignment_after(&topic, warm.len()),
+            ref_assignment,
+            "{dataset}: incremental path diverged from batch path"
+        );
+    }
+}
+
+/// A drifting workload: the base family dominates early, a novel family ramps up to
+/// dominance late. Deterministic for a given seed.
+fn drifting_workload(total: usize, seed: u64) -> Vec<String> {
+    let base = LabeledDataset::generate(
+        &GeneratorConfig::loghub2("Apache", total).with_seed(seed ^ 0xBA5E),
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD21F7);
+    let mut out = Vec::with_capacity(total);
+    for (i, record) in base.records.iter().enumerate() {
+        let progress = i as f64 / total as f64;
+        // Drift family probability ramps from 0 (first half) to ~0.8 (end).
+        let p_drift = ((progress - 0.5) * 1.6).max(0.0);
+        if rng.gen_bool(p_drift.min(0.95)) {
+            out.push(format!(
+                "gpu worker {} evicted tensor block {} after {} allocations",
+                rng.gen_range(0..8u32),
+                rng.gen_range(0..500u32),
+                rng.gen_range(1..10_000u32),
+            ));
+        } else {
+            out.push(record.clone());
+        }
+    }
+    out
+}
+
+/// Probe records from both families, freshly drawn (not part of the ingested stream).
+fn probes(seed: u64, n: usize) -> Vec<String> {
+    let base = LabeledDataset::generate(
+        &GeneratorConfig::loghub2("Apache", n).with_seed(seed ^ 0x9076_BE5),
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9076_BE6);
+    base.records
+        .iter()
+        .enumerate()
+        .map(|(i, record)| {
+            if i % 2 == 0 {
+                record.clone()
+            } else {
+                format!(
+                    "gpu worker {} evicted tensor block {} after {} allocations",
+                    rng.gen_range(0..8u32),
+                    rng.gen_range(0..500u32),
+                    rng.gen_range(1..10_000u32),
+                )
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_maintenance_converges_with_full_retrain_on_drifting_workload() {
+    const TOTAL: usize = 100_000;
+    const CHUNK: usize = 10_000;
+    let seed = base_seed();
+    let stream = drifting_workload(TOTAL, seed);
+
+    // Full-retrain topic: volume trigger fires repeatedly, each firing a
+    // stop-the-world retrain (bounded training buffer keeps each one tractable).
+    let mut full_config = TopicConfig::new("drift-full").with_volume_threshold(40_000);
+    full_config.training_buffer = 12_000;
+    let mut full_topic = LogTopic::new(full_config);
+
+    // Incremental topic: same triggers, but drift detection + delta folding.
+    let mut inc_config = TopicConfig::new("drift-inc")
+        .with_volume_threshold(40_000)
+        .with_maintenance(MaintenancePolicy::Incremental {
+            drift: DriftConfig::default()
+                .with_window(2_048)
+                .with_min_samples(512)
+                .with_max_unmatched_rate(0.1),
+            check_interval: 2_048,
+        });
+    inc_config.training_buffer = 12_000;
+    let mut inc_topic = LogTopic::new(inc_config);
+
+    let ingest = IngestConfig::default()
+        .with_shards(4)
+        .with_batch_records(1_024);
+    for chunk in stream.chunks(CHUNK) {
+        full_topic.ingest_stream(chunk.to_vec(), &ingest);
+        inc_topic.ingest_stream(chunk.to_vec(), &ingest);
+    }
+
+    let full_stats = full_topic.stats();
+    let inc_stats = inc_topic.stats();
+    eprintln!(
+        "[differential] full: {} retrains (last {:.2}s); incremental: {} retrain, {} maintenance runs (last {:.3}s)",
+        full_stats.training_runs,
+        full_stats.last_training_seconds,
+        inc_stats.training_runs,
+        inc_stats.maintenance_runs,
+        inc_stats.last_maintenance_seconds,
+    );
+    // The full-retrain topic paid repeated stop-the-world pauses; the incremental
+    // topic trained exactly once (cold start) and absorbed the drift as deltas.
+    assert!(
+        full_stats.training_runs >= 3,
+        "drift must retrain repeatedly"
+    );
+    assert_eq!(
+        inc_stats.training_runs, 1,
+        "incremental path must not retrain"
+    );
+    assert!(inc_stats.maintenance_runs >= 1, "drift must be absorbed");
+
+    // Convergence: fresh probes from both families group identically under both
+    // maintenance strategies, and both models cover the drifted workload.
+    let probe_records = probes(seed, 2_000);
+    let preprocessor = full_topic.preprocessor_snapshot();
+    let full_results = match_batch(full_topic.model(), &preprocessor, &probe_records, 2);
+    let inc_results = match_batch(inc_topic.model(), &preprocessor, &probe_records, 2);
+    let full_matched = full_results.iter().filter(|r| r.is_matched()).count();
+    let inc_matched = inc_results.iter().filter(|r| r.is_matched()).count();
+    assert!(
+        full_matched as f64 >= 0.98 * probe_records.len() as f64,
+        "full-retrain model must cover the workload ({full_matched}/{})",
+        probe_records.len()
+    );
+    assert!(
+        inc_matched as f64 >= 0.98 * probe_records.len() as f64,
+        "incremental model must cover the workload ({inc_matched}/{})",
+        probe_records.len()
+    );
+    // Partition agreement: the two tree *shapes* legitimately differ below the
+    // saturation threshold (the whole point of query-time precision), so probes are
+    // grouped the way every evaluation in this repo groups them — by the template
+    // resolved at the standard threshold (0.6), compared as normalized template
+    // text. Unmatched probes become singletons.
+    let label = |model: &bytebrain_repro::bytebrain::ParserModel,
+                 results: &[bytebrain_repro::bytebrain::MatchResult]|
+     -> Vec<usize> {
+        use bytebrain_repro::bytebrain::merge_consecutive_wildcards;
+        use bytebrain_repro::bytebrain::query::{presentation_template, resolve_with_threshold};
+        let mut interner: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| match r.node {
+                Some(id) => {
+                    let resolved = resolve_with_threshold(model, id, 0.6);
+                    let text = merge_consecutive_wildcards(&presentation_template(model, resolved));
+                    let next = interner.len();
+                    *interner.entry(text).or_insert(next)
+                }
+                None => 1_000_000 + i,
+            })
+            .collect()
+    };
+    let full_labels = label(full_topic.model(), &full_results);
+    let inc_labels = label(inc_topic.model(), &inc_results);
+    let agreement = grouping_report(&inc_labels, &full_labels).accuracy();
+    eprintln!("[differential] grouping agreement incremental vs full retrain: {agreement:.4}");
+    assert!(
+        agreement >= 0.9,
+        "incremental maintenance diverged from full retrain: agreement {agreement:.4}"
+    );
+}

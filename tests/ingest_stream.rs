@@ -103,6 +103,7 @@ fn manager_ingest_stream_routes_to_tenant_topics() {
         TenantDefaults {
             volume_threshold: 1_000_000,
             parallelism: 4,
+            ..TenantDefaults::default()
         },
     );
     let corpus = LabeledDataset::loghub2("HDFS", 9_000);
