@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn numeric_variables_are_abstracted_into_one_group() {
         let mut ael = Ael::default();
-        let groups = ael.parse(&vec![
+        let groups = ael.parse(&[
             "request 1 served in 10 ms".into(),
             "request 2 served in 20 ms".into(),
             "cache flush completed without errors now".into(),
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn reconcile_merges_nearly_identical_bins() {
         let mut ael = Ael::default();
-        let groups = ael.parse(&vec![
+        let groups = ael.parse(&[
             "session opened for alice".into(),
             "session opened for bob".into(),
         ]);
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn different_categories_stay_apart() {
         let mut ael = Ael::default();
-        let groups = ael.parse(&vec!["one two three".into(), "one two three four".into()]);
+        let groups = ael.parse(&["one two three".into(), "one two three four".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 }

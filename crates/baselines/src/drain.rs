@@ -148,14 +148,14 @@ mod tests {
     #[test]
     fn different_lengths_never_group() {
         let mut drain = Drain::default();
-        let groups = drain.parse(&vec!["a b c".into(), "a b".into()]);
+        let groups = drain.parse(&["a b c".into(), "a b".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 
     #[test]
     fn template_positions_become_wildcards() {
         let mut drain = Drain::default();
-        drain.parse(&vec![
+        drain.parse(&[
             "session opened for user alice".into(),
             "session opened for user bob".into(),
         ]);
@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn streaming_is_consistent_across_batches() {
         let mut drain = Drain::default();
-        let first = drain.parse(&vec!["job 1 finished ok".into()]);
-        let second = drain.parse(&vec!["job 2 finished ok".into()]);
+        let first = drain.parse(&["job 1 finished ok".into()]);
+        let second = drain.parse(&["job 2 finished ok".into()]);
         assert_eq!(first[0], second[0]);
     }
 }

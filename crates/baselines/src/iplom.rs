@@ -37,10 +37,9 @@ impl Iplom {
     /// Choose the split position: fewest distinct values among positions that are not
     /// (nearly) all-distinct. Returns `None` when no usable position exists.
     fn split_position(&self, members: &[usize], tokenized: &[Vec<String>]) -> Option<usize> {
-        let len = tokenized[members[0]].len();
         let n = members.len();
         let mut best: Option<(usize, usize)> = None;
-        for position in 0..len {
+        for (position, _) in tokenized[members[0]].iter().enumerate() {
             let mut distinct: HashMap<&str, ()> = HashMap::new();
             for &m in members {
                 distinct.insert(tokenized[m][position].as_str(), ());
@@ -159,7 +158,7 @@ mod tests {
     #[test]
     fn partitions_by_structure() {
         let mut iplom = Iplom::default();
-        let groups = iplom.parse(&vec![
+        let groups = iplom.parse(&[
             "state changed from active to idle".into(),
             "state changed from idle to active".into(),
             "disk sda1 is now offline today ok".into(),
@@ -171,7 +170,7 @@ mod tests {
     #[test]
     fn numeric_variables_do_not_split_groups() {
         let mut iplom = Iplom::default();
-        let groups = iplom.parse(&vec![
+        let groups = iplom.parse(&[
             "worker 12 finished task 9".into(),
             "worker 99 finished task 3".into(),
         ]);
@@ -181,7 +180,7 @@ mod tests {
     #[test]
     fn templates_wildcard_varying_positions() {
         let mut iplom = Iplom::default();
-        iplom.parse(&vec![
+        iplom.parse(&[
             "user alice deleted file report.pdf".into(),
             "user bob deleted file budget.xls".into(),
         ]);

@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn similar_word_lengths_cluster_together() {
         let mut lenma = LenMa::default();
-        let groups = lenma.parse(&vec![
+        let groups = lenma.parse(&[
             "Accepted password for alice from 10.0.0.1".into(),
             "Accepted password for carol from 10.0.0.9".into(),
             "kernel panic not syncing now stop".into(),
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn different_token_counts_never_cluster() {
         let mut lenma = LenMa::default();
-        let groups = lenma.parse(&vec!["a bb ccc".into(), "a bb".into()]);
+        let groups = lenma.parse(&["a bb ccc".into(), "a bb".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 }

@@ -92,10 +92,7 @@ mod tests {
     #[test]
     fn templates_are_collected() {
         let mut lfa = Lfa::default();
-        lfa.parse(&vec![
-            "job started on node1".into(),
-            "job started on node2".into(),
-        ]);
+        lfa.parse(&["job started on node1".into(), "job started on node2".into()]);
         assert!(!lfa.templates().is_empty());
     }
 }

@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn logs_without_frequent_words_fall_back_to_exact_text() {
         let mut lc = LogCluster::default();
-        let groups = lc.parse(&vec![
+        let groups = lc.parse(&[
             "zzz solo alpha".into(),
             "qqq lone beta".into(),
             "zzz solo alpha".into(),

@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn close_logs_share_a_cluster() {
         let mut lm = LogMine::default();
-        let groups = lm.parse(&vec![
+        let groups = lm.parse(&[
             "volume vol1 mounted at /data read-write".into(),
             "volume vol2 mounted at /backup read-write".into(),
             "scheduler tick took 14 microseconds total".into(),
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn templates_wildcard_differences() {
         let mut lm = LogMine::default();
-        lm.parse(&vec![
+        lm.parse(&[
             "volume vol1 mounted at /data read-write".into(),
             "volume vol2 mounted at /backup read-write".into(),
         ]);

@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn k_larger_than_record_count_is_clamped() {
         let mut logsig = LogSig::default();
-        let groups = logsig.parse(&vec!["a b".into(), "a c".into()]);
+        let groups = logsig.parse(&["a b".into(), "a c".into()]);
         assert_eq!(groups.len(), 2);
     }
 

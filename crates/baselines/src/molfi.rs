@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn different_lengths_are_never_merged() {
         let mut molfi = Molfi::default();
-        let groups = molfi.parse(&vec!["x y z".into(), "x y".into()]);
+        let groups = molfi.parse(&["x y z".into(), "x y".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 }

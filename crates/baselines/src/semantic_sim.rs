@@ -247,7 +247,7 @@ mod tests {
     #[should_panic(expected = "oracle")]
     fn mismatched_oracle_length_panics() {
         let mut parser = SimulatedSemanticParser::new(SemanticKind::UniParser, vec![0]);
-        parser.parse(&vec!["a".into(), "b".into()]);
+        parser.parse(&["a".into(), "b".into()]);
     }
 
     #[test]

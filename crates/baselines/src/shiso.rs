@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn same_shape_logs_group_together() {
         let mut shiso = Shiso::default();
-        let groups = shiso.parse(&vec![
+        let groups = shiso.parse(&[
             "started process 4521 on core 2".into(),
             "started process 9987 on core 1".into(),
             "filesystem check completed cleanly today ok".into(),
@@ -173,15 +173,15 @@ mod tests {
     #[test]
     fn incremental_parsing_is_stateful() {
         let mut shiso = Shiso::default();
-        let a = shiso.parse(&vec!["mount /dev/sda1 on /data succeeded".into()]);
-        let b = shiso.parse(&vec!["mount /dev/sdb2 on /backup succeeded".into()]);
+        let a = shiso.parse(&["mount /dev/sda1 on /data succeeded".into()]);
+        let b = shiso.parse(&["mount /dev/sdb2 on /backup succeeded".into()]);
         assert_eq!(a[0], b[0]);
     }
 
     #[test]
     fn different_lengths_never_group() {
         let mut shiso = Shiso::default();
-        let groups = shiso.parse(&vec!["a b c".into(), "a b".into()]);
+        let groups = shiso.parse(&["a b c".into(), "a b".into()]);
         assert_ne!(groups[0], groups[1]);
     }
 }

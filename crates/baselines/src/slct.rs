@@ -105,7 +105,7 @@ mod tests {
         };
         // Nothing reaches support 100, so every position is a wildcard and grouping falls
         // back to token count.
-        let groups = slct.parse(&vec!["a b c".into(), "d e f".into(), "g h".into()]);
+        let groups = slct.parse(&["a b c".into(), "d e f".into(), "g h".into()]);
         assert_eq!(groups[0], groups[1]);
         assert_ne!(groups[0], groups[2]);
     }

@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn same_statement_different_variables_groups_together() {
         let mut spell = Spell::default();
-        let groups = spell.parse(&vec![
+        let groups = spell.parse(&[
             "Verification succeeded for blk_1".into(),
             "Verification succeeded for blk_2".into(),
             "Deleting block blk_3 file /x".into(),
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn templates_shrink_to_the_common_subsequence() {
         let mut spell = Spell::default();
-        spell.parse(&vec![
+        spell.parse(&[
             "session opened for user root by uid 0".into(),
             "session opened for user guest by uid 1000".into(),
         ]);
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn unrelated_logs_get_new_groups() {
         let mut spell = Spell::default();
-        let groups = spell.parse(&vec![
+        let groups = spell.parse(&[
             "alpha beta gamma delta".into(),
             "completely different content here".into(),
         ]);

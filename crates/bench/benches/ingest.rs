@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the ingestion paths: line-at-a-time `LogTopic::ingest`, batched
 //! `LogTopic::ingest`, and the sharded streaming engine (`StreamIngestor`), plus the
 //! underlying matcher fast paths (allocating vs. zero-copy scratch vs. pooled lean
-//! batches). These are the measurements behind the "batched streaming beats
-//! line-at-a-time" claim — run with `cargo bench --bench ingest`.
+//! batches), plus the query paths (per-record scan vs. indexed postings+ladder vs.
+//! the LRU-cached indexed path) on a 100k-record topic. These are the measurements
+//! behind the "batched streaming beats line-at-a-time" and "indexed queries stop
+//! scanning records" claims — run with `cargo bench --bench ingest`.
 
 use bytebrain::incremental::DriftConfig;
 use bytebrain::matcher::{match_record, match_record_with_scratch, match_view};
@@ -11,7 +13,10 @@ use bytebrain::{ParserModel, TrainConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use datasets::LabeledDataset;
 use logtok::{Preprocessor, TokenScratch};
-use service::{IngestConfig, LogTopic, MaintenancePolicy, StreamIngestor, TopicConfig};
+use service::{
+    IngestConfig, LogTopic, MaintenancePolicy, QueryEngine, QueryOptions, StreamIngestor,
+    TopicConfig,
+};
 use std::sync::Arc;
 
 const TRAIN_LINES: usize = 4_000;
@@ -242,10 +247,87 @@ fn bench_maintenance_under_drift(c: &mut Criterion) {
     group.finish();
 }
 
+/// The query paths on a 100k-record topic, each sweeping the full 10-stop threshold
+/// slider (the production UI's interaction pattern). `scan` is the retained
+/// per-record reference: every query walks every stored record's ancestor chain.
+/// `indexed` aggregates per-node postings up the precomputed saturation ladder —
+/// byte-identical output (enforced by the differential suite) without touching the
+/// record store. `indexed_cached` adds the LRU result cache the serving path uses.
+fn bench_query_paths(c: &mut Criterion) {
+    const QUERY_TRAIN: usize = 4_000;
+    const QUERY_RECORDS: usize = 100_000;
+    let ds = LabeledDataset::loghub2("Apache", QUERY_TRAIN + QUERY_RECORDS);
+    let (train_part, stream_part) = ds.records.split_at(QUERY_TRAIN);
+    let mut topic = LogTopic::new(TopicConfig::new("query-bench").with_volume_threshold(u64::MAX));
+    topic.ingest(train_part);
+    let warmup = topic.records().len();
+    for chunk in stream_part.chunks(8_192) {
+        topic.ingest(chunk);
+    }
+    assert_eq!(topic.records().len() - warmup, QUERY_RECORDS);
+
+    let thresholds: Vec<f64> = (0..10).map(|i| 0.05 + i as f64 * 0.1).collect();
+    let mut group = c.benchmark_group("query");
+    // Each iteration answers one full slider sweep (10 queries).
+    group.throughput(Throughput::Elements(thresholds.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("scan_100k", |b| {
+        let engine = QueryEngine::new(&topic);
+        b.iter(|| {
+            let mut total_groups = 0usize;
+            for &threshold in &thresholds {
+                total_groups += engine
+                    .group_by_template_scan(QueryOptions {
+                        saturation_threshold: threshold,
+                        limit: usize::MAX,
+                    })
+                    .len();
+            }
+            total_groups
+        })
+    });
+
+    group.bench_function("indexed_100k", |b| {
+        // The snapshot path is the uncached indexed query (postings + ladder only).
+        let snapshot = topic.query_snapshot();
+        b.iter(|| {
+            let mut total_groups = 0usize;
+            for &threshold in &thresholds {
+                total_groups += snapshot
+                    .group_by_template(QueryOptions {
+                        saturation_threshold: threshold,
+                        limit: usize::MAX,
+                    })
+                    .len();
+            }
+            total_groups
+        })
+    });
+
+    group.bench_function("indexed_cached_100k", |b| {
+        b.iter(|| {
+            let mut total_groups = 0usize;
+            for &threshold in &thresholds {
+                total_groups += topic
+                    .query(QueryOptions {
+                        saturation_threshold: threshold,
+                        limit: usize::MAX,
+                    })
+                    .len();
+            }
+            total_groups
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_topic_ingest_paths,
     bench_matcher_paths,
-    bench_maintenance_under_drift
+    bench_maintenance_under_drift,
+    bench_query_paths
 );
 criterion_main!(benches);

@@ -1,10 +1,15 @@
 //! Fig. 11 — parameter sensitivity: grouping accuracy as the query-time saturation
-//! threshold sweeps from 0.1 to 0.9, on LogHub and LogHub-2.0-scale corpora.
+//! threshold sweeps from 0.1 to 0.9, on LogHub and LogHub-2.0-scale corpora — plus
+//! the query-latency companion: the same threshold sweep answered by the per-record
+//! scan path and by the indexed path (postings aggregated up the saturation ladder)
+//! on a 100k-record topic.
 
 use bench::{eval_bytebrain, loghub2_scale, maybe_write};
 use bytebrain::TrainConfig;
 use datasets::LabeledDataset;
 use eval::report::{fmt2, ExperimentRecord, TextTable};
+use service::{LogTopic, QueryEngine, QueryOptions, TopicConfig};
+use std::time::Instant;
 
 fn main() {
     let thresholds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
@@ -46,5 +51,81 @@ fn main() {
         println!("Fig. 11 ({suite}): group accuracy vs saturation threshold\n");
         println!("{}", table.render());
     }
+    query_latency_sweep(&thresholds, &mut record);
     maybe_write(&record);
+}
+
+/// The indexed row: answer the same threshold sweep on a 100k-record Apache topic
+/// through the retained scan path and the indexed path (both return byte-identical
+/// groups — the differential suite enforces it) and report per-sweep latency.
+fn query_latency_sweep(thresholds: &[f64], record: &mut ExperimentRecord) {
+    const TRAIN: usize = 4_000;
+    const RECORDS: usize = 100_000;
+    let ds = LabeledDataset::loghub2("Apache", TRAIN + RECORDS);
+    let (train_part, stream_part) = ds.records.split_at(TRAIN);
+    let mut topic = LogTopic::new(TopicConfig::new("fig11-query").with_volume_threshold(u64::MAX));
+    topic.ingest(train_part);
+    for chunk in stream_part.chunks(8_192) {
+        topic.ingest(chunk);
+    }
+    eprintln!(
+        "[fig11] query topic ready: {} records",
+        topic.records().len()
+    );
+
+    let engine = QueryEngine::new(&topic);
+    let snapshot = topic.query_snapshot();
+    let options = |threshold: f64| QueryOptions {
+        saturation_threshold: threshold,
+        limit: usize::MAX,
+    };
+    // One untimed warm-up sweep per path so allocators and caches settle equally.
+    for &t in thresholds {
+        engine.group_by_template_scan(options(t));
+        snapshot.group_by_template(options(t));
+    }
+    let timed = |f: &dyn Fn(f64) -> usize| -> (f64, usize) {
+        let started = Instant::now();
+        let mut groups = 0usize;
+        for &t in thresholds {
+            groups += f(t);
+        }
+        (started.elapsed().as_secs_f64() * 1_000.0, groups)
+    };
+    let (scan_ms, scan_groups) = timed(&|t| engine.group_by_template_scan(options(t)).len());
+    let (indexed_ms, indexed_groups) = timed(&|t| snapshot.group_by_template(options(t)).len());
+    assert_eq!(
+        scan_groups, indexed_groups,
+        "paths must agree on the group count"
+    );
+    let speedup = scan_ms / indexed_ms;
+
+    let mut table = TextTable::new(vec![
+        "Path".to_string(),
+        "Sweep (ms)".to_string(),
+        "Per query (ms)".to_string(),
+        "Speedup".to_string(),
+    ]);
+    let per_query = thresholds.len() as f64;
+    table.add_row(vec![
+        "scan (per-record walk)".to_string(),
+        fmt2(scan_ms),
+        fmt2(scan_ms / per_query),
+        "1.00".to_string(),
+    ]);
+    table.add_row(vec![
+        "indexed (postings + ladder)".to_string(),
+        fmt2(indexed_ms),
+        fmt2(indexed_ms / per_query),
+        fmt2(speedup),
+    ]);
+    println!(
+        "Fig. 11 (indexed row): {}-threshold sweep latency on a {}k-record topic\n",
+        thresholds.len(),
+        RECORDS / 1_000
+    );
+    println!("{}", table.render());
+    record.insert("query_scan_sweep_ms", scan_ms);
+    record.insert("query_indexed_sweep_ms", indexed_ms);
+    record.insert("query_indexed_speedup", speedup);
 }

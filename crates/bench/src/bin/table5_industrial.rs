@@ -60,7 +60,7 @@ fn main() {
         let mut matched = 0usize;
         let mut total = 0usize;
         for chunk in ds.records.chunks(10_000) {
-            let outcome = topic.ingest(&chunk.to_vec());
+            let outcome = topic.ingest(chunk);
             matched += outcome.matched;
             total += chunk.len();
         }

@@ -452,7 +452,7 @@ mod tests {
         let tree = cluster_group(&logs, &config(), 1);
         // Early-stop rule 1: each log its own cluster (or stays one node if saturated).
         let leaves: Vec<&LocalNode> = tree.iter().filter(|n| n.children.is_empty()).collect();
-        assert!(leaves.len() >= 1);
+        assert!(!leaves.is_empty());
         for leaf in leaves {
             assert!(leaf.saturation >= tree[0].saturation);
         }

@@ -54,5 +54,8 @@ pub use incremental::{
 pub use matcher::MatchResult;
 pub use model::ParserModel;
 pub use parser::ByteBrainParser;
-pub use query::merge_consecutive_wildcards;
+pub use query::{
+    clamp_threshold, merge_consecutive_wildcards, presentation_template, resolve_with_threshold,
+    LadderRung, SaturationLadder, DEFAULT_THRESHOLD,
+};
 pub use tree::{NodeId, TemplateToken, TreeNode};

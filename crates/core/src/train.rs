@@ -59,7 +59,7 @@ pub fn train_from_batch(batch: &PreprocessedBatch, config: &TrainConfig) -> Trai
         .enumerate()
         .map(|(i, g)| (i, g.members.clone()))
         .collect();
-    let config_ref = &*config;
+    let config_ref = config;
     let results: Vec<(usize, Vec<usize>, Vec<LocalNode>)> = run_parallel(
         config.parallelism,
         group_inputs,

@@ -209,3 +209,84 @@ fn zero_copy_matching_agrees_with_owned_path() {
         );
     }
 }
+
+/// Ladder resolution and the pointer-walk reference agree with a naive full-chain
+/// specification on randomly shaped trees with randomly perturbed (non-monotone)
+/// saturations and random retirements — the exact conditions delta-patched trees
+/// create.
+#[test]
+fn ladder_resolution_matches_reference_on_perturbed_trees() {
+    use bytebrain::query::{clamp_threshold, resolve_with_threshold, SaturationLadder};
+    use bytebrain::{NodeId, ParserModel, TemplateToken, TreeNode};
+
+    let make_node = |sat: f64, depth: usize, retired: bool| TreeNode {
+        id: NodeId(0),
+        parent: None,
+        children: Vec::new(),
+        template: vec![TemplateToken::Const("x".into()), TemplateToken::Wildcard],
+        saturation: sat,
+        depth,
+        log_count: 1,
+        unique_count: 1,
+        temporary: false,
+        retired,
+    };
+
+    // The naive specification: collect the live chain coarsest-first, return the first
+    // entry meeting the threshold, else the most precise live entry, else the node.
+    let reference = |model: &ParserModel, node: NodeId, threshold: f64| -> NodeId {
+        let threshold = clamp_threshold(threshold);
+        let live: Vec<NodeId> = model
+            .ancestors(node)
+            .into_iter()
+            .rev()
+            .filter(|id| !model.nodes[id.0].retired)
+            .collect();
+        live.iter()
+            .copied()
+            .find(|id| model.nodes[id.0].saturation >= threshold)
+            .or_else(|| live.last().copied())
+            .unwrap_or(node)
+    };
+
+    let mut rng = StdRng::seed_from_u64(0x1ADD_E201);
+    for _ in 0..80 {
+        let mut model = ParserModel::new();
+        let nodes = rng.gen_range(1..40usize);
+        for i in 0..nodes {
+            let sat = rng.gen_range(0.0..1.0f64);
+            let retired = rng.gen_bool(0.2);
+            let id = model.push_node(make_node(sat, 0, retired));
+            if i == 0 || rng.gen_bool(0.25) {
+                model.add_root(id);
+            } else {
+                // Attach under any earlier node: arbitrary shapes, arbitrary dips.
+                let parent = NodeId(rng.gen_range(0..i));
+                model.attach_child(parent, id);
+                model.nodes[id.0].depth = model.nodes[parent.0].depth + 1;
+            }
+        }
+        model.rebuild_match_order();
+        let ladder = SaturationLadder::build(&model);
+        for _ in 0..40 {
+            let node = NodeId(rng.gen_range(0..nodes));
+            let threshold = match rng.gen_range(0..10u32) {
+                0 => f64::NAN,
+                1 => rng.gen_range(-2.0..0.0),
+                2 => rng.gen_range(1.0..3.0),
+                _ => rng.gen_range(0.0..1.0),
+            };
+            let expected = reference(&model, node, threshold);
+            assert_eq!(
+                resolve_with_threshold(&model, node, threshold),
+                expected,
+                "pointer walk diverged from spec (node {node}, threshold {threshold})"
+            );
+            assert_eq!(
+                ladder.resolve(node, threshold),
+                expected,
+                "ladder diverged from spec (node {node}, threshold {threshold})"
+            );
+        }
+    }
+}

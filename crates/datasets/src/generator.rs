@@ -35,7 +35,7 @@ impl GeneratorConfig {
             num_logs: 2_000,
             num_templates: None,
             zipf_exponent: None,
-            seed: 0xB17E_B41,
+            seed: 0x0B17_EB41,
             small_pool: 40,
             id_pool: 500,
         }
@@ -58,7 +58,7 @@ impl GeneratorConfig {
             num_logs,
             num_templates: Some(num_templates),
             zipf_exponent: None,
-            seed: 0xB17E_B42,
+            seed: 0x0B17_EB42,
             small_pool: 60,
             id_pool: 5_000,
         }

@@ -104,7 +104,7 @@ mod tests {
     fn samples_cover_the_range_and_respect_skew() {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }

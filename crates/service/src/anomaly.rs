@@ -1,7 +1,14 @@
 //! Out-of-the-box log anomaly detection built on parsing results (§1, §6): the service
 //! flags (a) templates that newly appear and (b) templates whose record count shifts
 //! abnormally between two time windows.
+//!
+//! Window distributions come from the indexed query path: callers either pass
+//! precomputed maps to [`AnomalyDetector::detect`] or hand two
+//! [`QuerySnapshot`]s to [`AnomalyDetector::detect_snapshots`], which aggregates
+//! per-node postings up the saturation ladder — O(templates) per window, never a
+//! record scan.
 
+use crate::query::QuerySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -18,7 +25,7 @@ pub enum AnomalyKind {
 }
 
 /// One detected anomaly.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnomalyReport {
     /// Template text (presentation form).
     pub template: String,
@@ -107,6 +114,28 @@ impl AnomalyDetector {
                 });
             }
         }
+        Self::rank(&mut reports);
+        reports
+    }
+
+    /// Compare two topic query snapshots at the given saturation threshold and report
+    /// anomalies. Both distributions are computed through the indexed path (postings
+    /// aggregated up the ladder), so the comparison cost is bounded by the number of
+    /// templates, not the number of stored records.
+    pub fn detect_snapshots(
+        &self,
+        baseline: &QuerySnapshot,
+        current: &QuerySnapshot,
+        threshold: f64,
+    ) -> Vec<AnomalyReport> {
+        self.detect(
+            &baseline.template_distribution(threshold),
+            &current.template_distribution(threshold),
+        )
+    }
+
+    /// Order reports most severe (largest relative change) first.
+    fn rank(reports: &mut [AnomalyReport]) {
         reports.sort_by(|a, b| {
             let severity = |r: &AnomalyReport| {
                 let base = r.baseline_count.max(1) as f64;
@@ -118,7 +147,6 @@ impl AnomalyDetector {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.template.cmp(&b.template))
         });
-        reports
     }
 }
 
@@ -176,6 +204,36 @@ mod tests {
         let current = counts(&[("mild *", 40), ("wild *", 1000)]);
         let reports = detector.detect(&baseline, &current);
         assert_eq!(reports[0].template, "wild *");
+    }
+
+    #[test]
+    fn snapshot_detection_matches_manual_distributions() {
+        use crate::topic::{LogTopic, TopicConfig};
+        let mut topic = LogTopic::new(TopicConfig::new("anom").with_volume_threshold(u64::MAX));
+        let healthy: Vec<String> = (0..300)
+            .map(|i| format!("request {} served in {}ms", i, i % 30))
+            .collect();
+        topic.ingest(&healthy);
+        let baseline = topic.query_snapshot();
+        let incident: Vec<String> = (0..80)
+            .map(|i| format!("upstream timeout calling billing after {}ms", 1000 + i))
+            .collect();
+        topic.ingest(&incident);
+        topic.run_training();
+        let current = topic.query_snapshot();
+        let detector = AnomalyDetector::default();
+        let reports = detector.detect_snapshots(&baseline, &current, 0.9);
+        assert_eq!(
+            reports,
+            detector.detect(
+                &baseline.template_distribution(0.9),
+                &current.template_distribution(0.9)
+            )
+        );
+        assert!(
+            reports.iter().any(|r| r.kind == AnomalyKind::NewTemplate),
+            "the incident template must be flagged as new: {reports:?}"
+        );
     }
 
     #[test]

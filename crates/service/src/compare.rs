@@ -1,11 +1,16 @@
 //! Template-distribution comparison across time periods (§1, §6): users compare the
 //! templates generated in two windows to understand how system behaviour changed.
+//!
+//! Window distributions come from the indexed query path ([`compare_snapshots`]
+//! aggregates per-node postings up the saturation ladder), so comparing two windows
+//! of a 100k-record topic costs O(templates), not O(records).
 
+use crate::query::QuerySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The change of a single template between two windows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistributionShift {
     /// Template text.
     pub template: String,
@@ -57,6 +62,20 @@ pub fn compare_windows(
     shifts
 }
 
+/// Compare two topic query snapshots at the given saturation threshold: both window
+/// distributions are computed through the indexed path (postings aggregated up the
+/// saturation ladder — no record scan) and fed to [`compare_windows`].
+pub fn compare_snapshots(
+    before: &QuerySnapshot,
+    after: &QuerySnapshot,
+    threshold: f64,
+) -> Vec<DistributionShift> {
+    compare_windows(
+        &before.template_distribution(threshold),
+        &after.template_distribution(threshold),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +124,34 @@ mod tests {
         let shifts = compare_windows(&before, &after);
         assert!(shifts[0].share_delta.abs() >= shifts[1].share_delta.abs());
         assert!(shifts[1].share_delta.abs() >= shifts[2].share_delta.abs());
+    }
+
+    #[test]
+    fn snapshot_comparison_matches_manual_distributions() {
+        use crate::topic::{LogTopic, TopicConfig};
+        let mut topic = LogTopic::new(TopicConfig::new("cmp").with_volume_threshold(u64::MAX));
+        let first: Vec<String> = (0..200)
+            .map(|i| format!("request {} served in {}ms", i, i % 30))
+            .collect();
+        topic.ingest(&first);
+        let before = topic.query_snapshot();
+        let second: Vec<String> = (0..150)
+            .map(|i| format!("session {} expired after {} minutes", i, i % 60))
+            .collect();
+        topic.ingest(&second);
+        let after = topic.query_snapshot();
+        let shifts = compare_snapshots(&before, &after, 0.9);
+        assert_eq!(
+            shifts,
+            compare_windows(
+                &before.template_distribution(0.9),
+                &after.template_distribution(0.9)
+            )
+        );
+        // The new family gained share; something in the old family lost share.
+        assert!(shifts
+            .iter()
+            .any(|s| s.before == 0 && s.after > 0 && s.share_delta > 0.0));
     }
 
     #[test]

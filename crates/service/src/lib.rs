@@ -16,7 +16,9 @@
 //!   industrial-style experiments.
 //! * [`trigger`] — volume/time training triggers.
 //! * [`store`] — the "internal topic" that persists template metadata snapshots.
-//! * [`query`] — query API with per-query precision thresholds and template grouping.
+//! * [`query`] — query API with per-query precision thresholds and template grouping,
+//!   served from per-node postings aggregated up the precomputed saturation ladder
+//!   (never a record scan), with an LRU result cache and thread-safe query snapshots.
 //! * [`anomaly`] — out-of-the-box analytics: new-template detection and count-shift
 //!   detection between time windows.
 //! * [`library`] — the user-curated template library used for alert configuration.
@@ -56,14 +58,14 @@ pub mod topic;
 pub mod trigger;
 
 pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
-pub use compare::{compare_windows, DistributionShift};
+pub use compare::{compare_snapshots, compare_windows, DistributionShift};
 pub use ingest::{
     IngestConfig, IngestReport, IngestStats, MatchedRecord, Routing, ShardCounters, StreamIngestor,
 };
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
 pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
-pub use query::{QueryEngine, QueryOptions, TemplateGroup};
+pub use query::{QueryCache, QueryEngine, QueryIndex, QueryOptions, QuerySnapshot, TemplateGroup};
 pub use store::{ModelStore, SnapshotInfo, SnapshotKind};
 pub use topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,

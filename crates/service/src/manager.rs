@@ -7,6 +7,7 @@
 //! per-tenant defaults, and exposes fleet-wide statistics of the kind Table 5 reports.
 
 use crate::ingest::IngestConfig;
+use crate::query::{QueryOptions, QuerySnapshot, TemplateGroup};
 use crate::topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
 };
@@ -126,6 +127,39 @@ impl ServiceManager {
         topic.ingest_stream(records, &config)
     }
 
+    /// Query a tenant's topic: group its stored records by template at the requested
+    /// precision through the indexed path (postings + saturation ladder + LRU cache).
+    /// Returns `None` when the topic does not exist. Takes `&self` — queries never
+    /// block or mutate topic state, and many can run side by side; the result is the
+    /// cache-shared `Arc`, so warm queries copy nothing.
+    pub fn query(
+        &self,
+        tenant: &str,
+        topic: &str,
+        options: QueryOptions,
+    ) -> Option<std::sync::Arc<Vec<TemplateGroup>>> {
+        self.topic(tenant, topic).map(|t| t.query(options))
+    }
+
+    /// Template-count distribution of a tenant's topic at the requested precision
+    /// (indexed, counts-only). Returns `None` when the topic does not exist.
+    pub fn template_distribution(
+        &self,
+        tenant: &str,
+        topic: &str,
+        threshold: f64,
+    ) -> Option<std::collections::HashMap<String, u64>> {
+        self.topic(tenant, topic)
+            .map(|t| t.template_distribution(threshold))
+    }
+
+    /// An immutable query snapshot of a tenant's topic (model + ladder + postings
+    /// behind `Arc`s): hand it to worker threads and keep ingesting — the topic
+    /// copies-on-write whatever the snapshot still shares.
+    pub fn query_snapshot(&self, tenant: &str, topic: &str) -> Option<QuerySnapshot> {
+        self.topic(tenant, topic).map(|t| t.query_snapshot())
+    }
+
     /// Per-topic statistics, keyed by `(tenant, topic)`.
     pub fn topic_stats(&self) -> Vec<((String, String), TopicStats)> {
         self.topics
@@ -233,6 +267,54 @@ mod tests {
     fn missing_topic_lookup_returns_none() {
         let manager = ServiceManager::new();
         assert!(manager.topic("nobody", "nothing").is_none());
+    }
+
+    #[test]
+    fn query_entry_point_serves_indexed_groups() {
+        let mut manager = ServiceManager::new();
+        manager.ingest("a", "web", &batch("web", 300));
+        let groups = manager
+            .query("a", "web", QueryOptions::default())
+            .expect("topic exists");
+        let covered: usize = groups.iter().map(|g| g.count()).sum();
+        assert_eq!(covered, 300);
+        let distribution = manager
+            .template_distribution("a", "web", 0.9)
+            .expect("topic exists");
+        assert_eq!(distribution.values().sum::<u64>(), 300);
+        assert!(manager
+            .query("nobody", "nothing", QueryOptions::default())
+            .is_none());
+        assert!(manager.query_snapshot("nobody", "nothing").is_none());
+    }
+
+    #[test]
+    fn snapshot_queries_run_concurrently_with_ingestion() {
+        let mut manager = ServiceManager::new();
+        manager.ingest("a", "web", &batch("web", 400));
+        let snapshot = manager.query_snapshot("a", "web").expect("topic exists");
+        let baseline = snapshot.group_by_template(QueryOptions::default());
+        std::thread::scope(|scope| {
+            // Queries serve from the immutable snapshot on worker threads...
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let snapshot = snapshot.clone();
+                    scope.spawn(move || snapshot.group_by_template(QueryOptions::default()))
+                })
+                .collect();
+            // ...while the manager keeps ingesting into the same topic.
+            manager.ingest("a", "web", &batch("more", 200));
+            for worker in workers {
+                let groups = worker.join().expect("query thread panicked");
+                assert_eq!(groups, baseline, "snapshot must be immutable under ingest");
+            }
+        });
+        // The live topic sees the new records; the old snapshot still does not.
+        let live = manager
+            .query("a", "web", QueryOptions::default())
+            .expect("topic exists");
+        assert_eq!(live.iter().map(|g| g.count()).sum::<usize>(), 600);
+        assert_eq!(snapshot.records(), 400);
     }
 
     #[test]

@@ -1,16 +1,45 @@
 //! The query API (§3 "Query", §6): group stored records by template at a per-query
-//! precision threshold, without reprocessing any log.
+//! precision threshold, without reprocessing — or even scanning — any log.
+//!
+//! Two implementations exist and are kept byte-identical by the differential suite:
+//!
+//! * the **indexed path** (the serving path): per-node **postings** ([`QueryIndex`] —
+//!   record counts plus record-index lists, maintained at ingest/stream-flush time by
+//!   [`LogTopic`]) are aggregated up the precomputed
+//!   [`SaturationLadder`], so a query touches one posting
+//!   list per *template* instead of one entry per *record*; results are memoized in an
+//!   LRU [`QueryCache`] keyed by `(model version, record count, quantized threshold,
+//!   limit)` and invalidated when maintenance hot-swaps the model;
+//! * the **scan path** ([`QueryEngine::group_by_template_scan`]): the original
+//!   per-record ancestor walk, retained as the differential reference.
+//!
+//! Both paths resolve templates through the same core semantics: retired nodes are
+//! skipped to the nearest live ancestor, the full chain is scanned for the coarsest
+//! qualifying ancestor, and thresholds are sanitized identically — clamped by
+//! [`bytebrain::clamp_threshold`] and snapped to the slider's 1/1000 grid, so the
+//! cache key always names exactly the threshold a result was computed at. When
+//! presentation merging (§7) combines several
+//! nodes under one merged-wildcard text, the reported representative node is
+//! deterministic — the member with the largest record count, ties broken by the
+//! smallest [`NodeId`] — and the reported saturation is the minimum across the merged
+//! nodes (the honest precision of the combined group).
 
-use crate::topic::LogTopic;
-use bytebrain::query::{merge_consecutive_wildcards, resolve_with_threshold};
-use bytebrain::NodeId;
-use std::collections::HashMap;
+use crate::topic::{LogTopic, StoredRecord};
+use bytebrain::query::{
+    clamp_threshold, merge_consecutive_wildcards, resolve_with_threshold, SaturationLadder,
+};
+use bytebrain::{NodeId, ParserModel};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Options controlling one query.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Saturation threshold: higher values request more precise templates. This is the
-    /// value the production UI exposes as an interactive slider.
+    /// value the production UI exposes as an interactive slider. NaN falls back to the
+    /// default (0.9); values outside `[0, 1]` are clamped, and queries snap the value
+    /// to the slider's 1/1000 grid.
     pub saturation_threshold: f64,
     /// Maximum number of template groups to return (largest first); `usize::MAX` for all.
     pub limit: usize,
@@ -19,22 +48,43 @@ pub struct QueryOptions {
 impl Default for QueryOptions {
     fn default() -> Self {
         QueryOptions {
-            saturation_threshold: 0.9,
+            saturation_threshold: bytebrain::DEFAULT_THRESHOLD,
             limit: usize::MAX,
         }
     }
 }
 
+/// Sanitize a threshold for the service query surface: the single core clamp
+/// ([`bytebrain::clamp_threshold`]: NaN → default, out-of-range → clamped) plus a snap
+/// to the slider's 1/1000 grid — so the query cache key (which stores the threshold in
+/// mills) always describes exactly the threshold the cached result was computed at,
+/// and the indexed and scan paths quantize identically. Core resolution called
+/// directly (outside this module) keeps exact thresholds.
+fn sanitize_threshold(threshold: f64) -> f64 {
+    (clamp_threshold(threshold) * 1_000.0).round() / 1_000.0
+}
+
+impl QueryOptions {
+    /// The options with the threshold sanitized: NaN → default, out-of-range →
+    /// clamped, and snapped to the service's 1/1000 slider grid (both query paths and
+    /// the cache key quantize through this one function).
+    pub fn sanitized(mut self) -> Self {
+        self.saturation_threshold = sanitize_threshold(self.saturation_threshold);
+        self
+    }
+}
+
 /// One group of query results: a template and the records it covers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemplateGroup {
-    /// Resolved template node.
+    /// Resolved template node. When presentation merging combined several nodes, this
+    /// is the member covering the most records (ties broken by smallest node id).
     pub node: NodeId,
     /// Presentation template text (consecutive wildcards merged, §7).
     pub template: String,
-    /// Saturation of the resolved node.
+    /// Saturation of the group: the minimum across all merged member nodes.
     pub saturation: f64,
-    /// Indices (into the topic's record store) of the member records.
+    /// Indices (into the topic's record store) of the member records, ascending.
     pub record_indices: Vec<usize>,
 }
 
@@ -44,6 +94,385 @@ impl TemplateGroup {
         self.record_indices.len()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Postings
+// ---------------------------------------------------------------------------
+
+/// Per-node postings: for every template node, the indices of the stored records whose
+/// most-precise match is that node. Maintained by [`LogTopic`] at ingest/stream-flush
+/// time (and patched when maintenance re-matches records), so queries aggregate counts
+/// up the saturation ladder instead of scanning the record store.
+#[derive(Debug, Clone, Default)]
+pub struct QueryIndex {
+    /// `postings[node]` = ascending record indices assigned to that node.
+    postings: Vec<Vec<u32>>,
+    /// Total number of assigned records across all postings.
+    assigned: usize,
+}
+
+impl QueryIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the per-node posting table to cover `model_len` nodes.
+    pub fn ensure_nodes(&mut self, model_len: usize) {
+        if self.postings.len() < model_len {
+            self.postings.resize_with(model_len, Vec::new);
+        }
+    }
+
+    /// Record that stored record `idx` is assigned to `node`. Indices must be fed in
+    /// ascending order per node (the natural ingest order), keeping postings sorted.
+    pub fn assign(&mut self, node: NodeId, idx: usize) {
+        self.ensure_nodes(node.0 + 1);
+        debug_assert!(
+            idx < u32::MAX as usize,
+            "record index exceeds posting width"
+        );
+        self.postings[node.0].push(idx as u32);
+        self.assigned += 1;
+    }
+
+    /// Move previously assigned records to new nodes after a maintenance re-match:
+    /// `moves` holds `(record index, old node, new assignment)` triples.
+    pub fn reassign(&mut self, moves: &[(usize, Option<NodeId>, Option<NodeId>)]) {
+        // Batch removals per old node so each posting list is filtered once, with a
+        // set membership test — a retired temporary can carry thousands of records,
+        // and a linear `contains` per posting entry would go quadratic.
+        let mut removed: HashMap<usize, std::collections::HashSet<u32>> = HashMap::new();
+        for &(idx, old, _) in moves {
+            if let Some(old) = old {
+                removed.entry(old.0).or_default().insert(idx as u32);
+            }
+        }
+        for (node, gone) in removed {
+            self.postings[node].retain(|i| !gone.contains(i));
+        }
+        let mut added: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for &(idx, _, new) in moves {
+            if let Some(new) = new {
+                added.entry(new.0).or_default().push(idx as u32);
+            }
+        }
+        for (node, incoming) in added {
+            self.ensure_nodes(node + 1);
+            let posting = &mut self.postings[node];
+            posting.extend(incoming);
+            posting.sort_unstable();
+        }
+        self.assigned = self.postings.iter().map(|p| p.len()).sum();
+    }
+
+    /// Rebuild the whole index from the record store (used after a full retrain, which
+    /// renumbers the tree and re-matches every record).
+    pub fn rebuild(records: &[StoredRecord], model_len: usize) -> Self {
+        let mut index = QueryIndex::new();
+        index.ensure_nodes(model_len);
+        for (idx, stored) in records.iter().enumerate() {
+            if let Some(node) = stored.template {
+                index.assign(node, idx);
+            }
+        }
+        index
+    }
+
+    /// The posting list of one node (ascending record indices).
+    pub fn postings_of(&self, node: NodeId) -> &[u32] {
+        self.postings
+            .get(node.0)
+            .map(|p| p.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of assigned records.
+    pub fn assigned_records(&self) -> usize {
+        self.assigned
+    }
+
+    /// Iterate `(node, posting list)` for nodes with at least one record.
+    fn non_empty(&self) -> impl Iterator<Item = (NodeId, &[u32])> {
+        self.postings
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(id, p)| (NodeId(id), p.as_slice()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group assembly (shared by the indexed and scan paths)
+// ---------------------------------------------------------------------------
+
+/// Accumulator for one presentation-text group while aggregating member nodes.
+#[derive(Debug, Default)]
+struct GroupAccumulator {
+    /// Record count per resolved member node (BTreeMap: deterministic iteration for
+    /// the representative rule).
+    members: BTreeMap<NodeId, usize>,
+    /// All member record indices (sorted ascending before output).
+    record_indices: Vec<usize>,
+}
+
+/// Assemble final groups from per-text accumulators: deterministic representative
+/// (largest member count, ties → smallest node id), minimum saturation across merged
+/// nodes, ascending record indices, groups sorted largest-first.
+fn finish_groups(
+    model: &ParserModel,
+    groups: HashMap<String, GroupAccumulator>,
+    limit: usize,
+) -> Vec<TemplateGroup> {
+    let mut out: Vec<TemplateGroup> = groups
+        .into_iter()
+        .map(|(template, mut acc)| {
+            let mut representative = None;
+            let mut best_count = 0usize;
+            let mut saturation = f64::INFINITY;
+            for (&node, &count) in &acc.members {
+                // Ascending NodeId iteration: strict `>` keeps the smallest id on ties.
+                if count > best_count {
+                    best_count = count;
+                    representative = Some(node);
+                }
+                saturation = saturation.min(model.nodes[node.0].saturation);
+            }
+            acc.record_indices.sort_unstable();
+            TemplateGroup {
+                node: representative.expect("group has at least one member node"),
+                template,
+                saturation,
+                record_indices: acc.record_indices,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.count().cmp(&a.count()).then(a.template.cmp(&b.template)));
+    out.truncate(limit);
+    out
+}
+
+/// The indexed grouping: aggregate postings up the ladder — O(templates), not
+/// O(records), until the member index lists are materialised.
+fn indexed_groups(
+    model: &ParserModel,
+    ladder: &SaturationLadder,
+    index: &QueryIndex,
+    options: QueryOptions,
+) -> Vec<TemplateGroup> {
+    let options = options.sanitized();
+    let mut text_of: HashMap<NodeId, String> = HashMap::new();
+    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
+    for (node, posting) in index.non_empty() {
+        let resolved = ladder.resolve(node, options.saturation_threshold);
+        let text = text_of
+            .entry(resolved)
+            .or_insert_with(|| {
+                merge_consecutive_wildcards(&model.nodes[resolved.0].template_text())
+            })
+            .clone();
+        let acc = groups.entry(text).or_default();
+        *acc.members.entry(resolved).or_insert(0) += posting.len();
+        acc.record_indices
+            .extend(posting.iter().map(|&i| i as usize));
+    }
+    finish_groups(model, groups, options.limit)
+}
+
+/// The counts-only variant of [`indexed_groups`] for distribution queries: no record
+/// index lists are materialised at all, so the cost is O(templates).
+fn indexed_distribution(
+    model: &ParserModel,
+    ladder: &SaturationLadder,
+    index: &QueryIndex,
+    threshold: f64,
+) -> HashMap<String, u64> {
+    let threshold = sanitize_threshold(threshold);
+    let mut text_of: HashMap<NodeId, String> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (node, posting) in index.non_empty() {
+        let resolved = ladder.resolve(node, threshold);
+        let text = text_of
+            .entry(resolved)
+            .or_insert_with(|| {
+                merge_consecutive_wildcards(&model.nodes[resolved.0].template_text())
+            })
+            .clone();
+        *counts.entry(text).or_insert(0) += posting.len() as u64;
+    }
+    counts
+}
+
+/// The retained scan reference: resolve every stored record through the pointer-walk
+/// path and group per record. Differential-identical to [`indexed_groups`] by test.
+fn scan_groups(
+    model: &ParserModel,
+    records: &[StoredRecord],
+    options: QueryOptions,
+) -> Vec<TemplateGroup> {
+    let options = options.sanitized();
+    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
+    for (idx, stored) in records.iter().enumerate() {
+        let Some(node) = stored.template else {
+            continue;
+        };
+        let resolved = resolve_with_threshold(model, node, options.saturation_threshold);
+        let text = merge_consecutive_wildcards(&model.nodes[resolved.0].template_text());
+        let acc = groups.entry(text).or_default();
+        *acc.members.entry(resolved).or_insert(0) += 1;
+        acc.record_indices.push(idx);
+    }
+    finish_groups(model, groups, options.limit)
+}
+
+// ---------------------------------------------------------------------------
+// Query cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: model version + record count pin the topic state, the quantized
+/// threshold collapses slider jitter onto a 1/1000 grid, and the limit is part of the
+/// result shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    version: u64,
+    records: usize,
+    threshold_millis: u32,
+    limit: usize,
+}
+
+impl CacheKey {
+    /// `options` must already be sanitized: the threshold sits exactly on the 1/1000
+    /// grid, so the mills key names precisely the computed threshold.
+    fn new(version: u64, records: usize, options: QueryOptions) -> Self {
+        CacheKey {
+            version,
+            records,
+            threshold_millis: (options.saturation_threshold * 1_000.0).round() as u32,
+            limit: options.limit,
+        }
+    }
+}
+
+/// A small LRU cache of query results, safe to use through `&self` (interior mutex) so
+/// concurrent readers of a topic can share it. Invalidated wholesale when maintenance
+/// hot-swaps the model; naturally missed when the version or record count moves.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Most recently used first. Results are shared via `Arc`, so a cache hit is a
+    /// reference-count bump — never a copy of the (potentially record-count-sized)
+    /// member index lists.
+    entries: Vec<(CacheKey, Arc<Vec<TemplateGroup>>)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Maximum number of cached query results per topic (one per slider stop, roughly).
+const QUERY_CACHE_CAPACITY: usize = 16;
+
+impl QueryCache {
+    fn get(&self, key: CacheKey) -> Option<Arc<Vec<TemplateGroup>>> {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+            let entry = inner.entries.remove(pos);
+            let result = Arc::clone(&entry.1);
+            inner.entries.insert(0, entry);
+            inner.hits += 1;
+            Some(result)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    fn put(&self, key: CacheKey, value: Arc<Vec<TemplateGroup>>) {
+        let mut inner = self.inner.lock().expect("query cache poisoned");
+        inner.entries.retain(|(k, _)| *k != key);
+        inner.entries.insert(0, (key, value));
+        inner.entries.truncate(QUERY_CACHE_CAPACITY);
+    }
+
+    /// Drop every cached result (called when maintenance hot-swaps the model).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("query cache poisoned")
+            .entries
+            .clear();
+    }
+
+    /// `(hits, misses)` counters since topic creation.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("query cache poisoned");
+        (inner.hits, inner.misses)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A self-contained, immutable snapshot of everything a query needs — model, ladder
+/// and postings behind `Arc`s — so queries can be served from other threads while the
+/// topic keeps ingesting (the topic copies-on-write whatever the snapshot still
+/// shares).
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    model: Arc<ParserModel>,
+    ladder: Arc<SaturationLadder>,
+    index: Arc<QueryIndex>,
+    version: u64,
+}
+
+impl QuerySnapshot {
+    pub(crate) fn new(
+        model: Arc<ParserModel>,
+        ladder: Arc<SaturationLadder>,
+        index: Arc<QueryIndex>,
+        version: u64,
+    ) -> Self {
+        QuerySnapshot {
+            model,
+            ladder,
+            index,
+            version,
+        }
+    }
+
+    /// The model snapshot the queries resolve against.
+    pub fn model(&self) -> &ParserModel {
+        &self.model
+    }
+
+    /// The model version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of records covered by the snapshot's postings.
+    pub fn records(&self) -> usize {
+        self.index.assigned_records()
+    }
+
+    /// Group the snapshot's records by template at the requested precision (indexed
+    /// path, uncached — snapshots are cheap and short-lived).
+    pub fn group_by_template(&self, options: QueryOptions) -> Vec<TemplateGroup> {
+        indexed_groups(&self.model, &self.ladder, &self.index, options)
+    }
+
+    /// Distribution of record counts per template at the requested precision.
+    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
+        indexed_distribution(&self.model, &self.ladder, &self.index, threshold)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
 
 /// Query engine over a topic's stored records.
 #[derive(Debug)]
@@ -57,49 +486,73 @@ impl<'a> QueryEngine<'a> {
         QueryEngine { topic }
     }
 
-    /// Group all stored records by template at the requested precision.
+    /// Group all stored records by template at the requested precision, via the
+    /// indexed path (postings aggregated up the saturation ladder, LRU-cached).
+    /// Materialises an owned copy of the result; the serving path
+    /// ([`LogTopic::query`] / `ServiceManager::query`) hands out the cache-shared
+    /// `Arc` instead.
     pub fn group_by_template(&self, options: QueryOptions) -> Vec<TemplateGroup> {
-        let model = self.topic.model();
-        // Presentation-level grouping (§7): after resolving each record's node at the
-        // requested threshold, groups whose *merged-wildcard* text coincides are combined
-        // so variable-length variants present as one template.
-        let mut groups: HashMap<String, (NodeId, Vec<usize>)> = HashMap::new();
-        for (idx, stored) in self.topic.records().iter().enumerate() {
-            let Some(node) = stored.template else {
-                continue;
-            };
-            let resolved = resolve_with_threshold(model, node, options.saturation_threshold);
-            let text = merge_consecutive_wildcards(&model.nodes[resolved.0].template_text());
-            let entry = groups.entry(text).or_insert_with(|| (resolved, Vec::new()));
-            entry.1.push(idx);
-        }
-        let mut out: Vec<TemplateGroup> = groups
-            .into_iter()
-            .map(|(template, (node, record_indices))| TemplateGroup {
-                node,
-                saturation: model.nodes[node.0].saturation,
-                template,
-                record_indices,
-            })
-            .collect();
-        out.sort_by(|a, b| b.count().cmp(&a.count()).then(a.template.cmp(&b.template)));
-        out.truncate(options.limit);
-        out
+        self.topic.query(options).as_ref().clone()
+    }
+
+    /// The retained scan reference: per-record ancestor walks over the whole record
+    /// store. Byte-identical to [`QueryEngine::group_by_template`] (the differential
+    /// suite enforces it) but O(records) per query — kept for verification and
+    /// benchmarking, not serving.
+    pub fn group_by_template_scan(&self, options: QueryOptions) -> Vec<TemplateGroup> {
+        scan_groups(self.topic.model(), self.topic.records(), options)
     }
 
     /// Distribution of record counts per template at the requested precision, keyed by
-    /// template text. Used by the comparison and anomaly-detection features.
+    /// template text (indexed path). Used by the comparison and anomaly-detection
+    /// features.
     pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
-        self.group_by_template(QueryOptions {
-            saturation_threshold: threshold,
-            limit: usize::MAX,
-        })
-        .into_iter()
-        .map(|g| {
-            let count = g.count() as u64;
-            (g.template, count)
-        })
-        .collect()
+        self.topic.template_distribution(threshold)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topic-facing plumbing (kept here so the whole query subsystem lives in one module)
+// ---------------------------------------------------------------------------
+
+impl LogTopic {
+    /// Group all stored records by template at the requested precision. Serves from
+    /// the per-node postings aggregated up the saturation ladder — O(templates) plus
+    /// the size of the answer, never a record scan — with an LRU cache keyed by
+    /// `(model version, record count, quantized threshold, limit)`. The result is
+    /// shared via `Arc`: a warm-cache query is a reference-count bump, not a copy of
+    /// the member index lists.
+    pub fn query(&self, options: QueryOptions) -> Arc<Vec<TemplateGroup>> {
+        let options = options.sanitized();
+        let key = CacheKey::new(self.model_version(), self.records().len(), options);
+        if let Some(cached) = self.query_cache().get(key) {
+            return cached;
+        }
+        let result = Arc::new(indexed_groups(
+            self.model(),
+            self.ladder(),
+            self.query_index(),
+            options,
+        ));
+        self.query_cache().put(key, Arc::clone(&result));
+        result
+    }
+
+    /// Distribution of record counts per template at the requested precision (indexed,
+    /// counts-only — no record index lists are materialised).
+    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
+        indexed_distribution(self.model(), self.ladder(), self.query_index(), threshold)
+    }
+
+    /// An immutable snapshot of the query state (model + ladder + postings), safe to
+    /// move to other threads and query while this topic keeps ingesting.
+    pub fn query_snapshot(&self) -> QuerySnapshot {
+        QuerySnapshot::new(
+            self.model_snapshot(),
+            self.ladder_snapshot(),
+            self.query_index_snapshot(),
+            self.model_version(),
+        )
     }
 }
 
@@ -107,6 +560,7 @@ impl<'a> QueryEngine<'a> {
 mod tests {
     use super::*;
     use crate::topic::{LogTopic, TopicConfig};
+    use bytebrain::{TemplateToken, TreeNode};
 
     fn topic_with_data() -> LogTopic {
         let mut topic = LogTopic::new(TopicConfig::new("query-test"));
@@ -192,5 +646,295 @@ mod tests {
             .find(|g| g.template.contains("logged in"))
             .expect("login template exists");
         assert!(login_group.template.contains('*'));
+    }
+
+    // -- indexed vs scan ------------------------------------------------------
+
+    #[test]
+    fn indexed_path_is_byte_identical_to_scan_path() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        for threshold in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.0, f64::NAN, -1.0, 2.0] {
+            let options = QueryOptions {
+                saturation_threshold: threshold,
+                limit: usize::MAX,
+            };
+            assert_eq!(
+                engine.group_by_template(options),
+                engine.group_by_template_scan(options),
+                "indexed and scan paths diverged at threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_serves_identical_results() {
+        let topic = topic_with_data();
+        let snapshot = topic.query_snapshot();
+        let options = QueryOptions::default();
+        assert_eq!(
+            snapshot.group_by_template(options),
+            *topic.query(options),
+            "snapshot diverged from the live topic"
+        );
+        assert_eq!(snapshot.records(), topic.records().len());
+        assert_eq!(snapshot.version(), topic.model_version());
+        assert_eq!(
+            snapshot.template_distribution(0.9),
+            topic.template_distribution(0.9)
+        );
+    }
+
+    #[test]
+    fn query_cache_hits_on_repeat_and_misses_after_ingest() {
+        let mut topic = topic_with_data();
+        let options = QueryOptions::default();
+        let first = topic.query(options);
+        let (hits_before, _) = topic.query_cache_stats();
+        let second = topic.query(options);
+        let (hits_after, _) = topic.query_cache_stats();
+        assert_eq!(first, second);
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "a cache hit must share the stored result, not copy it"
+        );
+        assert_eq!(
+            hits_after,
+            hits_before + 1,
+            "repeat query must hit the cache"
+        );
+        // New records change the key: the next query recomputes.
+        topic.ingest(&["user u1 logged in from 10.0.0.9".to_string()]);
+        let third = topic.query(options);
+        let (_, misses) = topic.query_cache_stats();
+        assert!(misses >= 2);
+        assert_eq!(
+            third.iter().map(|g| g.count()).sum::<usize>(),
+            topic.records().len()
+        );
+    }
+
+    // -- merged-group determinism (satellite) --------------------------------
+
+    /// Two fixed-length variants (`users * *` and `users * * *`) that merge into the
+    /// presentation text `users *`: the representative node and the reported
+    /// saturation must be deterministic regardless of record order.
+    #[test]
+    fn merged_groups_report_deterministic_representative_and_min_saturation() {
+        let make = |sat: f64, text: &[&str]| TreeNode {
+            id: NodeId(0),
+            parent: None,
+            children: Vec::new(),
+            template: text
+                .iter()
+                .map(|t| {
+                    if *t == "*" {
+                        TemplateToken::Wildcard
+                    } else {
+                        TemplateToken::Const(t.to_string())
+                    }
+                })
+                .collect(),
+            saturation: sat,
+            depth: 0,
+            log_count: 1,
+            unique_count: 1,
+            temporary: false,
+            retired: false,
+        };
+        let mut model = ParserModel::new();
+        let short = model.push_node(make(0.95, &["users", "*", "*"]));
+        let long = model.push_node(make(0.85, &["users", "*", "*", "*"]));
+        model.add_root(short);
+        model.add_root(long);
+        model.rebuild_match_order();
+        let ladder = SaturationLadder::build(&model);
+
+        let records: Vec<StoredRecord> = [
+            // The longer variant comes FIRST in record order but covers fewer records:
+            // a first-record-wins implementation would report `long`.
+            (long, "users a b c"),
+            (short, "users a b"),
+            (short, "users x y"),
+            (long, "users d e f"),
+            (short, "users p q"),
+        ]
+        .iter()
+        .map(|(node, text)| StoredRecord {
+            record: text.to_string(),
+            template: Some(*node),
+        })
+        .collect();
+        let mut index = QueryIndex::new();
+        for (idx, r) in records.iter().enumerate() {
+            index.assign(r.template.unwrap(), idx);
+        }
+
+        let options = QueryOptions {
+            saturation_threshold: 0.8,
+            limit: usize::MAX,
+        };
+        for groups in [
+            indexed_groups(&model, &ladder, &index, options),
+            scan_groups(&model, &records, options),
+        ] {
+            assert_eq!(groups.len(), 1, "variants must merge into one group");
+            let group = &groups[0];
+            assert_eq!(group.template, "users *");
+            assert_eq!(
+                group.node, short,
+                "representative must be the largest member (3 records), not the first seen"
+            );
+            assert_eq!(
+                group.saturation, 0.85,
+                "group saturation must be the minimum across merged nodes"
+            );
+            assert_eq!(group.record_indices, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    /// Equal member counts: the tie breaks to the smallest node id in both paths.
+    #[test]
+    fn merged_group_ties_break_by_node_id() {
+        let make = |sat: f64, wildcards: usize| TreeNode {
+            id: NodeId(0),
+            parent: None,
+            children: Vec::new(),
+            template: std::iter::once(TemplateToken::Const("evt".to_string()))
+                .chain(std::iter::repeat_n(TemplateToken::Wildcard, wildcards))
+                .collect(),
+            saturation: sat,
+            depth: 0,
+            log_count: 1,
+            unique_count: 1,
+            temporary: false,
+            retired: false,
+        };
+        let mut model = ParserModel::new();
+        let a = model.push_node(make(0.9, 1));
+        let b = model.push_node(make(0.9, 2));
+        model.add_root(a);
+        model.add_root(b);
+        model.rebuild_match_order();
+        let ladder = SaturationLadder::build(&model);
+        let records: Vec<StoredRecord> = [(b, "evt x y"), (a, "evt z")]
+            .iter()
+            .map(|(node, text)| StoredRecord {
+                record: text.to_string(),
+                template: Some(*node),
+            })
+            .collect();
+        let mut index = QueryIndex::new();
+        for (idx, r) in records.iter().enumerate() {
+            index.assign(r.template.unwrap(), idx);
+        }
+        let options = QueryOptions {
+            saturation_threshold: 0.5,
+            limit: usize::MAX,
+        };
+        for groups in [
+            indexed_groups(&model, &ladder, &index, options),
+            scan_groups(&model, &records, options),
+        ] {
+            assert_eq!(groups.len(), 1);
+            assert_eq!(groups[0].node, a, "tie must break to the smallest node id");
+        }
+    }
+
+    /// The cache key stores the threshold in mills, so the computed threshold must
+    /// sit exactly on that grid: a query at 0.8995 and one at 0.9001 share a key
+    /// *and* a computation (both snap to 0.900), and the scan path snaps identically
+    /// — no cached result can ever be served for a threshold it was not computed at.
+    #[test]
+    fn cache_key_and_computation_agree_on_the_quantized_threshold() {
+        assert_eq!(sanitize_threshold(0.8995), 0.9);
+        assert_eq!(sanitize_threshold(0.9001), 0.9);
+        assert_eq!(sanitize_threshold(0.89949), 0.899);
+        // A node whose saturation (0.8998) falls between two off-grid query
+        // thresholds: both paths must treat both thresholds as the same grid stop.
+        let make = |sat: f64, text: &[&str]| TreeNode {
+            id: NodeId(0),
+            parent: None,
+            children: Vec::new(),
+            template: text
+                .iter()
+                .map(|t| TemplateToken::Const(t.to_string()))
+                .collect(),
+            saturation: sat,
+            depth: 0,
+            log_count: 1,
+            unique_count: 1,
+            temporary: false,
+            retired: false,
+        };
+        let mut model = ParserModel::new();
+        let root = model.push_node(make(0.5, &["evt"]));
+        let leaf = model.push_node(make(0.8998, &["evt", "x"]));
+        model.add_root(root);
+        model.attach_child(root, leaf);
+        model.rebuild_match_order();
+        let ladder = SaturationLadder::build(&model);
+        let records = vec![StoredRecord {
+            record: "evt x".to_string(),
+            template: Some(leaf),
+        }];
+        let mut index = QueryIndex::new();
+        index.assign(leaf, 0);
+        for threshold in [0.8995, 0.9001] {
+            let options = QueryOptions {
+                saturation_threshold: threshold,
+                limit: usize::MAX,
+            };
+            let indexed = indexed_groups(&model, &ladder, &index, options);
+            assert_eq!(indexed, scan_groups(&model, &records, options));
+            // 0.8998 < 0.900: the leaf does not qualify at the snapped threshold.
+            assert_eq!(
+                indexed[0].node, leaf,
+                "nothing qualifies: most precise live"
+            );
+        }
+    }
+
+    // -- threshold validation (satellite) ------------------------------------
+
+    #[test]
+    fn nonsense_thresholds_are_sanitized() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let default_result = engine.group_by_template(QueryOptions::default());
+        // NaN behaves exactly like the default threshold.
+        let nan_result = engine.group_by_template(QueryOptions {
+            saturation_threshold: f64::NAN,
+            limit: usize::MAX,
+        });
+        assert_eq!(nan_result, default_result);
+        // Out-of-range values clamp to the edges.
+        let negative = engine.group_by_template(QueryOptions {
+            saturation_threshold: -5.0,
+            limit: usize::MAX,
+        });
+        let zero = engine.group_by_template(QueryOptions {
+            saturation_threshold: 0.0,
+            limit: usize::MAX,
+        });
+        assert_eq!(negative, zero);
+        let huge = engine.group_by_template(QueryOptions {
+            saturation_threshold: 42.0,
+            limit: usize::MAX,
+        });
+        let one = engine.group_by_template(QueryOptions {
+            saturation_threshold: 1.0,
+            limit: usize::MAX,
+        });
+        assert_eq!(huge, one);
+        assert_eq!(
+            QueryOptions {
+                saturation_threshold: f64::NAN,
+                limit: 3
+            }
+            .sanitized()
+            .saturation_threshold,
+            bytebrain::DEFAULT_THRESHOLD
+        );
     }
 }

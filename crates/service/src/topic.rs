@@ -16,22 +16,24 @@
 //! snapshot is hot-swapped into a running stream at a shard-flush boundary.
 
 use crate::ingest::{IngestConfig, IngestStats, MatchedRecord, StreamIngestor};
+use crate::query::{QueryCache, QueryIndex};
 use crate::store::ModelStore;
 use crate::trigger::{TrainingTrigger, TriggerDecision};
 use bytebrain::incremental::{apply_delta, train_delta, DriftConfig, DriftDetector};
 use bytebrain::matcher::match_batch;
 use bytebrain::merge::merge_models;
 use bytebrain::train::train;
-use bytebrain::{NodeId, ParserModel, TrainConfig};
+use bytebrain::{NodeId, ParserModel, SaturationLadder, TrainConfig};
 use logtok::Preprocessor;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a topic keeps its model current as the workload evolves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum MaintenancePolicy {
     /// Volume/time triggers run a full retrain over the training buffer and merge the
     /// result into the previous model (the paper's baseline behaviour).
+    #[default]
     FullRetrain,
     /// Drift detection and volume/time triggers fold the unmatched buffer into the
     /// current model as an incremental delta — no stop-the-world retrain, stable node
@@ -43,12 +45,6 @@ pub enum MaintenancePolicy {
         /// drift every this many pushed records (clamped to at least 1).
         check_interval: usize,
     },
-}
-
-impl Default for MaintenancePolicy {
-    fn default() -> Self {
-        MaintenancePolicy::FullRetrain
-    }
 }
 
 /// Configuration of a log topic.
@@ -169,6 +165,17 @@ pub struct LogTopic {
     config: TopicConfig,
     preprocessor: Arc<Preprocessor>,
     model: Arc<ParserModel>,
+    /// Precomputed per-node ancestor ladders for indexed query resolution; rebuilt on
+    /// train, patched incrementally per delta, extended per temporary insertion.
+    ladder: Arc<SaturationLadder>,
+    /// Per-node postings (record index lists) maintained at ingest time so queries
+    /// never scan the record store.
+    index: Arc<QueryIndex>,
+    /// Bumped on every model change (training, delta, temporary insertion); part of
+    /// the query cache key.
+    model_version: u64,
+    /// LRU cache of query results, cleared when maintenance hot-swaps the model.
+    query_cache: QueryCache,
     store: ModelStore,
     trigger: TrainingTrigger,
     training_buffer: Vec<String>,
@@ -196,6 +203,10 @@ impl LogTopic {
             config,
             preprocessor,
             model: Arc::new(ParserModel::new()),
+            ladder: Arc::new(SaturationLadder::default()),
+            index: Arc::new(QueryIndex::new()),
+            model_version: 0,
+            query_cache: QueryCache::default(),
             store: ModelStore::new(),
             trigger,
             training_buffer: Vec::new(),
@@ -233,6 +244,43 @@ impl LogTopic {
     /// The model snapshot store.
     pub fn store(&self) -> &ModelStore {
         &self.store
+    }
+
+    /// The current model version: bumped on every model change (training run,
+    /// incremental delta, temporary-template insertion). Part of the query cache key,
+    /// so stale cached results can never be served after a hot swap.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// `(hits, misses)` of the topic's query cache since creation.
+    pub fn query_cache_stats(&self) -> (u64, u64) {
+        self.query_cache.stats()
+    }
+
+    /// The precomputed saturation ladder (kept in lockstep with the model).
+    pub(crate) fn ladder(&self) -> &SaturationLadder {
+        &self.ladder
+    }
+
+    /// The per-node postings index.
+    pub(crate) fn query_index(&self) -> &QueryIndex {
+        &self.index
+    }
+
+    /// The topic's query cache.
+    pub(crate) fn query_cache(&self) -> &QueryCache {
+        &self.query_cache
+    }
+
+    /// A cheap shared handle to the saturation ladder (for query snapshots).
+    pub(crate) fn ladder_snapshot(&self) -> Arc<SaturationLadder> {
+        Arc::clone(&self.ladder)
+    }
+
+    /// A cheap shared handle to the postings index (for query snapshots).
+    pub(crate) fn query_index_snapshot(&self) -> Arc<QueryIndex> {
+        Arc::clone(&self.index)
     }
 
     /// The drift detector, when the topic runs incremental maintenance.
@@ -337,7 +385,11 @@ impl LogTopic {
                     None
                 } else {
                     let tokens = self.preprocessor.tokens_of(&record);
-                    Some(Arc::make_mut(&mut self.model).insert_temporary(&tokens))
+                    let id = Arc::make_mut(&mut self.model).insert_temporary(&tokens);
+                    // The ladder and the cache key track every model change.
+                    Arc::make_mut(&mut self.ladder).push_root(&self.model, id);
+                    self.model_version += 1;
+                    Some(id)
                 }
             }
         };
@@ -346,6 +398,10 @@ impl LogTopic {
             self.training_buffer.push(record.clone());
         }
         self.records.push(StoredRecord { record, template });
+        if let Some(node) = template {
+            // Postings grow in ingest order, so per-node index lists stay sorted.
+            Arc::make_mut(&mut self.index).assign(node, self.records.len() - 1);
+        }
     }
 
     /// Whether the trigger would start training now (exposed for tests and schedulers).
@@ -443,30 +499,39 @@ impl LogTopic {
     /// Apply a chunk of completed streaming records (already in arrival order) to the
     /// topic state, feeding the drift detector with per-shard outcomes.
     ///
-    /// `rematch_unmatched` is set once a maintenance run hot-swapped the model
+    /// `rematch_stale` is set once a maintenance run hot-swapped the model
     /// mid-stream: records that raced through the pool against the *pre-swap*
-    /// snapshot and came back unmatched are re-matched against the current model
-    /// before being applied — the maintenance run usually just absorbed their
-    /// pattern, and treating them as unmatched again would insert duplicate
-    /// temporaries and re-trigger maintenance on already-absorbed drift.
+    /// snapshot and came back unmatched — or matched to a temporary template the
+    /// maintenance run has since retired — are re-matched against the current model
+    /// before being applied. The maintenance run usually just absorbed their
+    /// pattern; keeping the stale outcome would insert duplicate temporaries (and
+    /// re-trigger maintenance on already-absorbed drift) or store records pointing
+    /// at retired templates, which would then leak into query results.
     fn apply_stream_records(
         &mut self,
         records: Vec<MatchedRecord>,
-        rematch_unmatched: bool,
+        rematch_stale: bool,
         outcome: &mut IngestOutcome,
     ) {
         let count = records.len() as u64;
         for matched in records {
-            let (node, saturation) = match matched.node {
-                Some(id) => (Some(id), matched.saturation),
-                None if rematch_unmatched => {
-                    let tokens = self.preprocessor.tokens_of(&matched.record);
-                    match bytebrain::matcher::match_tokens(&self.model, &tokens) {
-                        Some(id) => (Some(id), self.model.nodes[id.0].saturation),
-                        None => (None, 0.0),
-                    }
+            let stale = match matched.node {
+                // A pre-swap match can point at a node the delta retired (absorbed
+                // temporaries keep their slot but must not be stored against).
+                Some(id) => rematch_stale && self.model.node(id).map(|n| n.retired).unwrap_or(true),
+                None => rematch_stale,
+            };
+            let (node, saturation) = if stale {
+                let tokens = self.preprocessor.tokens_of(&matched.record);
+                match bytebrain::matcher::match_tokens(&self.model, &tokens) {
+                    Some(id) => (Some(id), self.model.nodes[id.0].saturation),
+                    None => (None, 0.0),
                 }
-                None => (None, 0.0),
+            } else {
+                match matched.node {
+                    Some(id) => (Some(id), matched.saturation),
+                    None => (None, 0.0),
+                }
             };
             self.apply_record(matched.record, node, outcome);
             if let Some(detector) = &mut self.drift {
@@ -509,6 +574,11 @@ impl LogTopic {
         // stores template ids alongside a model version and remaps lazily at query time;
         // re-matching eagerly exercises the same code path at laptop scale.
         self.rematch_all();
+        // The tree was renumbered wholesale: rebuild the query state from scratch.
+        self.ladder = Arc::new(SaturationLadder::build(&self.model));
+        self.index = Arc::new(QueryIndex::rebuild(&self.records, self.model.len()));
+        self.model_version += 1;
+        self.query_cache.clear();
     }
 
     /// Fold the unmatched buffer into the current model as an incremental delta
@@ -537,6 +607,12 @@ impl LogTopic {
             self.config.merge_threshold,
         );
         self.model = Arc::new(apply_delta(&self.model, &delta));
+        // Patch the ladder in place — only the subtrees the delta touched recompute —
+        // and invalidate cached query results before the swapped model can serve.
+        Arc::make_mut(&mut self.ladder).apply_delta(&self.model, &delta);
+        Arc::make_mut(&mut self.index).ensure_nodes(self.model.len());
+        self.model_version += 1;
+        self.query_cache.clear();
         self.store.save_delta(&delta, &self.model);
         self.last_maintenance_seconds = started.elapsed().as_secs_f64();
         self.maintenance_runs += 1;
@@ -596,9 +672,13 @@ impl LogTopic {
             &texts,
             self.config.train.parallelism,
         );
+        let mut moves = Vec::with_capacity(needs_rematch.len());
         for (&idx, result) in needs_rematch.iter().zip(results) {
+            let old = self.records[idx].template;
             self.records[idx].template = result.node;
+            moves.push((idx, old, result.node));
         }
+        Arc::make_mut(&mut self.index).reassign(&moves);
     }
 
     /// Current topic statistics.
@@ -740,7 +820,7 @@ mod tests {
         topic.run_training();
         assert_eq!(topic.model().temporary_count(), 0);
         // And the new pattern is covered by a real template now.
-        let outcome = topic.ingest(&vec!["cache eviction of key session:999 after 300s".into()]);
+        let outcome = topic.ingest(&["cache eviction of key session:999 after 300s".into()]);
         assert_eq!(outcome.matched, 1);
     }
 

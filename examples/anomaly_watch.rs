@@ -14,7 +14,7 @@ fn window(offset: usize, incident: bool) -> Vec<String> {
     for i in 0..4_000usize {
         let n = offset + i;
         logs.push(format!("request {} served from cache in {}ms", n, n % 20));
-        if n % 7 == 0 {
+        if n.is_multiple_of(7) {
             logs.push(format!("session {} expired after {} minutes", n, n % 90));
         }
         if incident {
@@ -31,7 +31,7 @@ fn window(offset: usize, incident: bool) -> Vec<String> {
                     n % 8
                 ));
             }
-        } else if n % 97 == 0 {
+        } else if n.is_multiple_of(97) {
             logs.push(format!(
                 "upstream timeout calling billing-service after {}ms",
                 100 + n % 50
@@ -44,18 +44,23 @@ fn window(offset: usize, incident: bool) -> Vec<String> {
 fn main() {
     let mut topic = LogTopic::new(TopicConfig::new("api-gateway").with_volume_threshold(u64::MAX));
 
-    // Baseline window.
+    // Baseline window: freeze an indexed query snapshot (model + ladder + postings
+    // behind Arcs) instead of materialising a distribution up front.
     topic.ingest(&window(0, false));
-    let baseline = QueryEngine::new(&topic).template_distribution(0.9);
+    let baseline = topic.query_snapshot();
 
     // Incident window.
     topic.ingest(&window(10_000, true));
     topic.run_training();
-    let current = QueryEngine::new(&topic).template_distribution(0.9);
+    let current = topic.query_snapshot();
 
     let detector = AnomalyDetector::default();
     println!("=== anomalies between baseline and incident window");
-    for report in detector.detect(&baseline, &current).iter().take(8) {
+    for report in detector
+        .detect_snapshots(&baseline, &current, 0.9)
+        .iter()
+        .take(8)
+    {
         println!(
             "  {:?}: {} ({} -> {})",
             report.kind, report.template, report.baseline_count, report.current_count
@@ -75,7 +80,8 @@ fn main() {
         vec![AlertRule::OnAppearance],
     );
     println!("\n=== fired alerts");
-    for alert in library.evaluate_alerts(&current) {
+    let current_distribution = QueryEngine::new(&topic).template_distribution(0.9);
+    for alert in library.evaluate_alerts(&current_distribution) {
         println!(
             "  [{}] rule {:?} observed {}",
             alert.entry, alert.rule, alert.observed

@@ -5,16 +5,19 @@
 //! Run with: `cargo run --release --example cloud_topic`
 
 use bytebrain_repro::datasets::LabeledDataset;
-use bytebrain_repro::service::{compare_windows, LogTopic, QueryEngine, QueryOptions, TopicConfig};
+use bytebrain_repro::service::{
+    compare_snapshots, LogTopic, QueryEngine, QueryOptions, TopicConfig,
+};
 
 fn main() {
     let corpus = LabeledDataset::loghub2("HDFS", 30_000);
     let mut topic = LogTopic::new(TopicConfig::new("hdfs-datanode").with_volume_threshold(10_000));
 
-    // Ingest the stream in batches, as a collector would.
-    let mut window_distributions = Vec::new();
+    // Ingest the stream in batches, as a collector would, freezing an indexed query
+    // snapshot (model + ladder + postings behind Arcs) at each window boundary.
+    let mut window_snapshots = Vec::new();
     for (i, chunk) in corpus.records.chunks(10_000).enumerate() {
-        let outcome = topic.ingest(&chunk.to_vec());
+        let outcome = topic.ingest(chunk);
         println!(
             "batch {}: matched {} / {} online, trained this batch: {}",
             i,
@@ -22,7 +25,7 @@ fn main() {
             chunk.len(),
             outcome.trained
         );
-        window_distributions.push(QueryEngine::new(&topic).template_distribution(0.9));
+        window_snapshots.push(topic.query_snapshot());
     }
 
     let stats = topic.stats();
@@ -47,11 +50,12 @@ fn main() {
         }
     }
 
-    // Compare the first and last ingestion windows.
-    if window_distributions.len() >= 2 {
-        let shifts = compare_windows(
-            &window_distributions[0],
-            window_distributions.last().expect("at least one window"),
+    // Compare the first and last ingestion windows through the indexed path.
+    if window_snapshots.len() >= 2 {
+        let shifts = compare_snapshots(
+            &window_snapshots[0],
+            window_snapshots.last().expect("at least one window"),
+            0.9,
         );
         println!("\nlargest distribution shifts between the first and last window:");
         for shift in shifts.iter().take(5) {

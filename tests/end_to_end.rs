@@ -13,9 +13,9 @@ fn training_plus_online_matching_covers_unseen_logs_of_known_templates() {
     let ds = LabeledDataset::loghub2("OpenSSH", 8_000);
     let split = ds.records.len() / 2;
     let mut parser = ByteBrainParser::new(TrainConfig::default());
-    parser.train(&ds.records[..split].to_vec());
+    parser.train(&ds.records[..split]);
     let mut matched = 0usize;
-    let results = parser.match_batch(&ds.records[split..].to_vec());
+    let results = parser.match_batch(&ds.records[split..]);
     for r in &results {
         if r.is_matched() {
             matched += 1;
@@ -46,8 +46,8 @@ fn incremental_retraining_keeps_accuracy() {
     let ds = LabeledDataset::loghub("Zookeeper");
     let mid = ds.records.len() / 2;
     let mut parser = ByteBrainParser::new(TrainConfig::default());
-    parser.train(&ds.records[..mid].to_vec());
-    parser.train_incremental(&ds.records[mid..].to_vec(), 0.6);
+    parser.train(&ds.records[..mid]);
+    parser.train_incremental(&ds.records[mid..], 0.6);
     let predicted: Vec<usize> = parser
         .match_batch(&ds.records)
         .into_iter()

@@ -1,10 +1,12 @@
 //! Cross-crate test of the cloud-service workflow: topic ingestion, triggered training,
 //! querying, anomaly detection and alerting on a realistic synthetic stream.
 
+use bytebrain_repro::bytebrain::incremental::DriftConfig;
 use bytebrain_repro::datasets::LabeledDataset;
 use bytebrain_repro::service::library::AlertRule;
 use bytebrain_repro::service::{
-    AnomalyDetector, AnomalyKind, LogTopic, QueryEngine, QueryOptions, TemplateLibrary, TopicConfig,
+    AnomalyDetector, AnomalyKind, IngestConfig, LogTopic, MaintenancePolicy, QueryEngine,
+    QueryOptions, TemplateLibrary, TopicConfig,
 };
 
 #[test]
@@ -12,7 +14,7 @@ fn topic_lifecycle_ingest_train_query() {
     let corpus = LabeledDataset::loghub2("Apache", 12_000);
     let mut topic = LogTopic::new(TopicConfig::new("apache-access").with_volume_threshold(5_000));
     for chunk in corpus.records.chunks(4_000) {
-        topic.ingest(&chunk.to_vec());
+        topic.ingest(chunk);
     }
     let stats = topic.stats();
     assert_eq!(stats.total_records, corpus.records.len() as u64);
@@ -83,6 +85,111 @@ fn library_alert_fires_on_known_failure_scenario() {
         alerts.iter().any(|a| a.entry == "oom-killer"),
         "expected the OOM alert to fire; distribution: {distribution:?}"
     );
+}
+
+/// Regression: records matched to temporary templates that incremental maintenance
+/// later absorbed (retired) must never resolve to — or group under — the retired
+/// nodes. Before the fix, `resolve_with_threshold` ignored `TreeNode::retired` and
+/// `group_by_template` reported retired temporaries as template groups.
+#[test]
+fn queries_after_incremental_maintenance_return_no_retired_templates() {
+    let mut topic = LogTopic::new(
+        TopicConfig::new("drift-query")
+            .with_volume_threshold(u64::MAX)
+            .with_maintenance(MaintenancePolicy::Incremental {
+                drift: DriftConfig::default()
+                    .with_window(200)
+                    .with_min_samples(50)
+                    .with_max_unmatched_rate(0.3),
+                check_interval: 512,
+            }),
+    );
+    let base: Vec<String> = (0..400)
+        .map(|i| format!("request {} served from cache {} in {}ms", i, i % 4, i % 9))
+        .collect();
+    topic.ingest(&base); // initial full training
+    let novel: Vec<String> = (0..200)
+        .map(|i| format!("circuit breaker opened for upstream svc-{}", i % 6))
+        .collect();
+    let outcome = topic.ingest(&novel); // drift → temporaries → incremental absorption
+    assert!(outcome.maintained >= 1, "drift must maintain: {outcome:?}");
+    assert!(
+        topic.model().retired_count() > 0,
+        "absorbed temporaries must leave retired slots behind"
+    );
+    for threshold in [0.0, 0.3, 0.6, 0.9, 1.0] {
+        let groups = topic.query(QueryOptions {
+            saturation_threshold: threshold,
+            limit: usize::MAX,
+        });
+        let covered: usize = groups.iter().map(|g| g.count()).sum();
+        assert_eq!(covered, topic.records().len(), "no record may be dropped");
+        for group in groups.iter() {
+            let node = &topic.model().nodes[group.node.0];
+            assert!(
+                !node.retired,
+                "retired template leaked into query results at threshold {threshold}: \
+                 {} ({})",
+                group.template, group.node
+            );
+        }
+    }
+}
+
+/// Regression for the streaming race: records matched against the pre-swap model
+/// snapshot can carry temporary-template ids that a mid-stream maintenance run has
+/// since retired; they must be re-matched when applied, not stored against retired
+/// nodes.
+#[test]
+fn hot_swapped_stream_leaves_no_records_on_retired_templates() {
+    let mut topic = LogTopic::new(
+        TopicConfig::new("stream-drift-query")
+            .with_volume_threshold(u64::MAX)
+            .with_maintenance(MaintenancePolicy::Incremental {
+                drift: DriftConfig::default()
+                    .with_window(256)
+                    .with_min_samples(64)
+                    .with_max_unmatched_rate(0.2),
+                check_interval: 512,
+            }),
+    );
+    let base: Vec<String> = (0..500)
+        .map(|i| format!("GET /api/items/{} took {}ms", i % 20, i % 90))
+        .collect();
+    topic.ingest(&base);
+    let mut stream: Vec<String> = (0..2_000)
+        .map(|i| format!("GET /api/items/{} took {}ms", i % 30, i % 400))
+        .collect();
+    stream.extend(
+        (0..4_000).map(|i| format!("disk scrubber repaired sector {} on vol-{}", i, i % 3)),
+    );
+    let result = topic.ingest_stream(
+        stream,
+        &IngestConfig::default()
+            .with_shards(4)
+            .with_batch_records(64)
+            .with_max_in_flight(4),
+    );
+    assert!(
+        result.outcome.maintained >= 1,
+        "mid-stream drift must maintain"
+    );
+    assert!(
+        result.stats.model_swaps >= 1,
+        "model must hot-swap mid-stream"
+    );
+    // No stored record may point at a retired node, and no query may return one.
+    for stored in topic.records() {
+        if let Some(id) = stored.template {
+            assert!(
+                !topic.model().nodes[id.0].retired,
+                "stored record still points at retired node {id}: {stored:?}"
+            );
+        }
+    }
+    for group in topic.query(QueryOptions::default()).iter() {
+        assert!(!topic.model().nodes[group.node.0].retired);
+    }
 }
 
 #[test]
