@@ -1,0 +1,74 @@
+//! Validate a `BENCH_ingest.json` artifact (CI gate for the bench plumbing).
+//!
+//! Usage: `check_bench [path]` (default `BENCH_ingest.json`). Exits non-zero —
+//! failing the CI step — when the file is missing, is not valid JSON, or lacks
+//! the required `ingest_engines` rows (`tree_walk`, `automaton`,
+//! `automaton_cached`) with positive `records_per_sec` rates.
+
+use serde::Value;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("[check_bench] FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => return fail(&format!("cannot read {path}: {err}")),
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(doc) => doc,
+        Err(err) => return fail(&format!("{path} is not valid JSON: {err}")),
+    };
+    match doc.get("bench") {
+        Some(Value::String(name)) if name == "ingest" => {}
+        other => return fail(&format!("unexpected `bench` field: {other:?}")),
+    }
+    let Some(Value::Array(rows)) = doc.get("rows") else {
+        return fail("missing `rows` array");
+    };
+
+    let rate_of = |name: &str| -> Option<f64> {
+        rows.iter().find_map(|row| {
+            match (
+                row.get("group"),
+                row.get("name"),
+                row.get("records_per_sec"),
+            ) {
+                (Some(Value::String(group)), Some(Value::String(n)), Some(rate))
+                    if group == "ingest_engines" && n == name =>
+                {
+                    match rate {
+                        Value::Float(f) => Some(*f),
+                        Value::UInt(u) => Some(*u as f64),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        })
+    };
+
+    let mut rates = Vec::new();
+    for required in ["tree_walk", "automaton", "automaton_cached"] {
+        match rate_of(required) {
+            Some(rate) if rate > 0.0 && rate.is_finite() => rates.push((required, rate)),
+            Some(rate) => return fail(&format!("row {required} has bad rate {rate}")),
+            None => {
+                return fail(&format!(
+                    "required ingest_engines row missing or malformed: {required}"
+                ))
+            }
+        }
+    }
+    for (name, rate) in &rates {
+        println!("[check_bench] {name:<18} {rate:>14.0} records/s");
+    }
+    println!("[check_bench] OK: {path} has all required engine rows");
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,7 @@
 //! assert!(result.template.contains("Accepted password for"));
 //! ```
 
+pub mod automaton;
 pub mod cluster;
 pub mod config;
 pub mod distance;
@@ -47,11 +48,12 @@ pub mod saturation;
 pub mod train;
 pub mod tree;
 
+pub use automaton::{CompiledMatcher, MatchCache, MatchEngine};
 pub use config::{AblationConfig, TrainConfig};
 pub use incremental::{
     apply_delta, train_delta, DeltaParent, DriftConfig, DriftDecision, DriftDetector, ModelDelta,
 };
-pub use matcher::MatchResult;
+pub use matcher::{MatchResult, Matcher};
 pub use model::ParserModel;
 pub use parser::ByteBrainParser;
 pub use query::{

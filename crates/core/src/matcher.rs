@@ -6,11 +6,36 @@
 //! similarity distances and traversing the tree online, which is what keeps the model
 //! small (no per-node token statistics) and matching cheap.
 
+use crate::automaton::CompiledMatcher;
 use crate::model::ParserModel;
 use crate::parallel::run_parallel;
 use crate::tree::NodeId;
 use logtok::{Preprocessor, TokenScratch, TokenView};
 use serde::{Deserialize, Serialize};
+
+/// The matching engine interface: anything that can assign a preprocessed
+/// token stream to a template. Implemented by [`ParserModel`] (linear walk
+/// over `match_order` — the reference) and
+/// [`CompiledMatcher`] (the compiled
+/// automaton hot path). The service layer's pools and ingestors route every
+/// record through this trait, so engines are interchangeable per topic.
+pub trait Matcher {
+    /// Assign `view` to the most precise matching template, or `None`.
+    fn match_view(&self, view: &TokenView<'_>) -> Option<NodeId>;
+
+    /// Owned-token variant used by maintenance re-matching.
+    fn match_tokens(&self, tokens: &[String]) -> Option<NodeId>;
+}
+
+impl Matcher for ParserModel {
+    fn match_view(&self, view: &TokenView<'_>) -> Option<NodeId> {
+        match_view(self, view)
+    }
+
+    fn match_tokens(&self, tokens: &[String]) -> Option<NodeId> {
+        match_tokens(self, tokens)
+    }
+}
 
 /// The result of matching one log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,6 +132,48 @@ pub fn match_batch(
             let result =
                 match_record_with_scratch(model, preprocessor, record, &mut scratch.borrow_mut());
             (idx, result)
+        })
+    });
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Engine-dispatching view match: the compiled automaton when a snapshot is
+/// supplied, the linear tree walk otherwise. Both return the same id for the
+/// same view (the differential suite's core invariant).
+pub fn match_view_with(
+    model: &ParserModel,
+    compiled: Option<&CompiledMatcher>,
+    view: &TokenView<'_>,
+) -> Option<NodeId> {
+    match compiled {
+        Some(compiled) => compiled.match_view(view),
+        None => match_view(model, view),
+    }
+}
+
+/// Lean engine-dispatching batch matcher: like [`match_batch`] but returns
+/// `(node, saturation)` pairs without rendering template texts — the service
+/// layer's ingest and maintenance re-match paths only need the assignment.
+pub fn match_ids_batch(
+    model: &ParserModel,
+    compiled: Option<&CompiledMatcher>,
+    preprocessor: &Preprocessor,
+    records: &[String],
+    workers: usize,
+) -> Vec<(Option<NodeId>, f64)> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<TokenScratch> =
+            std::cell::RefCell::new(TokenScratch::new());
+    }
+    let indexed: Vec<(usize, &String)> = records.iter().enumerate().collect();
+    let mut results = run_parallel(workers, indexed, |(idx, record)| {
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let view = preprocessor.token_view(record, &mut scratch);
+            let node = match_view_with(model, compiled, &view);
+            let saturation = node.map(|id| model.nodes[id.0].saturation).unwrap_or(0.0);
+            (idx, (node, saturation))
         })
     });
     results.sort_by_key(|(idx, _)| *idx);

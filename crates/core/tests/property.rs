@@ -290,3 +290,248 @@ fn ladder_resolution_matches_reference_on_perturbed_trees() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Automaton: patched-vs-scratch compile property + compiler/cache fuzzing
+// ---------------------------------------------------------------------------
+
+/// Record families the delta property test mixes: the base family trains the
+/// initial model, drift families arrive via `train_delta` patches.
+fn family_record(rng: &mut StdRng, family: u32) -> String {
+    match family {
+        0 => format!(
+            "request {} served from cache {} in {}ms",
+            rng.gen_range(0..10_000u64),
+            rng.gen_range(0..6u64),
+            rng.gen_range(0..900u64)
+        ),
+        1 => format!(
+            "circuit breaker opened for upstream svc-{}",
+            rng.gen_range(0..8u64)
+        ),
+        2 => format!(
+            "gpu worker {} evicted tensor block {} after {} allocations",
+            rng.gen_range(0..8u64),
+            rng.gen_range(0..500u64),
+            rng.gen_range(1..10_000u64)
+        ),
+        _ => format!(
+            "节点 {} 重新加载配置 版本 {}",
+            rng.gen_range(0..9u64),
+            rng.gen_range(0..400u64)
+        ),
+    }
+}
+
+/// After **any** random sequence of `train_delta`/`apply_delta` patches
+/// (appends, absorptions, retirements), temporary insertions, manual
+/// retirements and saturation perturbations, the incrementally patched
+/// automaton (`refreshed` chained snapshot-to-snapshot) is *structurally
+/// identical* to a from-scratch compile of the same live template set — equal
+/// canonical forms — and both agree with the tree walker on probe records.
+#[test]
+fn patched_automaton_equals_scratch_compile_after_random_deltas() {
+    use bytebrain::incremental::{apply_delta, train_delta};
+    use bytebrain::matcher::match_tokens;
+    use bytebrain::{CompiledMatcher, NodeId};
+    use logtok::Preprocessor;
+
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xA070_0001);
+    let config = TrainConfig::default();
+    let pre = Preprocessor::new(config.preprocess.clone());
+
+    for case in 0..5 {
+        let warm: Vec<String> = (0..rng.gen_range(40..120usize))
+            .map(|_| family_record(&mut rng, 0))
+            .collect();
+        let mut model = train(&warm, &config).model;
+        let mut compiled = CompiledMatcher::compile(&model);
+
+        for step in 0..10 {
+            match rng.gen_range(0..4u32) {
+                // Incremental maintenance: train a delta on a drift batch and
+                // fold it in (absorbs temporaries, appends/patches nodes).
+                0 => {
+                    let family = rng.gen_range(1..4u32);
+                    let batch: Vec<String> = (0..rng.gen_range(5..40usize))
+                        .map(|_| family_record(&mut rng, family))
+                        .collect();
+                    let delta = train_delta(&model, &batch, &config, 0.6);
+                    model = apply_delta(&model, &delta);
+                }
+                // Online matching inserts a temporary for an unmatched log.
+                1 => {
+                    let family = rng.gen_range(0..4u32);
+                    let line = family_record(&mut rng, family);
+                    let tokens = pre.tokens_of(&format!("novel {step} {line}"));
+                    model.insert_temporary(&tokens);
+                }
+                // Retire a random live node (the shape rewritten templates and
+                // absorbed temporaries leave behind).
+                2 => {
+                    let live: Vec<NodeId> = model
+                        .nodes
+                        .iter()
+                        .filter(|n| !n.retired)
+                        .map(|n| n.id)
+                        .collect();
+                    if !live.is_empty() {
+                        model.retire(live[rng.gen_range(0..live.len())]);
+                        model.rebuild_match_order();
+                    }
+                }
+                // Saturation drift: reorders the match order without touching
+                // any template text — ranks must still refresh.
+                _ => {
+                    if !model.nodes.is_empty() {
+                        let idx = rng.gen_range(0..model.nodes.len());
+                        model.nodes[idx].saturation = rng.gen_range(0.0..1.0);
+                        model.rebuild_match_order();
+                    }
+                }
+            }
+
+            compiled = compiled.refreshed(&model);
+            let scratch_compile = CompiledMatcher::compile(&model);
+            assert_eq!(
+                compiled.canonical_form(),
+                scratch_compile.canonical_form(),
+                "patched compile diverged from scratch compile (case {case}, step {step})"
+            );
+            assert_eq!(compiled.live_templates(), scratch_compile.live_templates());
+            assert_ne!(
+                compiled.generation(),
+                scratch_compile.generation(),
+                "snapshots must have distinct generations"
+            );
+
+            for _ in 0..25 {
+                let family = rng.gen_range(0..4u32);
+                let probe = family_record(&mut rng, family);
+                let tokens = pre.tokens_of(&probe);
+                let tree = match_tokens(&model, &tokens);
+                assert_eq!(
+                    compiled.match_tokens(&tokens),
+                    tree,
+                    "patched automaton diverged from tree walk on {probe:?}"
+                );
+                assert_eq!(
+                    scratch_compile.match_tokens(&tokens),
+                    tree,
+                    "scratch automaton diverged from tree walk on {probe:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Arbitrary masked-token line for the compiler/cache fuzzer: unicode, empty
+/// lines, whitespace-only lines, 20k-char tokens, wildcard-token injection,
+/// control characters, and very wide lines.
+fn fuzz_line(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..10u32) {
+        0 => String::new(),
+        1 => " \t \u{00a0} ".to_string(),
+        2 => format!("x{}", "y".repeat(rng.gen_range(10_000..20_000usize))),
+        3 => {
+            let n = rng.gen_range(1..12usize);
+            (0..n)
+                .map(|_| if rng.gen_bool(0.7) { "<*>" } else { "lit" })
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        4 => format!(
+            "任务 {} 在 节点 {} 完成 ✓ λ=∞",
+            rng.gen_range(0..99u64),
+            rng.gen_range(0..9u64)
+        ),
+        5 => format!("ctl\u{1}chars\u{7f}here {}", rng.gen_range(0..100u64)),
+        6 => "tok ".repeat(rng.gen_range(1..400usize)),
+        7 => format!(
+            "job {} finished on host node-{:02} in {}ms",
+            rng.gen_range(0..100_000u64),
+            rng.gen_range(0..100u64),
+            rng.gen_range(0..100_000u64)
+        ),
+        8 => format!("<*> {} <*> <*>", rng.gen_range(0..50u64)),
+        _ => {
+            let n = rng.gen_range(0..8usize);
+            (0..n)
+                .map(|_| {
+                    let c = char::from_u32(rng.gen_range(0x21..0x2_00AD_u32) % 0xD700 + 0x21)
+                        .unwrap_or('?');
+                    format!("{c}{}", rng.gen_range(0..10u32))
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    }
+}
+
+/// The compiler and the match cache never panic on arbitrary input — models
+/// trained on fuzzed corpora plus fuzzed temporary templates, matched against
+/// fuzzed probes through both the DFA and the forced-NFA fallback — and cache
+/// hits always return the same assignment as cache misses.
+#[test]
+fn fuzz_compiler_and_match_cache_on_arbitrary_lines() {
+    use bytebrain::matcher::match_tokens;
+    use bytebrain::{CompiledMatcher, MatchCache};
+    use logtok::{Preprocessor, TokenScratch};
+
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xF0_22ED);
+    let config = TrainConfig::default();
+    let pre = Preprocessor::new(config.preprocess.clone());
+    let mut scratch = TokenScratch::new();
+
+    for case in 0..8 {
+        let corpus: Vec<String> = (0..rng.gen_range(1..50usize))
+            .map(|_| fuzz_line(&mut rng))
+            .collect();
+        let mut model = train(&corpus, &config).model;
+        // Fuzzed temporaries: raw token sequences, including wildcard-text
+        // tokens and empty templates.
+        for _ in 0..rng.gen_range(0..8usize) {
+            let tokens = pre.tokens_of(&fuzz_line(&mut rng));
+            model.insert_temporary(&tokens);
+        }
+
+        // Tiny determinization cap forces the NFA fallback; both execution
+        // modes must survive and agree with the tree walker.
+        let dfa = CompiledMatcher::compile(&model);
+        let nfa = CompiledMatcher::compile_with_limit(&model, 2);
+        for (mode, compiled) in [("dfa", &dfa), ("nfa", &nfa)] {
+            if mode == "nfa" && !compiled.uses_nfa_fallback() {
+                // Trivial template sets may determinize under any cap; the
+                // larger cases in the loop still exercise the fallback.
+                continue;
+            }
+            let mut cache = MatchCache::new(16);
+            let mut probes = Vec::new();
+            for _ in 0..150 {
+                let probe = fuzz_line(&mut rng);
+                let tokens = pre.tokens_of(&probe);
+                let direct = compiled.match_tokens(&tokens);
+                assert_eq!(
+                    direct,
+                    match_tokens(&model, &tokens),
+                    "{mode} diverged from tree walk (case {case}, probe {probe:?})"
+                );
+                let miss = cache.match_record(compiled, &pre, &mut scratch, &probe);
+                assert_eq!(miss, direct, "cache miss diverged on {probe:?}");
+                probes.push((probe, direct));
+            }
+            // Replay every probe: hit or (evicted) re-miss, same assignment.
+            for (probe, expected) in &probes {
+                let replay = cache.match_record(compiled, &pre, &mut scratch, probe);
+                assert_eq!(
+                    replay, *expected,
+                    "{mode} cache replay diverged (case {case}, probe {probe:?})"
+                );
+            }
+            let (hits, misses) = cache.stats();
+            assert!(hits > 0, "replay must produce cache hits");
+            assert!(misses >= 150, "first pass must miss");
+            assert!(cache.len() <= 32, "cache exceeded its bound");
+        }
+    }
+}

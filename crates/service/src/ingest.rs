@@ -37,7 +37,7 @@
 //! ```
 
 use crate::matcher_pool::{IdBatchResult, MatcherPool};
-use bytebrain::{NodeId, ParserModel};
+use bytebrain::{CompiledMatcher, NodeId, ParserModel};
 use logtok::{hash_token, Preprocessor};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -259,6 +259,10 @@ pub struct StreamIngestor {
     /// The model snapshot captured at the next shard flush. [`StreamIngestor::swap_model`]
     /// replaces it; already-flushed batches keep the snapshot they were flushed under.
     model: Arc<ParserModel>,
+    /// Compiled automaton paired with `model`; `None` keeps the stream on the
+    /// tree walker. Swapped together with the model, so a flushed batch always
+    /// carries a mutually consistent (model, automaton) snapshot pair.
+    compiled: Option<Arc<CompiledMatcher>>,
     buffers: Vec<ShardBuffer>,
     stats: IngestStats,
     /// Completed records keyed by sequence number, so mid-stream harvesting can
@@ -299,6 +303,7 @@ impl StreamIngestor {
             config,
             pool,
             model,
+            compiled: None,
             buffers,
             stats,
             completed: std::collections::BTreeMap::new(),
@@ -310,13 +315,25 @@ impl StreamIngestor {
         }
     }
 
-    /// Hot-swap the model snapshot. The swap takes effect at shard-flush
-    /// boundaries: batches flushed after this call are matched against `model`,
-    /// batches already submitted keep the snapshot they were flushed under. This
-    /// is how incremental maintenance rolls a patched model into a live stream
-    /// without tearing down the worker pool or pausing ingestion.
-    pub fn swap_model(&mut self, model: Arc<ParserModel>) {
+    /// Route flushed batches through a compiled automaton snapshot instead of
+    /// the tree walker (builder-style; call before pushing records or swap via
+    /// [`StreamIngestor::swap_model`]). The snapshot must be compiled from the
+    /// engine's current model.
+    pub fn with_compiled(mut self, compiled: Arc<CompiledMatcher>) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
+
+    /// Hot-swap the model snapshot and its paired compiled automaton (`None`
+    /// drops the stream back to the tree walker). The swap takes effect at
+    /// shard-flush boundaries: batches flushed after this call are matched
+    /// against `model`, batches already submitted keep the snapshot pair they
+    /// were flushed under. This is how incremental maintenance rolls a patched
+    /// model into a live stream without tearing down the worker pool or
+    /// pausing ingestion.
+    pub fn swap_model(&mut self, model: Arc<ParserModel>, compiled: Option<Arc<CompiledMatcher>>) {
         self.model = model;
+        self.compiled = compiled;
         self.stats.model_swaps += 1;
     }
 
@@ -441,7 +458,8 @@ impl StreamIngestor {
             FlushReason::Time => counters.time_flushes += 1,
             FlushReason::Forced => counters.forced_flushes += 1,
         }
-        self.pool.submit_ids(shard, batch, Arc::clone(&self.model));
+        self.pool
+            .submit_ids(shard, batch, Arc::clone(&self.model), self.compiled.clone());
         self.in_flight += 1;
         self.stats.submitted_batches += 1;
         self.stats.max_in_flight_observed = self.stats.max_in_flight_observed.max(self.in_flight);
@@ -496,6 +514,27 @@ impl StreamIngestor {
             self.next_release += 1;
         }
         out
+    }
+
+    /// Force-flush every shard and block until every in-flight batch has been
+    /// absorbed: after `sync` returns, [`StreamIngestor::drain_completed`]
+    /// releases the full contiguous prefix of everything pushed so far.
+    /// [`LogTopic::ingest_stream`](crate::LogTopic::ingest_stream) calls this at
+    /// drift-check boundaries so maintenance decisions — and mid-stream model
+    /// hot-swaps — depend only on the record sequence, never on worker
+    /// scheduling. That determinism is what lets the differential suite assert
+    /// *byte-identical* assignments across engines and runs.
+    ///
+    /// # Panics
+    /// Panics if pool workers died with batches outstanding.
+    pub fn sync(&mut self) {
+        self.flush();
+        while self.in_flight > 0 {
+            match self.pool.recv_ids() {
+                Some(result) => self.absorb(result),
+                None => self.panic_workers_died(),
+            }
+        }
     }
 
     /// A closed result channel while batches are outstanding means pool workers died
@@ -706,6 +745,29 @@ mod tests {
         let unmatched_record = report.records.iter().find(|r| r.node.is_none()).unwrap();
         assert!(unmatched_record.record.contains("segfault"));
         assert_eq!(unmatched_record.saturation, 0.0);
+    }
+
+    #[test]
+    fn compiled_stream_agrees_with_tree_walk_stream() {
+        let (model, pre) = trained();
+        let compiled = Arc::new(CompiledMatcher::compile(&model));
+        let config = IngestConfig::default()
+            .with_shards(4)
+            .with_batch_records(64);
+        let mut fast = StreamIngestor::new(Arc::clone(&model), Arc::clone(&pre), config.clone())
+            .with_compiled(compiled);
+        let mut reference = StreamIngestor::new(model, pre, config);
+        for record in stream(1_000) {
+            fast.push(record.clone());
+            reference.push(record);
+        }
+        let fast_report = fast.finish();
+        let reference_report = reference.finish();
+        assert_eq!(fast_report.records.len(), reference_report.records.len());
+        for (a, b) in fast_report.records.iter().zip(&reference_report.records) {
+            assert_eq!(a.node, b.node, "engines diverged on {:?}", a.record);
+            assert_eq!(a.saturation, b.saturation);
+        }
     }
 
     #[test]

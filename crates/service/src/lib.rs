@@ -58,6 +58,7 @@ pub mod topic;
 pub mod trigger;
 
 pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
+pub use bytebrain::{CompiledMatcher, MatchCache, MatchEngine};
 pub use compare::{compare_snapshots, compare_windows, DistributionShift};
 pub use ingest::{
     IngestConfig, IngestReport, IngestStats, MatchedRecord, Routing, ShardCounters, StreamIngestor,

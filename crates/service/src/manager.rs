@@ -11,6 +11,7 @@ use crate::query::{QueryOptions, QuerySnapshot, TemplateGroup};
 use crate::topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
 };
+use bytebrain::MatchEngine;
 use std::collections::BTreeMap;
 
 /// Per-tenant configuration defaults applied to newly created topics.
@@ -23,6 +24,9 @@ pub struct TenantDefaults {
     /// Model-maintenance policy for the tenant's topics (full retrain by default;
     /// evolving-workload tenants opt into incremental maintenance).
     pub maintenance: MaintenancePolicy,
+    /// Matching engine for the tenant's topics (compiled automaton by default;
+    /// [`MatchEngine::TreeWalk`] is the escape hatch).
+    pub match_engine: MatchEngine,
 }
 
 impl Default for TenantDefaults {
@@ -31,6 +35,7 @@ impl Default for TenantDefaults {
             volume_threshold: 50_000,
             parallelism: 2,
             maintenance: MaintenancePolicy::FullRetrain,
+            match_engine: MatchEngine::default(),
         }
     }
 }
@@ -89,7 +94,8 @@ impl ServiceManager {
             let defaults = self.defaults.get(tenant).cloned().unwrap_or_default();
             let mut config = TopicConfig::new(&format!("{tenant}/{topic}"))
                 .with_volume_threshold(defaults.volume_threshold)
-                .with_maintenance(defaults.maintenance);
+                .with_maintenance(defaults.maintenance)
+                .with_match_engine(defaults.match_engine);
             config.train.parallelism = defaults.parallelism;
             self.topics.insert(key.clone(), LogTopic::new(config));
         }

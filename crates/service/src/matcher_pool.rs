@@ -20,7 +20,7 @@
 //!   the sharded streaming ingestion engine ([`crate::ingest`]) drives.
 
 use bytebrain::matcher::{match_record_with_scratch, match_view};
-use bytebrain::{MatchResult, NodeId, ParserModel};
+use bytebrain::{CompiledMatcher, MatchCache, MatchResult, NodeId, ParserModel};
 use logtok::{Preprocessor, TokenScratch};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -42,6 +42,9 @@ enum Job {
         shard: usize,
         records: Vec<(u64, String)>,
         model: Arc<ParserModel>,
+        /// Compiled automaton snapshot paired with `model`; `None` routes the
+        /// batch through the tree walker (the configured escape hatch).
+        compiled: Option<Arc<CompiledMatcher>>,
     },
 }
 
@@ -115,8 +118,11 @@ impl MatcherPool {
             let preprocessor = Arc::clone(&preprocessor);
             handles.push(std::thread::spawn(move || {
                 // One scratch per worker: the whole pool runs preprocessing on the
-                // zero-copy fast path.
+                // zero-copy fast path. The match cache is also per-worker, so
+                // the automaton hot path takes no lock; generation tags keep it
+                // consistent across mid-stream snapshot swaps.
                 let mut scratch = TokenScratch::new();
+                let mut cache = MatchCache::default();
                 loop {
                     // Hold the lock only while dequeueing, never while matching. A
                     // poisoned lock means a sibling worker panicked mid-dequeue; exit
@@ -153,12 +159,24 @@ impl MatcherPool {
                             shard,
                             records,
                             model: job_model,
+                            compiled,
                         } => {
                             let results = records
                                 .iter()
                                 .map(|(_, r)| {
-                                    let view = preprocessor.token_view(r, &mut scratch);
-                                    match match_view(&job_model, &view) {
+                                    let node = match &compiled {
+                                        Some(compiled) => cache.match_record(
+                                            compiled,
+                                            &preprocessor,
+                                            &mut scratch,
+                                            r,
+                                        ),
+                                        None => {
+                                            let view = preprocessor.token_view(r, &mut scratch);
+                                            match_view(&job_model, &view)
+                                        }
+                                    };
+                                    match node {
                                         Some(id) => MatchId {
                                             node: Some(id),
                                             saturation: job_model.nodes[id.0].saturation,
@@ -211,16 +229,17 @@ impl MatcherPool {
         batch_id
     }
 
-    /// Submit a lean (ids-only) batch from `shard` to be matched against `model`;
-    /// returns the batch id. Used by the streaming ingestion engine, which needs
-    /// template ids but not rendered templates and passes the model snapshot that
-    /// was current when the batch was flushed (hot-swap happens between batches,
-    /// never inside one).
+    /// Submit a lean (ids-only) batch from `shard` to be matched against `model`
+    /// (via its paired `compiled` automaton snapshot when supplied); returns the
+    /// batch id. Used by the streaming ingestion engine, which needs template ids
+    /// but not rendered templates and passes the snapshots that were current when
+    /// the batch was flushed (hot-swap happens between batches, never inside one).
     pub fn submit_ids(
         &mut self,
         shard: usize,
         records: Vec<(u64, String)>,
         model: Arc<ParserModel>,
+        compiled: Option<Arc<CompiledMatcher>>,
     ) -> u64 {
         let batch_id = self.next_batch_id();
         self.job_tx
@@ -231,6 +250,7 @@ impl MatcherPool {
                 shard,
                 records,
                 model,
+                compiled,
             })
             .expect("workers are alive");
         batch_id
@@ -400,7 +420,7 @@ mod tests {
                 )
             })
             .collect();
-        let id = pool.submit_ids(3, records.clone(), model);
+        let id = pool.submit_ids(3, records.clone(), model, None);
         let result = pool.recv_ids().expect("one lean batch");
         assert_eq!(result.batch_id, id);
         assert_eq!(result.shard, 3);
@@ -408,6 +428,27 @@ mod tests {
         assert_eq!(result.results.len(), 20);
         assert!(result.results.iter().all(|r| r.node.is_some()));
         assert!(result.results.iter().all(|r| r.saturation > 0.0));
+    }
+
+    #[test]
+    fn compiled_lean_batches_agree_with_tree_walk_batches() {
+        let (model, pre) = model_and_preprocessor();
+        let compiled = Arc::new(CompiledMatcher::compile(&model));
+        let mut pool = MatcherPool::new(Arc::clone(&model), pre, 2);
+        // Repeat records so the per-worker match cache sees hits too.
+        let records: Vec<(u64, String)> = (0..40)
+            .map(|i| {
+                (
+                    i,
+                    format!("request {} routed to shard {} in {}ms", i % 5, i % 2, i % 3),
+                )
+            })
+            .collect();
+        pool.submit_ids(0, records.clone(), Arc::clone(&model), Some(compiled));
+        let automaton = pool.recv_ids().expect("automaton batch");
+        pool.submit_ids(0, records, Arc::clone(&model), None);
+        let tree = pool.recv_ids().expect("tree batch");
+        assert_eq!(automaton.results, tree.results);
     }
 
     #[test]
@@ -419,6 +460,7 @@ mod tests {
             0,
             vec![(0, "request 2 routed to shard 2 in 6ms".to_string())],
             model,
+            None,
         );
         // Receiving in the opposite order of completion must still route correctly.
         let ids = pool.recv_ids().expect("lean batch");

@@ -20,10 +20,10 @@ use crate::query::{QueryCache, QueryIndex};
 use crate::store::ModelStore;
 use crate::trigger::{TrainingTrigger, TriggerDecision};
 use bytebrain::incremental::{apply_delta, train_delta, DriftConfig, DriftDetector};
-use bytebrain::matcher::match_batch;
+use bytebrain::matcher::match_ids_batch;
 use bytebrain::merge::merge_models;
 use bytebrain::train::train;
-use bytebrain::{NodeId, ParserModel, SaturationLadder, TrainConfig};
+use bytebrain::{CompiledMatcher, MatchEngine, NodeId, ParserModel, SaturationLadder, TrainConfig};
 use logtok::Preprocessor;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -65,6 +65,9 @@ pub struct TopicConfig {
     pub merge_threshold: f64,
     /// Full-retrain or incremental model maintenance.
     pub maintenance: MaintenancePolicy,
+    /// Matching engine: the compiled automaton (default) or the linear tree
+    /// walker (the escape hatch / differential reference).
+    pub match_engine: MatchEngine,
 }
 
 impl TopicConfig {
@@ -78,6 +81,7 @@ impl TopicConfig {
             training_buffer: 500_000,
             merge_threshold: 0.6,
             maintenance: MaintenancePolicy::FullRetrain,
+            match_engine: MatchEngine::default(),
         }
     }
 
@@ -100,6 +104,12 @@ impl TopicConfig {
     /// Override the full maintenance policy.
     pub fn with_maintenance(mut self, maintenance: MaintenancePolicy) -> Self {
         self.maintenance = maintenance;
+        self
+    }
+
+    /// Override the matching engine.
+    pub fn with_match_engine(mut self, engine: MatchEngine) -> Self {
+        self.match_engine = engine;
         self
     }
 }
@@ -165,6 +175,15 @@ pub struct LogTopic {
     config: TopicConfig,
     preprocessor: Arc<Preprocessor>,
     model: Arc<ParserModel>,
+    /// Compiled automaton snapshot paired with `model` (None under
+    /// [`MatchEngine::TreeWalk`] or before the first model exists). Rebuilt
+    /// from scratch on training, patched per delta, and refreshed lazily after
+    /// temporary-template insertions — same swap lifecycle as the ladder.
+    compiled: Option<Arc<CompiledMatcher>>,
+    /// Set when the model changed since `compiled` was built (temporary
+    /// insertions arrive one record at a time; recompiling per record would be
+    /// a quadratic storm, so the refresh is deferred to the next match batch).
+    compiled_stale: bool,
     /// Precomputed per-node ancestor ladders for indexed query resolution; rebuilt on
     /// train, patched incrementally per delta, extended per temporary insertion.
     ladder: Arc<SaturationLadder>,
@@ -203,6 +222,8 @@ impl LogTopic {
             config,
             preprocessor,
             model: Arc::new(ParserModel::new()),
+            compiled: None,
+            compiled_stale: false,
             ladder: Arc::new(SaturationLadder::default()),
             index: Arc::new(QueryIndex::new()),
             model_version: 0,
@@ -303,15 +324,14 @@ impl LogTopic {
         let matches: Vec<(Option<NodeId>, f64)> = if self.model.is_empty() {
             vec![(None, 0.0); batch.len()]
         } else {
-            match_batch(
+            let compiled = self.compiled_snapshot();
+            match_ids_batch(
                 &self.model,
+                compiled.as_deref(),
                 &self.preprocessor,
                 batch,
                 self.config.train.parallelism,
             )
-            .into_iter()
-            .map(|m| (m.node, m.saturation))
-            .collect()
         };
         for (record, (matched, saturation)) in batch.iter().zip(&matches) {
             self.apply_record(record.clone(), *matched, &mut outcome);
@@ -386,9 +406,11 @@ impl LogTopic {
                 } else {
                     let tokens = self.preprocessor.tokens_of(&record);
                     let id = Arc::make_mut(&mut self.model).insert_temporary(&tokens);
-                    // The ladder and the cache key track every model change.
+                    // The ladder and the cache key track every model change;
+                    // the compiled automaton catches up at the next match batch.
                     Arc::make_mut(&mut self.ladder).push_root(&self.model, id);
                     self.model_version += 1;
+                    self.compiled_stale = true;
                     Some(id)
                 }
             }
@@ -414,6 +436,32 @@ impl LogTopic {
     /// topic's own copy).
     pub fn model_snapshot(&self) -> Arc<ParserModel> {
         Arc::clone(&self.model)
+    }
+
+    /// The compiled automaton snapshot paired with the current model, refreshed
+    /// first if the model changed since the last compile. `None` under
+    /// [`MatchEngine::TreeWalk`] or while no model exists — callers fall back
+    /// to the tree walker, which is behaviourally identical.
+    pub fn compiled_snapshot(&mut self) -> Option<Arc<CompiledMatcher>> {
+        if self.config.match_engine == MatchEngine::TreeWalk || self.model.is_empty() {
+            return None;
+        }
+        if self.compiled_stale || self.compiled.is_none() {
+            let next = match &self.compiled {
+                // Patch the previous snapshot: unchanged templates keep their
+                // trie paths, only the diff is re-inserted/pruned.
+                Some(previous) => previous.refreshed(&self.model),
+                None => CompiledMatcher::compile(&self.model),
+            };
+            self.compiled = Some(Arc::new(next));
+            self.compiled_stale = false;
+        }
+        self.compiled.clone()
+    }
+
+    /// The configured matching engine.
+    pub fn match_engine(&self) -> MatchEngine {
+        self.config.match_engine
     }
 
     /// A cheap shared handle to the topic's preprocessing pipeline.
@@ -459,6 +507,9 @@ impl LogTopic {
             self.preprocessor_snapshot(),
             config.clone(),
         );
+        if let Some(compiled) = self.compiled_snapshot() {
+            ingestor = ingestor.with_compiled(compiled);
+        }
         let mut outcome = IngestOutcome::default();
         let mut since_check = 0usize;
         let mut swapped = false;
@@ -468,18 +519,23 @@ impl LogTopic {
                 since_check += 1;
                 if since_check >= interval {
                     since_check = 0;
-                    // Time-flush every shard first: a quiet shard's open batch would
-                    // otherwise hold the contiguous-prefix gate shut for the whole
-                    // stream (skewed keyed routing), silently disabling drift checks.
-                    ingestor.poll();
+                    // Deterministic checkpoint: flush every shard and wait for
+                    // all in-flight batches, so the drift detector always sees
+                    // the exact pushed prefix. An opportunistic (non-blocking)
+                    // harvest here made maintenance timing — and therefore the
+                    // patched model — depend on worker scheduling, which broke
+                    // run-to-run byte-identity of the incremental path.
+                    ingestor.sync();
                     let drained = ingestor.drain_completed();
                     self.apply_stream_records(drained, swapped, &mut outcome);
                     let maintained_before = outcome.maintained;
                     self.maintain(&mut outcome);
                     if outcome.maintained > maintained_before {
-                        // Roll the patched model into the running stream; batches
-                        // flushed from here on match against it.
-                        ingestor.swap_model(self.model_snapshot());
+                        // Roll the patched model and its recompiled automaton
+                        // into the running stream as one consistent snapshot
+                        // pair; batches flushed from here on match against it.
+                        let compiled = self.compiled_snapshot();
+                        ingestor.swap_model(self.model_snapshot(), compiled);
                         swapped = true;
                     }
                 }
@@ -569,6 +625,10 @@ impl LogTopic {
         if let Some(detector) = &mut self.drift {
             detector.reset_windows();
         }
+        // The tree was renumbered wholesale: the previous compiled snapshot is
+        // garbage and the next compile starts from scratch.
+        self.compiled = None;
+        self.compiled_stale = false;
         // Re-match every stored record: node ids refer to the model that existed at ingest
         // time, and training (with merging) renumbers the tree. The production system
         // stores template ids alongside a model version and remaps lazily at query time;
@@ -611,6 +671,9 @@ impl LogTopic {
         // and invalidate cached query results before the swapped model can serve.
         Arc::make_mut(&mut self.ladder).apply_delta(&self.model, &delta);
         Arc::make_mut(&mut self.index).ensure_nodes(self.model.len());
+        // Node ids stayed stable, so the automaton is patched rather than
+        // rebuilt: the next compiled_snapshot() folds the delta into the trie.
+        self.compiled_stale = true;
         self.model_version += 1;
         self.query_cache.clear();
         self.store.save_delta(&delta, &self.model);
@@ -632,14 +695,16 @@ impl LogTopic {
             return;
         }
         let texts: Vec<String> = self.records.iter().map(|r| r.record.clone()).collect();
-        let results = match_batch(
+        let compiled = self.compiled_snapshot();
+        let results = match_ids_batch(
             &self.model,
+            compiled.as_deref(),
             &self.preprocessor,
             &texts,
             self.config.train.parallelism,
         );
-        for (stored, result) in self.records.iter_mut().zip(results) {
-            stored.template = result.node;
+        for (stored, (node, _)) in self.records.iter_mut().zip(results) {
+            stored.template = node;
         }
     }
 
@@ -666,17 +731,19 @@ impl LogTopic {
             .iter()
             .map(|&idx| self.records[idx].record.clone())
             .collect();
-        let results = match_batch(
+        let compiled = self.compiled_snapshot();
+        let results = match_ids_batch(
             &self.model,
+            compiled.as_deref(),
             &self.preprocessor,
             &texts,
             self.config.train.parallelism,
         );
         let mut moves = Vec::with_capacity(needs_rematch.len());
-        for (&idx, result) in needs_rematch.iter().zip(results) {
+        for (&idx, (node, _)) in needs_rematch.iter().zip(results) {
             let old = self.records[idx].template;
-            self.records[idx].template = result.node;
-            moves.push((idx, old, result.node));
+            self.records[idx].template = node;
+            moves.push((idx, old, node));
         }
         Arc::make_mut(&mut self.index).reassign(&moves);
     }

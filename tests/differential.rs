@@ -418,3 +418,137 @@ fn indexed_query_path_is_byte_identical_to_scan_path() {
         );
     }
 }
+
+/// The compiled automaton match path must be **byte-identical** to the tree
+/// walker it replaces: same per-record template assignment, same match stats —
+/// across batch ingest, both stream routings, and the incremental-maintenance
+/// path where the compiled snapshot is hot-swapped mid-stream at every delta
+/// boundary. Runs under the CI seed matrix via `BYTEBRAIN_TEST_SEED`.
+#[test]
+fn automaton_match_path_is_byte_identical_to_tree_walk() {
+    use bytebrain_repro::service::MatchEngine;
+
+    let engine_topic = |engine: MatchEngine, warm: &[String]| {
+        let mut topic = LogTopic::new(
+            TopicConfig::new("engine")
+                .with_volume_threshold(u64::MAX)
+                .with_match_engine(engine),
+        );
+        topic.ingest(warm);
+        topic
+    };
+
+    for dataset in ["Apache", "OpenSSH"] {
+        let (warm, stream) = workload(dataset, 6_000, 2_500);
+
+        // Batch `ingest`.
+        let mut tree = engine_topic(MatchEngine::TreeWalk, &warm);
+        let mut auto = engine_topic(MatchEngine::Automaton, &warm);
+        let tree_out = tree.ingest(&stream);
+        let auto_out = auto.ingest(&stream);
+        assert_eq!(
+            auto_out.matched, tree_out.matched,
+            "{dataset}: batch matched"
+        );
+        assert_eq!(
+            auto_out.unmatched, tree_out.unmatched,
+            "{dataset}: batch unmatched"
+        );
+        assert_eq!(
+            assignment_after(&auto, warm.len()),
+            assignment_after(&tree, warm.len()),
+            "{dataset}: batch assignment diverged between engines"
+        );
+
+        // Streaming, both shard routings.
+        for routing in [Routing::RoundRobin, Routing::FirstTokenKey] {
+            let config = IngestConfig::default()
+                .with_shards(4)
+                .with_batch_records(256)
+                .with_workers(2)
+                .with_routing(routing);
+            let mut tree = engine_topic(MatchEngine::TreeWalk, &warm);
+            let mut auto = engine_topic(MatchEngine::Automaton, &warm);
+            let tree_res = tree.ingest_stream(stream.clone(), &config);
+            let auto_res = auto.ingest_stream(stream.clone(), &config);
+            let label = format!("{dataset}/{routing:?}");
+            assert_eq!(
+                auto_res.outcome.matched, tree_res.outcome.matched,
+                "{label}: stream matched"
+            );
+            assert_eq!(
+                auto_res.outcome.unmatched, tree_res.outcome.unmatched,
+                "{label}: stream unmatched"
+            );
+            assert_eq!(
+                auto_res.stats.matched(),
+                tree_res.stats.matched(),
+                "{label}: shard counters"
+            );
+            assert_eq!(
+                assignment_after(&auto, warm.len()),
+                assignment_after(&tree, warm.len()),
+                "{label}: stream assignment diverged between engines"
+            );
+        }
+    }
+
+    // Incremental maintenance over a drifting stream: deltas are folded in
+    // mid-stream and the compiled snapshot is hot-swapped at every boundary
+    // (`swap_model` carries the model/automaton pair into the running
+    // ingestion engine). Both engines must still assign every record
+    // identically.
+    let seed = base_seed();
+    let stream = drifting_workload(40_000, seed);
+    let maintained_topic = |engine: MatchEngine| {
+        let mut config = TopicConfig::new("engine-inc")
+            .with_volume_threshold(u64::MAX)
+            .with_match_engine(engine)
+            .with_maintenance(MaintenancePolicy::Incremental {
+                drift: DriftConfig::default()
+                    .with_window(1_024)
+                    .with_min_samples(256)
+                    .with_max_unmatched_rate(0.1),
+                check_interval: 1_024,
+            });
+        config.training_buffer = 12_000;
+        LogTopic::new(config)
+    };
+    let mut tree = maintained_topic(MatchEngine::TreeWalk);
+    let mut auto = maintained_topic(MatchEngine::Automaton);
+    let ingest = IngestConfig::default()
+        .with_shards(4)
+        .with_batch_records(512);
+    // Cold-start both topics, then drive the drifting tail as ONE stream call
+    // so maintenance (and the snapshot hot-swap) happens mid-stream.
+    tree.ingest(&stream[..8_000]);
+    auto.ingest(&stream[..8_000]);
+    let tree_res = tree.ingest_stream(stream[8_000..].to_vec(), &ingest);
+    let auto_res = auto.ingest_stream(stream[8_000..].to_vec(), &ingest);
+    assert!(
+        auto_res.outcome.maintained >= 1,
+        "drift must trigger mid-stream maintenance on the automaton path"
+    );
+    assert_eq!(
+        auto_res.outcome.maintained, tree_res.outcome.maintained,
+        "maintenance cadence diverged between engines"
+    );
+    assert_eq!(
+        auto_res.outcome.matched, tree_res.outcome.matched,
+        "drift stream matched diverged"
+    );
+    assert_eq!(
+        auto_res.outcome.unmatched, tree_res.outcome.unmatched,
+        "drift stream unmatched diverged"
+    );
+    let template_of = |topic: &LogTopic| -> Vec<Option<NodeId>> {
+        topic.records().iter().map(|r| r.template).collect()
+    };
+    assert_eq!(
+        template_of(&auto),
+        template_of(&tree),
+        "assignment diverged across the mid-stream hot-swap"
+    );
+    assert_eq!(auto.stats().maintenance_runs, tree.stats().maintenance_runs);
+    assert_eq!(auto.stats().training_runs, tree.stats().training_runs);
+}

@@ -12,6 +12,7 @@
 //! outlier rejection or statistical testing — treat small deltas with suspicion.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box`, matching `criterion::black_box`.
@@ -115,6 +116,53 @@ fn human(d: Duration) -> String {
     }
 }
 
+/// One completed benchmark measurement, recorded for machine-readable reports
+/// (real criterion persists these under `target/criterion`; this shim keeps an
+/// in-process registry a custom `main` can drain with [`take_measurements`]).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name, when the benchmark ran inside a [`BenchmarkGroup`].
+    pub group: Option<String>,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest observed sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Throughput hint in force when the benchmark ran.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// `group/name`, or the bare name outside a group.
+    pub fn full_name(&self) -> String {
+        match &self.group {
+            Some(g) => format!("{g}/{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Elements processed per second at the mean iteration time, when the
+    /// benchmark declared [`Throughput::Elements`].
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(elements)) if self.mean_ns > 0 => {
+                Some(elements as f64 * 1e9 / self.mean_ns as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drain every measurement recorded since the last call (or process start), in
+/// execution order. Benchmark binaries with a custom `main` use this to emit
+/// machine-readable artifacts after the timed runs.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *MEASUREMENTS.lock().unwrap())
+}
+
 fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let full = match group {
         Some(g) => format!("{g}/{name}"),
@@ -125,6 +173,13 @@ fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option
         human(bencher.last_mean),
         human(bencher.last_min)
     );
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        group: group.map(str::to_string),
+        name: name.to_string(),
+        mean_ns: bencher.last_mean.as_nanos(),
+        min_ns: bencher.last_min.as_nanos(),
+        throughput,
+    });
     if let Some(tp) = throughput {
         let secs = bencher.last_mean.as_secs_f64();
         if secs > 0.0 {
