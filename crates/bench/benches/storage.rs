@@ -1,0 +1,179 @@
+//! Micro-benchmarks of the durable storage tier: WAL append throughput, columnar
+//! segment sealing (`TopicStorage::commit`), and full recovery replay
+//! (`LogTopic::open` — WAL + segments + lineage back to a serving topic). These
+//! are the measurements behind the "recovery replays instead of retraining" and
+//! "segments load without re-matching a single line" claims — run with
+//! `cargo bench --bench storage`.
+//!
+//! Like `ingest.rs`, this bench has a custom `main`: after the timed runs it
+//! drains the harness's measurement registry and writes the machine-readable
+//! `BENCH_storage.json` artifact (path override: `BYTEBRAIN_BENCH_OUT`).
+//! `BYTEBRAIN_BENCH_SMOKE=1` runs every row at reduced scale so CI can prove the
+//! plumbing cheaply; the committed artifact is a full run, where `check_bench`
+//! enforces the ≥ 200k records/s floor on segment flush and recovery replay.
+
+use criterion::{BatchSize, Criterion, Throughput};
+use datasets::LabeledDataset;
+use service::{LogTopic, StorageConfig, TopicConfig, TopicMeta, TopicStorage};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn smoke_mode() -> bool {
+    std::env::var("BYTEBRAIN_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+fn bench_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bb-bench-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create bench scratch root");
+    root
+}
+
+fn fresh_dir() -> PathBuf {
+    bench_root().join(format!(
+        "run-{}",
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn corpus(lines: usize) -> Vec<String> {
+    LabeledDataset::loghub2("Apache", lines).records
+}
+
+/// A fresh storage directory with `records` already appended to the WAL
+/// (setup for the sealing benchmark) or none (setup for the append benchmark).
+fn fresh_storage(records: &[String]) -> TopicStorage {
+    let dir = fresh_dir();
+    let meta = TopicMeta::from_config("", "bench", &TopicConfig::new("bench"));
+    let mut storage =
+        TopicStorage::create(&dir, StorageConfig::default(), &meta).expect("create storage");
+    for record in records {
+        storage
+            .append_record(false, None, record)
+            .expect("append record");
+    }
+    storage
+}
+
+fn bench_storage_paths(c: &mut Criterion, smoke: bool) {
+    let lines = if smoke { 4_096 } else { 32_768 };
+    let records = corpus(lines);
+
+    let mut group = c.benchmark_group("storage");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(10);
+
+    // CRC-framed WAL appends: the per-record cost every ingest pays.
+    group.bench_function("wal_append", |b| {
+        b.iter_batched(
+            || fresh_storage(&[]),
+            |mut storage| {
+                for record in &records {
+                    storage
+                        .append_record(false, None, record)
+                        .expect("append record");
+                }
+                storage.next_seq()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Sealing the WAL into immutable columnar segments (text + variable columns
+    // + per-node postings), manifest write, WAL truncation, one batched fsync.
+    group.bench_function("segment_flush", |b| {
+        b.iter_batched(
+            || fresh_storage(&records),
+            |mut storage| {
+                let sealed = storage.commit(|_| Vec::new()).expect("commit");
+                assert!(sealed > 0, "commit must seal at least one segment");
+                sealed
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_recovery_replay(c: &mut Criterion, smoke: bool) {
+    let lines = if smoke { 4_096 } else { 32_768 };
+    let records = corpus(lines);
+
+    // Build the durable topic once: cold-start train on the head, stream the rest
+    // through the matcher, let ingest seal segments and lineage as it goes.
+    let dir = fresh_dir();
+    let config = TopicConfig::new("bench-recovery").with_volume_threshold(u64::MAX);
+    let mut topic =
+        LogTopic::durable(config, &dir, StorageConfig::default()).expect("create durable topic");
+    for chunk in records.chunks(4_096) {
+        topic.ingest(chunk);
+    }
+    let total = topic.records().len() as u64;
+    drop(topic);
+
+    let mut group = c.benchmark_group("storage");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(10);
+
+    // Full restart path: manifest + segment decode (postings loaded, zero
+    // re-matching) + lineage replay + WAL tail, back to a query-serving topic.
+    group.bench_function("recovery_replay", |b| {
+        b.iter(|| {
+            let recovered = LogTopic::open(&dir, StorageConfig::default()).expect("recover");
+            assert_eq!(recovered.records().len() as u64, total);
+            recovered.model_version()
+        })
+    });
+
+    group.finish();
+}
+
+/// Render the drained measurement registry as the `BENCH_storage.json` artifact.
+fn write_bench_json(smoke: bool) {
+    use serde::Value;
+
+    let out = std::env::var("BYTEBRAIN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_storage.json", env!("CARGO_MANIFEST_DIR")));
+    let rows: Vec<Value> = criterion::take_measurements()
+        .into_iter()
+        .map(|m| {
+            let mut fields = vec![
+                (
+                    "group".to_string(),
+                    Value::String(m.group.clone().unwrap_or_default()),
+                ),
+                ("name".to_string(), Value::String(m.name.clone())),
+                ("mean_ns".to_string(), Value::UInt(m.mean_ns as u64)),
+                ("min_ns".to_string(), Value::UInt(m.min_ns as u64)),
+            ];
+            if let Some(rate) = m.elements_per_sec() {
+                fields.push(("records_per_sec".to_string(), Value::Float(rate)));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::String("storage".to_string())),
+        (
+            "mode".to_string(),
+            Value::String(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("rows".to_string(), Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("bench rows serialize");
+    std::fs::write(&out, json + "\n").expect("write bench artifact");
+    println!("[bench] wrote {out}");
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let mut criterion = Criterion::default();
+    bench_storage_paths(&mut criterion, smoke);
+    bench_recovery_replay(&mut criterion, smoke);
+    write_bench_json(smoke);
+    std::fs::remove_dir_all(bench_root()).ok();
+}

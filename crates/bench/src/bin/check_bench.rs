@@ -1,23 +1,53 @@
-//! Validate a `BENCH_ingest.json` artifact (CI gate for the bench plumbing).
+//! Validate committed bench artifacts (CI gate for the bench plumbing).
 //!
-//! Usage: `check_bench [path]` (default `BENCH_ingest.json`). Exits non-zero —
-//! failing the CI step — when the file is missing, is not valid JSON, or lacks
-//! the required `ingest_engines` rows (`tree_walk`, `automaton`,
-//! `automaton_cached`) with positive `records_per_sec` rates.
+//! Usage: `check_bench [path...]` (default: `BENCH_ingest.json` and
+//! `BENCH_storage.json`). Exits non-zero — failing the CI step — when a file is
+//! missing, is not valid JSON, or lacks its required rows with positive
+//! `records_per_sec` rates. Per-artifact requirements:
+//!
+//! - `BENCH_ingest.json`: `ingest_engines` rows `tree_walk`, `automaton`,
+//!   `automaton_cached`.
+//! - `BENCH_storage.json`: `storage` rows `wal_append`, `segment_flush`,
+//!   `recovery_replay`; on a full (non-smoke) run, `segment_flush` and
+//!   `recovery_replay` must additionally clear 200k records/s — the durability
+//!   tier must never become the ingest bottleneck, and recovery must replay
+//!   (not retrain) its way back to serving.
 
 use serde::Value;
 use std::process::ExitCode;
 
-fn fail(msg: &str) -> ExitCode {
+/// Throughput floor for the durable tier's full-run flush/replay rows.
+const STORAGE_FLOOR_RPS: f64 = 200_000.0;
+
+fn fail(msg: &str) -> bool {
     eprintln!("[check_bench] FAIL: {msg}");
-    ExitCode::FAILURE
+    false
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
+fn rate_of(rows: &[Value], group: &str, name: &str) -> Option<f64> {
+    rows.iter().find_map(|row| {
+        match (
+            row.get("group"),
+            row.get("name"),
+            row.get("records_per_sec"),
+        ) {
+            (Some(Value::String(g)), Some(Value::String(n)), Some(rate))
+                if g == group && n == name =>
+            {
+                match rate {
+                    Value::Float(f) => Some(*f),
+                    Value::UInt(u) => Some(*u as f64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    })
+}
+
+/// Validate one artifact; returns false (after printing the reason) on failure.
+fn check_artifact(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) => return fail(&format!("cannot read {path}: {err}")),
     };
@@ -25,50 +55,65 @@ fn main() -> ExitCode {
         Ok(doc) => doc,
         Err(err) => return fail(&format!("{path} is not valid JSON: {err}")),
     };
-    match doc.get("bench") {
-        Some(Value::String(name)) if name == "ingest" => {}
-        other => return fail(&format!("unexpected `bench` field: {other:?}")),
-    }
+    let bench = match doc.get("bench") {
+        Some(Value::String(name)) => name.clone(),
+        other => return fail(&format!("{path}: unexpected `bench` field: {other:?}")),
+    };
+    let full_run = matches!(doc.get("mode"), Some(Value::String(mode)) if mode == "full");
     let Some(Value::Array(rows)) = doc.get("rows") else {
-        return fail("missing `rows` array");
+        return fail(&format!("{path}: missing `rows` array"));
     };
 
-    let rate_of = |name: &str| -> Option<f64> {
-        rows.iter().find_map(|row| {
-            match (
-                row.get("group"),
-                row.get("name"),
-                row.get("records_per_sec"),
-            ) {
-                (Some(Value::String(group)), Some(Value::String(n)), Some(rate))
-                    if group == "ingest_engines" && n == name =>
-                {
-                    match rate {
-                        Value::Float(f) => Some(*f),
-                        Value::UInt(u) => Some(*u as f64),
-                        _ => None,
-                    }
+    // (group, row, full-run throughput floor) per artifact kind.
+    let required: &[(&str, &str, f64)] = match bench.as_str() {
+        "ingest" => &[
+            ("ingest_engines", "tree_walk", 0.0),
+            ("ingest_engines", "automaton", 0.0),
+            ("ingest_engines", "automaton_cached", 0.0),
+        ],
+        "storage" => &[
+            ("storage", "wal_append", 0.0),
+            ("storage", "segment_flush", STORAGE_FLOOR_RPS),
+            ("storage", "recovery_replay", STORAGE_FLOOR_RPS),
+        ],
+        other => return fail(&format!("{path}: unknown bench kind {other:?}")),
+    };
+
+    for &(group, name, floor) in required {
+        match rate_of(rows, group, name) {
+            Some(rate) if rate > 0.0 && rate.is_finite() => {
+                if full_run && rate < floor {
+                    return fail(&format!(
+                        "{path}: row {name} at {rate:.0} records/s is below the {floor:.0} floor"
+                    ));
                 }
-                _ => None,
+                println!("[check_bench] {name:<18} {rate:>14.0} records/s");
             }
-        })
-    };
-
-    let mut rates = Vec::new();
-    for required in ["tree_walk", "automaton", "automaton_cached"] {
-        match rate_of(required) {
-            Some(rate) if rate > 0.0 && rate.is_finite() => rates.push((required, rate)),
-            Some(rate) => return fail(&format!("row {required} has bad rate {rate}")),
+            Some(rate) => return fail(&format!("{path}: row {name} has bad rate {rate}")),
             None => {
                 return fail(&format!(
-                    "required ingest_engines row missing or malformed: {required}"
+                    "{path}: required {group} row missing or malformed: {name}"
                 ))
             }
         }
     }
-    for (name, rate) in &rates {
-        println!("[check_bench] {name:<18} {rate:>14.0} records/s");
+    println!("[check_bench] OK: {path} has all required {bench} rows");
+    true
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if paths.is_empty() {
+        vec![
+            "BENCH_ingest.json".to_string(),
+            "BENCH_storage.json".to_string(),
+        ]
+    } else {
+        paths
+    };
+    if paths.iter().all(|p| check_artifact(p)) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    println!("[check_bench] OK: {path} has all required engine rows");
-    ExitCode::SUCCESS
 }

@@ -42,12 +42,13 @@ use crate::matcher::Matcher;
 use crate::model::ParserModel;
 use crate::tree::{NodeId, TemplateToken};
 use logtok::{Preprocessor, TokenScratch, TokenView};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which matching engine a topic routes records through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum MatchEngine {
     /// Compiled multi-pattern automaton (the default hot path).
     #[default]

@@ -146,7 +146,7 @@ impl AblationConfig {
 }
 
 /// Full training configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Preprocessing configuration (tokenizer, masking, deduplication).
     pub preprocess: PreprocessConfig,

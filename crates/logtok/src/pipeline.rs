@@ -5,9 +5,10 @@
 use crate::dedup::{DedupStats, Deduplicator, UniqueLog};
 use crate::masking::Masker;
 use crate::tokenizer::{Tokenizer, TokenizerConfig};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the preprocessing pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PreprocessConfig {
     /// Tokenizer configuration (delimiters, truncation).
     pub tokenizer: TokenizerConfig,

@@ -14,8 +14,10 @@
 //! regex semantics in the tests); custom per-topic delimiter sets are supported as the
 //! paper allows users to override tokenization per log topic.
 
+use serde::{Deserialize, Serialize};
+
 /// Configuration for the tokenizer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TokenizerConfig {
     /// Extra single-byte delimiters in addition to the paper's default set.
     pub extra_delimiters: Vec<u8>,

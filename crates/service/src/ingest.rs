@@ -154,7 +154,10 @@ pub struct IngestStats {
     pub submitted_batches: u64,
     /// Batches whose results have been harvested.
     pub completed_batches: u64,
-    /// Times a push blocked because `max_in_flight` batches were outstanding.
+    /// Blocked back-pressure episodes: times a flush parked on the results channel
+    /// because `max_in_flight` batches were outstanding. Counted once per episode
+    /// (not once per poll), so it is bounded by `submitted_batches` — a spin-poll
+    /// regression would blow far past that bound.
     pub backpressure_waits: u64,
     /// High-water mark of outstanding batches.
     pub max_in_flight_observed: usize,
@@ -222,12 +225,16 @@ impl IngestReport {
     /// Throughput of the run in records per second, counting every ingested record
     /// (including those harvested mid-stream via
     /// [`StreamIngestor::drain_completed`]).
+    ///
+    /// A report taken before any measurable work (elapsed ≈ 0) yields `0.0`, never
+    /// `inf`/`NaN` — the value is persisted into segment metadata, which forbids
+    /// non-finite floats.
     pub fn records_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
+        if secs > 0.0 && self.stats.records() > 0 {
             self.stats.records() as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 }
@@ -443,12 +450,17 @@ impl StreamIngestor {
         if batch.is_empty() {
             return;
         }
-        // Back-pressure: block on finished batches before exceeding the bound.
-        while self.in_flight >= self.config.max_in_flight {
+        // Back-pressure: park on the results channel until a slot frees up. One
+        // blocked episode is counted once, however many batches it takes to drain
+        // below the bound — `recv_ids` is a blocking channel `recv`, so a stalled
+        // worker parks this thread instead of burning a core.
+        if self.in_flight >= self.config.max_in_flight {
             self.stats.backpressure_waits += 1;
-            match self.pool.recv_ids() {
-                Some(result) => self.absorb(result),
-                None => self.panic_workers_died(),
+            while self.in_flight >= self.config.max_in_flight {
+                match self.pool.recv_ids() {
+                    Some(result) => self.absorb(result),
+                    None => self.panic_workers_died(),
+                }
             }
         }
         let counters = &mut self.stats.shards[shard];
@@ -731,6 +743,41 @@ mod tests {
             report.stats.submitted_batches,
             report.stats.completed_batches
         );
+        // The blocked-wait counter must still increment (200 batches through a
+        // 2-deep window has to park), but each episode is counted exactly once:
+        // a busy-wait loop would rack up counts far past the number of batches
+        // that could possibly have released it.
+        assert!(
+            report.stats.backpressure_waits > 0,
+            "200 batches through max_in_flight=2 must block at least once"
+        );
+        assert!(
+            report.stats.backpressure_waits <= report.stats.submitted_batches,
+            "spin-poll detected: {} waits for {} batches",
+            report.stats.backpressure_waits,
+            report.stats.submitted_batches
+        );
+    }
+
+    #[test]
+    fn empty_report_throughput_is_finite_zero() {
+        let (model, pre) = trained();
+        // Finish immediately: no records, elapsed ≈ 0 — the old code returned
+        // `inf` here, which is now persisted into segment metadata and must be 0.
+        let ingestor = StreamIngestor::new(model, pre, IngestConfig::default());
+        let report = ingestor.finish();
+        assert_eq!(report.records.len(), 0);
+        let rps = report.records_per_second();
+        assert!(rps.is_finite(), "throughput must be finite, got {rps}");
+        assert_eq!(rps, 0.0);
+
+        // Zero-duration report constructed directly (fields are public).
+        let zero = IngestReport {
+            records: Vec::new(),
+            stats: report.stats,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(zero.records_per_second(), 0.0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod library;
 pub mod manager;
 pub mod matcher_pool;
 pub mod query;
+pub mod storage;
 pub mod store;
 pub mod topic;
 pub mod trigger;
@@ -67,6 +68,7 @@ pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
 pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
 pub use query::{QueryCache, QueryEngine, QueryIndex, QueryOptions, QuerySnapshot, TemplateGroup};
+pub use storage::{RecoveredTopic, StorageConfig, TopicMeta, TopicStorage};
 pub use store::{ModelStore, SnapshotInfo, SnapshotKind};
 pub use topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,

@@ -8,11 +8,15 @@
 
 use crate::ingest::IngestConfig;
 use crate::query::{QueryOptions, QuerySnapshot, TemplateGroup};
+use crate::storage::{self, RetentionOutcome, StorageConfig, TopicStorage};
 use crate::topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
 };
 use bytebrain::MatchEngine;
 use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Per-tenant configuration defaults applied to newly created topics.
 #[derive(Debug, Clone)]
@@ -60,12 +64,94 @@ pub struct FleetStats {
 pub struct ServiceManager {
     topics: BTreeMap<(String, String), LogTopic>,
     defaults: BTreeMap<String, TenantDefaults>,
+    /// When set, topics are durable: auto-created under
+    /// `<root>/<tenant dir>/<topic dir>` and recovered by [`ServiceManager::open`].
+    storage_root: Option<PathBuf>,
+    storage_config: StorageConfig,
+}
+
+/// Encode a tenant/topic key as a filesystem directory name: alphanumerics, `-` and
+/// `_` pass through, everything else is percent-encoded byte-wise. Injective, so two
+/// distinct keys can never collide on one directory.
+fn dir_name_of(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for byte in key.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(byte as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 impl ServiceManager {
     /// An empty manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty **durable** manager: every topic created through it is backed by the
+    /// storage tier under `root` (see [`ServiceManager::open`] to recover one).
+    pub fn durable(root: &Path, storage: StorageConfig) -> io::Result<Self> {
+        fs::create_dir_all(root)?;
+        Ok(ServiceManager {
+            storage_root: Some(root.to_path_buf()),
+            storage_config: storage,
+            ..Self::default()
+        })
+    }
+
+    /// Open (or initialize) a durable service at `root` with default storage tuning:
+    /// every topic store under `<root>/<tenant>/<topic>` is recovered — model lineage
+    /// replayed, postings loaded from segments, no retraining and no re-matching —
+    /// and new topics are auto-created durable.
+    pub fn open(root: &Path) -> io::Result<Self> {
+        Self::open_with(root, StorageConfig::default())
+    }
+
+    /// [`ServiceManager::open`] with explicit storage tuning.
+    pub fn open_with(root: &Path, storage_config: StorageConfig) -> io::Result<Self> {
+        let mut manager = Self::durable(root, storage_config.clone())?;
+        for tenant_entry in fs::read_dir(root)? {
+            let tenant_dir = tenant_entry?.path();
+            if !tenant_dir.is_dir() {
+                continue;
+            }
+            for topic_entry in fs::read_dir(&tenant_dir)? {
+                let dir = topic_entry?.path();
+                if !dir.is_dir() || !TopicStorage::exists(&dir) {
+                    continue;
+                }
+                let meta = storage::read_topic_meta(&dir)?;
+                let topic = LogTopic::open(&dir, storage_config.clone())?;
+                manager
+                    .topics
+                    .insert((meta.tenant.clone(), meta.topic.clone()), topic);
+            }
+        }
+        Ok(manager)
+    }
+
+    /// The storage root of a durable manager (`None` for in-memory managers).
+    pub fn storage_root(&self) -> Option<&Path> {
+        self.storage_root.as_deref()
+    }
+
+    /// Run TTL retention + segment compaction across the whole fleet (the
+    /// "background" maintenance pass — call it from a scheduler loop). Returns the
+    /// per-topic outcomes of topics that dropped anything.
+    pub fn run_storage_maintenance(&mut self) -> Vec<((String, String), RetentionOutcome)> {
+        let mut outcomes = Vec::new();
+        for (key, topic) in &mut self.topics {
+            let outcome = topic.run_storage_maintenance();
+            if outcome.dropped_segments > 0 {
+                outcomes.push((key.clone(), outcome));
+            }
+        }
+        outcomes
     }
 
     /// Set per-tenant defaults used when the tenant's topics are auto-created.
@@ -97,7 +183,21 @@ impl ServiceManager {
                 .with_maintenance(defaults.maintenance)
                 .with_match_engine(defaults.match_engine);
             config.train.parallelism = defaults.parallelism;
-            self.topics.insert(key.clone(), LogTopic::new(config));
+            let created = match &self.storage_root {
+                Some(root) => {
+                    let dir = root.join(dir_name_of(tenant)).join(dir_name_of(topic));
+                    LogTopic::durable_keyed(
+                        tenant,
+                        topic,
+                        config,
+                        &dir,
+                        self.storage_config.clone(),
+                    )
+                    .expect("create durable topic store")
+                }
+                None => LogTopic::new(config),
+            };
+            self.topics.insert(key.clone(), created);
         }
         self.topics.get_mut(&key).expect("topic just ensured")
     }

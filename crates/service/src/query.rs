@@ -166,6 +166,17 @@ impl QueryIndex {
         self.assigned = self.postings.iter().map(|p| p.len()).sum();
     }
 
+    /// Bulk-load one sealed segment's posting list for `node`: `locals` are
+    /// segment-local record offsets, shifted by the segment's position `base` in the
+    /// record store. Recovery rebuilds the whole index this way — straight from the
+    /// columnar postings, without re-matching a single line. Segments must be fed in
+    /// ascending sequence order (postings stay sorted).
+    pub fn extend_posting(&mut self, node: NodeId, base: usize, locals: &[u32]) {
+        self.ensure_nodes(node.0 + 1);
+        self.postings[node.0].extend(locals.iter().map(|&local| base as u32 + local));
+        self.assigned += locals.len();
+    }
+
     /// Rebuild the whole index from the record store (used after a full retrain, which
     /// renumbers the tree and re-matches every record).
     pub fn rebuild(records: &[StoredRecord], model_len: usize) -> Self {
@@ -329,12 +340,19 @@ fn scan_groups(
 // Query cache
 // ---------------------------------------------------------------------------
 
-/// Cache key: model version + record count pin the topic state, the quantized
-/// threshold collapses slider jitter onto a 1/1000 grid, and the limit is part of the
-/// result shape.
+/// Cache key: model version + topic generation + record count pin the topic state,
+/// the quantized threshold collapses slider jitter onto a 1/1000 grid, and the limit
+/// is part of the result shape.
+///
+/// The **generation** (bumped on recovery, TTL retention and compaction) exists
+/// because `(version, record count)` stops being sound once state persists: retention
+/// can evict old records and later ingest can bring the count back to a previously
+/// cached value with the model version unchanged — a different record *set* under an
+/// identical key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CacheKey {
     version: u64,
+    generation: u64,
     records: usize,
     threshold_millis: u32,
     limit: usize,
@@ -343,9 +361,10 @@ struct CacheKey {
 impl CacheKey {
     /// `options` must already be sanitized: the threshold sits exactly on the 1/1000
     /// grid, so the mills key names precisely the computed threshold.
-    fn new(version: u64, records: usize, options: QueryOptions) -> Self {
+    fn new(version: u64, generation: u64, records: usize, options: QueryOptions) -> Self {
         CacheKey {
             version,
+            generation,
             records,
             threshold_millis: (options.saturation_threshold * 1_000.0).round() as u32,
             limit: options.limit,
@@ -524,7 +543,12 @@ impl LogTopic {
     /// the member index lists.
     pub fn query(&self, options: QueryOptions) -> Arc<Vec<TemplateGroup>> {
         let options = options.sanitized();
-        let key = CacheKey::new(self.model_version(), self.records().len(), options);
+        let key = CacheKey::new(
+            self.model_version(),
+            self.generation(),
+            self.records().len(),
+            options,
+        );
         if let Some(cached) = self.query_cache().get(key) {
             return cached;
         }

@@ -1,0 +1,196 @@
+//! Durable snapshot/delta lineage for the model store.
+//!
+//! `lineage.log` holds one CRC frame per [`ModelStore`](crate::store::ModelStore)
+//! snapshot: the [`SnapshotInfo`] metadata (version,
+//! kind, parent link) plus the JSON payload — a full model for
+//! `SnapshotKind::Full`, a `ModelDelta` for `SnapshotKind::Delta`. On restart
+//! the whole store is restored from this log, so a recovered topic replays its
+//! cold-start training plus the delta chain instead of retraining; the
+//! f64 fields round-trip exactly (shortest-representation JSON floats), which
+//! the byte-identity recovery differential depends on.
+//!
+//! The log is append-only; [`LineageSink::rewrite`] (used by
+//! `ModelStore::prune`) atomically replaces it with the retained set via a tmp
+//! file + rename.
+
+use super::framing::{Dec, Enc, FrameLog};
+use crate::store::{SnapshotInfo, SnapshotKind};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One restored lineage entry: snapshot metadata plus its JSON payload.
+#[derive(Debug, Clone)]
+pub struct LineageEntry {
+    /// Snapshot metadata (version, kind, parent link, sizes).
+    pub info: SnapshotInfo,
+    /// The serialized model (full) or delta payload.
+    pub payload: String,
+}
+
+fn encode_entry(info: &SnapshotInfo, payload: &str) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(info.version);
+    enc.u8(match info.kind {
+        SnapshotKind::Full => 0,
+        SnapshotKind::Delta => 1,
+    });
+    enc.u64(info.parent.map(|p| p + 1).unwrap_or(0));
+    enc.u64(info.num_templates as u64);
+    enc.u64(info.size_bytes);
+    enc.u64(info.trained_records);
+    enc.bytes(payload.as_bytes());
+    enc.finish()
+}
+
+fn decode_entry(payload: &[u8]) -> io::Result<LineageEntry> {
+    let mut dec = Dec::new(payload);
+    let version = dec.u64()?;
+    let kind = match dec.u8()? {
+        0 => SnapshotKind::Full,
+        1 => SnapshotKind::Delta,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown snapshot kind {other}"),
+            ))
+        }
+    };
+    let parent_raw = dec.u64()?;
+    let parent = if parent_raw == 0 {
+        None
+    } else {
+        Some(parent_raw - 1)
+    };
+    let num_templates = dec.u64()? as usize;
+    let size_bytes = dec.u64()?;
+    let trained_records = dec.u64()?;
+    let body = dec.string()?;
+    Ok(LineageEntry {
+        info: SnapshotInfo {
+            version,
+            kind,
+            parent,
+            num_templates,
+            size_bytes,
+            trained_records,
+        },
+        payload: body,
+    })
+}
+
+/// The append side of the lineage log, shared between the topic's
+/// [`TopicStorage`](super::TopicStorage) (which owns fsync batching) and its
+/// [`ModelStore`](crate::store::ModelStore) (which appends on every save).
+#[derive(Debug, Clone)]
+pub struct LineageSink {
+    inner: Arc<Mutex<LineageLog>>,
+}
+
+#[derive(Debug)]
+struct LineageLog {
+    path: PathBuf,
+    log: FrameLog,
+}
+
+impl LineageSink {
+    /// Open (or create) `lineage.log` in `dir`, returning the sink plus every
+    /// intact entry already on disk (append order == version order).
+    pub fn open(dir: &Path) -> io::Result<(Self, Vec<LineageEntry>)> {
+        let path = dir.join("lineage.log");
+        let mut entries = Vec::new();
+        let mut bad = false;
+        let log = FrameLog::open(&path, |frame| match decode_entry(frame) {
+            Ok(entry) => entries.push(entry),
+            Err(_) => bad = true,
+        })?;
+        if bad {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "undecodable lineage entry",
+            ));
+        }
+        Ok((
+            LineageSink {
+                inner: Arc::new(Mutex::new(LineageLog { path, log })),
+            },
+            entries,
+        ))
+    }
+
+    /// Append one snapshot (called by `ModelStore::save`/`save_delta` while it
+    /// holds its own lock; durability lands at the next storage commit).
+    pub fn append(&self, info: &SnapshotInfo, payload: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("lineage sink poisoned");
+        inner.log.append(&encode_entry(info, payload))
+    }
+
+    /// Atomically replace the log with `retained` (ascending version order) —
+    /// the durable counterpart of `ModelStore::prune`.
+    pub fn rewrite(&self, retained: &[(SnapshotInfo, String)]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("lineage sink poisoned");
+        let tmp = inner.path.with_extension("log.tmp");
+        {
+            let mut fresh = FrameLog::open(&tmp, |_| {})?;
+            fresh.truncate()?;
+            for (info, payload) in retained {
+                fresh.append(&encode_entry(info, payload))?;
+            }
+            fresh.sync()?;
+        }
+        std::fs::rename(&tmp, &inner.path)?;
+        // Reopen the renamed file so future appends extend the rewritten log.
+        inner.log = FrameLog::open(&inner.path, |_| {})?;
+        Ok(())
+    }
+
+    /// Flush appended entries to stable storage (fsync-batched by the topic's
+    /// commit points).
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.lock().expect("lineage sink poisoned").log.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(version: u64, kind: SnapshotKind, parent: Option<u64>) -> SnapshotInfo {
+        SnapshotInfo {
+            version,
+            kind,
+            parent,
+            num_templates: 5,
+            size_bytes: 100,
+            trained_records: 42,
+        }
+    }
+
+    #[test]
+    fn lineage_appends_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("bb-lineage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let (sink, entries) = LineageSink::open(&dir).unwrap();
+            assert!(entries.is_empty());
+            sink.append(&info(1, SnapshotKind::Full, None), "{\"full\":1}")
+                .unwrap();
+            sink.append(&info(2, SnapshotKind::Delta, Some(1)), "{\"delta\":2}")
+                .unwrap();
+            sink.sync().unwrap();
+        }
+        let (sink, entries) = LineageSink::open(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].info.version, 1);
+        assert_eq!(entries[0].info.kind, SnapshotKind::Full);
+        assert_eq!(entries[1].info.parent, Some(1));
+        assert_eq!(entries[1].payload, "{\"delta\":2}");
+        // Rewrite with only the delta's chain retained.
+        sink.rewrite(&[(entries[1].info.clone(), entries[1].payload.clone())])
+            .unwrap();
+        let (_, entries) = LineageSink::open(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].info.version, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! The topic manifest: the single source of truth for what is durable.
+//!
+//! `MANIFEST.json` names the live segments and the epoch/counter state a
+//! replay needs. It is rewritten atomically (tmp + fsync + rename) at every
+//! seal, epoch boundary, retention pass and compaction — a crash leaves either
+//! the old manifest or the new one, never a torn file. Anything on disk the
+//! manifest does not reference (an orphan segment from a crash mid-seal) is
+//! garbage and is deleted on open.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Current manifest format version.
+pub const MANIFEST_FORMAT: u32 = 1;
+
+/// Metadata of one sealed segment, as recorded in the manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// Segment id (names the file `seg-<id>.seg`).
+    pub id: u64,
+    /// Sequence number of the segment's first record.
+    pub first_seq: u64,
+    /// Number of records sealed in the segment.
+    pub records: u64,
+    /// Accounted bytes (text + newline per record).
+    pub bytes: u64,
+    /// Records flagged unmatched-at-ingest. A segment is only droppable by
+    /// retention when this is zero — replaying the epoch's model re-executes
+    /// the temporary-template insertion of every flagged record, so their
+    /// texts must survive as long as the epoch does.
+    pub flagged: u64,
+    /// Seal wall-clock time (unix seconds) — the TTL clock.
+    pub created_at: u64,
+    /// Ingest throughput (records/s) of the run that sealed the segment; `0.0`
+    /// when unknown. Always finite: the stats path clamps empty reports.
+    pub throughput: f64,
+}
+
+impl SegmentMeta {
+    /// Sequence number one past the segment's last record.
+    pub fn end_seq(&self) -> u64 {
+        self.first_seq + self.records
+    }
+}
+
+/// The durable topic state (see module docs for the rewrite points).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub format: u32,
+    /// Monotonic topic generation: bumped on recovery, retention expiry and
+    /// compaction. Part of the query-cache key, so results cached against a
+    /// previous record *set* (same count, different records) can never be
+    /// served after the set changed.
+    pub generation: u64,
+    /// WAL records with `seq <` this are already sealed into segments and are
+    /// skipped during replay (a crash between manifest rewrite and WAL
+    /// truncation leaves such duplicates behind).
+    pub wal_base_seq: u64,
+    /// Sequence number of the oldest retained record (advanced by retention).
+    pub first_live_seq: u64,
+    /// Sequence position of the current epoch boundary (the last full
+    /// retrain): records at or past it feed the training/unmatched buffers.
+    pub epoch_start_seq: u64,
+    /// Model-store version of the epoch's base snapshot (0 = no model yet).
+    /// Replay starts from this full snapshot and folds the event log's deltas
+    /// in — a restart never retrains.
+    pub epoch_base_version: u64,
+    /// Topic model version at the epoch boundary (replay adds one bump per
+    /// temporary insertion and per delta event, reproducing the live value).
+    pub model_version_at_epoch: u64,
+    /// Completed incremental maintenance runs as of the epoch boundary
+    /// (replayed delta events are added on top).
+    pub maintenance_runs_at_epoch: u64,
+    /// Wall-clock seconds of the most recent maintenance run as of the epoch
+    /// boundary (a retrain truncates the event log, so replay cannot derive it).
+    pub last_maintenance_seconds_at_epoch: f64,
+    /// Completed full training runs.
+    pub training_runs: u64,
+    /// Wall-clock seconds of the most recent full training run.
+    pub last_training_seconds: f64,
+    /// Accounted bytes of records dropped by retention (keeps `total_bytes`
+    /// exact across restarts even after segments are gone).
+    pub bytes_dropped: u64,
+    /// Next segment id to allocate.
+    pub next_segment_id: u64,
+    /// Live segments, ascending by `first_seq` (contiguous sequence ranges).
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// The manifest of a brand-new topic.
+    pub fn new() -> Self {
+        Manifest {
+            format: MANIFEST_FORMAT,
+            generation: 0,
+            wal_base_seq: 0,
+            first_live_seq: 0,
+            epoch_start_seq: 0,
+            epoch_base_version: 0,
+            model_version_at_epoch: 0,
+            maintenance_runs_at_epoch: 0,
+            last_maintenance_seconds_at_epoch: 0.0,
+            training_runs: 0,
+            last_training_seconds: 0.0,
+            bytes_dropped: 0,
+            next_segment_id: 1,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Sequence number the WAL tail resumes at (one past the last sealed
+    /// record).
+    pub fn sealed_end_seq(&self) -> u64 {
+        self.segments
+            .last()
+            .map(|s| s.end_seq())
+            .unwrap_or(self.wal_base_seq)
+            .max(self.wal_base_seq)
+    }
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Atomically persist the manifest at `path` (tmp + fsync + rename).
+pub fn write_manifest(path: &Path, manifest: &Manifest) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Load the manifest at `path`; `Ok(None)` when no manifest exists yet.
+pub fn read_manifest(path: &Path) -> io::Result<Option<Manifest>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let corrupt = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| corrupt(format!("manifest decode error: {e}")))?;
+    if manifest.format != MANIFEST_FORMAT {
+        return Err(corrupt(format!(
+            "unsupported manifest format {}",
+            manifest.format
+        )));
+    }
+    Ok(Some(manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bb-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("MANIFEST.json");
+        assert!(read_manifest(&path).unwrap().is_none());
+        let mut manifest = Manifest::new();
+        manifest.generation = 3;
+        manifest.training_runs = 2;
+        manifest.last_training_seconds = 0.25;
+        manifest.segments.push(SegmentMeta {
+            id: 1,
+            first_seq: 0,
+            records: 512,
+            bytes: 20_000,
+            flagged: 0,
+            created_at: 1_700_000_000,
+            throughput: 150_000.0,
+        });
+        write_manifest(&path, &manifest).unwrap();
+        let loaded = read_manifest(&path).unwrap().expect("manifest exists");
+        assert_eq!(loaded.generation, 3);
+        assert_eq!(loaded.training_runs, 2);
+        assert_eq!(loaded.segments.len(), 1);
+        assert_eq!(loaded.segments[0].end_seq(), 512);
+        assert_eq!(loaded.sealed_end_seq(), 512);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,715 @@
+//! Durable tiered storage: WAL → immutable columnar segments → retention.
+//!
+//! Everything a [`LogTopic`](crate::topic::LogTopic) needs to survive a crash
+//! lives in one directory per topic:
+//!
+//! ```text
+//! <topic dir>/
+//!   meta.json       topic configuration (name, policy, train config)
+//!   MANIFEST.json   durable state: live segments, epoch, counters, generation
+//!   wal.log         CRC-framed records since the last segment seal
+//!   events.log      CRC-framed delta events since the last epoch boundary
+//!   lineage.log     model snapshot/delta lineage (the ModelStore, durable)
+//!   segments/       immutable columnar segments (seg-<id>.seg)
+//! ```
+//!
+//! **Write path.** Every ingested record is appended to the WAL with its
+//! ingest-time match outcome; appends are fsync-batched at commit points (the
+//! end of each ingest call and every maintenance checkpoint). When enough
+//! records accumulate, the commit seals them into a columnar segment —
+//! template-id column, text column, variable column, per-node postings — and
+//! restarts the WAL. Incremental maintenance appends one event (delta version
+//! and record moves) to the event log; a full retrain is an **epoch boundary**:
+//! it rewrites every live record into fresh baseline segments carrying the
+//! post-retrain assignments, truncates the WAL and event log, and atomically
+//! swaps the manifest.
+//!
+//! **Recovery** ([`TopicStorage::open`]) replays the manifest's segments, the
+//! WAL tail and the event log on top of the epoch's base model snapshot from
+//! the lineage log. The replay re-executes the deterministic
+//! temporary-template insertions of flagged records and folds in the stored
+//! deltas — it never re-matches a line (postings come from the segments) and
+//! never retrains.
+//!
+//! **Retention invariant.** A segment may be dropped only when (a) its TTL
+//! expired, (b) it holds zero unmatched-at-ingest records (their texts drive
+//! the epoch's model replay), (c) it sits outside the current training window
+//! (sealed before the epoch, or past the training-buffer capacity), and
+//! (d) every older segment was dropped first (the record store stays a
+//! contiguous sequence range). Compaction merges adjacent under-filled
+//! segments; both passes bump the topic **generation**, which is part of the
+//! query-cache key.
+
+pub mod framing;
+pub mod lineage;
+pub mod manifest;
+pub mod segment;
+pub mod wal;
+
+pub use lineage::{LineageEntry, LineageSink};
+pub use manifest::{Manifest, SegmentMeta};
+pub use segment::Segment;
+pub use wal::{DeltaEvent, RecordMove, WalRecord};
+
+use crate::topic::{MaintenancePolicy, StoredRecord, TopicConfig};
+use bytebrain::incremental::DriftConfig;
+use bytebrain::{MatchEngine, NodeId, TrainConfig};
+use framing::FrameLog;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Tuning knobs of the storage tier.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Seal a columnar segment once this many records sit in the WAL.
+    pub segment_records: usize,
+    /// fsync at commit points (disable only for benchmarks — a crash may then
+    /// lose the tail the OS had not flushed, though framing keeps it safe).
+    pub fsync: bool,
+    /// Drop expired segments that satisfy the retention invariant; `None`
+    /// keeps everything forever.
+    pub retention_ttl: Option<Duration>,
+    /// Compaction merges adjacent segments smaller than this.
+    pub compact_min_records: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            segment_records: 4096,
+            fsync: true,
+            retention_ttl: None,
+            compact_min_records: 1024,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// Override the segment seal threshold.
+    pub fn with_segment_records(mut self, records: usize) -> Self {
+        self.segment_records = records.max(1);
+        self
+    }
+
+    /// Override the TTL retention bound.
+    pub fn with_retention_ttl(mut self, ttl: Duration) -> Self {
+        self.retention_ttl = Some(ttl);
+        self
+    }
+
+    /// Enable or disable fsync at commit points.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Override the compaction threshold.
+    pub fn with_compact_min_records(mut self, records: usize) -> Self {
+        self.compact_min_records = records;
+        self
+    }
+}
+
+/// Durable topic configuration, persisted as `meta.json` so
+/// [`ServiceManager::open`](crate::manager::ServiceManager::open) can rebuild
+/// the topic exactly as provisioned. The maintenance policy is flattened into
+/// `maintenance_kind` + `drift` + `check_interval` fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicMeta {
+    /// Tenant key (empty for standalone topics).
+    pub tenant: String,
+    /// Topic key within the tenant.
+    pub topic: String,
+    /// Topic display name.
+    pub name: String,
+    /// Train after this many newly ingested records.
+    pub volume_threshold: u64,
+    /// Train after this many milliseconds since the last run.
+    pub interval_ms: u64,
+    /// Training-buffer capacity.
+    pub training_buffer: usize,
+    /// Merge threshold for full retrains.
+    pub merge_threshold: f64,
+    /// `"full"` or `"incremental"`.
+    pub maintenance_kind: String,
+    /// Drift bounds (incremental policy only).
+    pub drift: Option<DriftConfig>,
+    /// Mid-stream drift check interval (incremental policy only).
+    pub check_interval: u64,
+    /// Matching engine.
+    pub match_engine: MatchEngine,
+    /// Full training configuration.
+    pub train: TrainConfig,
+}
+
+impl TopicMeta {
+    /// Capture a topic's provisioned configuration.
+    pub fn from_config(tenant: &str, topic: &str, config: &TopicConfig) -> Self {
+        let (maintenance_kind, drift, check_interval) = match &config.maintenance {
+            MaintenancePolicy::FullRetrain => ("full".to_string(), None, 0),
+            MaintenancePolicy::Incremental {
+                drift,
+                check_interval,
+            } => (
+                "incremental".to_string(),
+                Some(drift.clone()),
+                *check_interval as u64,
+            ),
+        };
+        TopicMeta {
+            tenant: tenant.to_string(),
+            topic: topic.to_string(),
+            name: config.name.clone(),
+            volume_threshold: config.volume_threshold,
+            interval_ms: config.interval.as_millis() as u64,
+            training_buffer: config.training_buffer,
+            merge_threshold: config.merge_threshold,
+            maintenance_kind,
+            drift,
+            check_interval,
+            match_engine: config.match_engine,
+            train: config.train.clone(),
+        }
+    }
+
+    /// Rebuild the provisioned topic configuration.
+    pub fn to_config(&self) -> TopicConfig {
+        let maintenance = if self.maintenance_kind == "incremental" {
+            MaintenancePolicy::Incremental {
+                drift: self.drift.clone().unwrap_or_default(),
+                check_interval: self.check_interval as usize,
+            }
+        } else {
+            MaintenancePolicy::FullRetrain
+        };
+        TopicConfig {
+            name: self.name.clone(),
+            train: self.train.clone(),
+            volume_threshold: self.volume_threshold,
+            interval: Duration::from_millis(self.interval_ms),
+            training_buffer: self.training_buffer,
+            merge_threshold: self.merge_threshold,
+            maintenance,
+            match_engine: self.match_engine,
+        }
+    }
+}
+
+/// Everything [`TopicStorage::open`] recovered from disk, handed to
+/// `LogTopic::recover` for state reconstruction.
+#[derive(Debug)]
+pub struct RecoveredTopic {
+    /// The provisioned topic configuration.
+    pub meta: TopicMeta,
+    /// The manifest as of open (recovery generation bump already applied).
+    pub manifest: Manifest,
+    /// Decoded live segments, ascending by sequence.
+    pub segments: Vec<Segment>,
+    /// WAL records not yet sealed into a segment, ascending by sequence.
+    pub wal_tail: Vec<WalRecord>,
+    /// Delta events since the epoch boundary, in append order.
+    pub events: Vec<DeltaEvent>,
+    /// Model snapshot lineage, in version order.
+    pub lineage: Vec<LineageEntry>,
+}
+
+/// What a retention pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionOutcome {
+    /// Records dropped (always a prefix of the live sequence range).
+    pub dropped_records: u64,
+    /// Accounted bytes dropped.
+    pub dropped_bytes: u64,
+    /// Segments dropped.
+    pub dropped_segments: usize,
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn io_invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read just the persisted topic configuration of a topic store (used by
+/// [`ServiceManager::open`](crate::manager::ServiceManager::open) to key
+/// recovered topics without replaying them first).
+pub fn read_topic_meta(dir: &Path) -> io::Result<TopicMeta> {
+    let json = fs::read_to_string(dir.join("meta.json"))?;
+    serde_json::from_str(&json).map_err(|e| io_invalid(format!("meta.json: {e}")))
+}
+
+/// The per-topic durable store: WAL + segments + event log + lineage +
+/// manifest, all under one directory. Owned by the topic; every mutation goes
+/// through the topic so in-memory and on-disk state advance together.
+#[derive(Debug)]
+pub struct TopicStorage {
+    dir: PathBuf,
+    config: StorageConfig,
+    manifest: Manifest,
+    wal: FrameLog,
+    events: FrameLog,
+    lineage: LineageSink,
+    /// WAL records not yet sealed (the WAL file's decoded contents).
+    pending: Vec<WalRecord>,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Throughput metadata stamped on the next sealed segments.
+    last_throughput: f64,
+}
+
+impl TopicStorage {
+    fn paths(dir: &Path) -> (PathBuf, PathBuf, PathBuf, PathBuf) {
+        (
+            dir.join("meta.json"),
+            dir.join("MANIFEST.json"),
+            dir.join("wal.log"),
+            dir.join("events.log"),
+        )
+    }
+
+    /// True when `dir` holds an initialized topic store.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join("MANIFEST.json").is_file()
+    }
+
+    /// Initialize a fresh topic store in `dir` (creates the directory tree,
+    /// persists `meta.json` and an empty manifest).
+    pub fn create(dir: &Path, config: StorageConfig, meta: &TopicMeta) -> io::Result<Self> {
+        fs::create_dir_all(dir.join("segments"))?;
+        let (meta_path, manifest_path, wal_path, events_path) = Self::paths(dir);
+        let json = serde_json::to_string_pretty(meta).map_err(|e| io_invalid(e.to_string()))?;
+        fs::write(&meta_path, json)?;
+        let manifest = Manifest::new();
+        manifest::write_manifest(&manifest_path, &manifest)?;
+        let wal = FrameLog::open(&wal_path, |_| {})?;
+        let events = FrameLog::open(&events_path, |_| {})?;
+        let (lineage, _) = LineageSink::open(dir)?;
+        Ok(TopicStorage {
+            dir: dir.to_path_buf(),
+            config,
+            manifest,
+            wal,
+            events,
+            lineage,
+            pending: Vec::new(),
+            next_seq: 0,
+            last_throughput: 0.0,
+        })
+    }
+
+    /// Open an existing topic store: verify and load the manifest's segments,
+    /// replay the WAL tail and event log, restore the lineage, delete orphan
+    /// files from crashed seals, and bump the recovery generation. The caller
+    /// feeds the returned [`RecoveredTopic`] into `LogTopic::recover`.
+    pub fn open(dir: &Path, config: StorageConfig) -> io::Result<(Self, RecoveredTopic)> {
+        let (meta_path, manifest_path, wal_path, events_path) = Self::paths(dir);
+        let meta_json = fs::read_to_string(&meta_path)?;
+        let meta: TopicMeta =
+            serde_json::from_str(&meta_json).map_err(|e| io_invalid(format!("meta.json: {e}")))?;
+        let mut manifest = manifest::read_manifest(&manifest_path)?
+            .ok_or_else(|| io_invalid("missing MANIFEST.json".to_string()))?;
+
+        // Garbage-collect files the manifest does not reference: a crash
+        // between segment write and manifest rewrite leaves orphans behind.
+        let seg_dir = dir.join("segments");
+        fs::create_dir_all(&seg_dir)?;
+        let live: std::collections::HashSet<String> = manifest
+            .segments
+            .iter()
+            .map(|s| segment::segment_file_name(s.id))
+            .collect();
+        for entry in fs::read_dir(&seg_dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !live.contains(&name) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for seg_meta in &manifest.segments {
+            let seg =
+                segment::read_segment(&seg_dir.join(segment::segment_file_name(seg_meta.id)))?;
+            if seg.first_seq != seg_meta.first_seq || seg.records.len() as u64 != seg_meta.records {
+                return Err(io_invalid(format!(
+                    "segment {} disagrees with manifest",
+                    seg_meta.id
+                )));
+            }
+            segments.push(seg);
+        }
+
+        // WAL tail: frames below `wal_base_seq` were already sealed (the crash
+        // hit between manifest rewrite and WAL truncation) and are skipped.
+        let sealed_end = manifest.sealed_end_seq();
+        let mut wal_tail: Vec<WalRecord> = Vec::new();
+        let mut bad = false;
+        let wal = FrameLog::open(&wal_path, |frame| match WalRecord::decode(frame) {
+            Ok(rec) => {
+                if rec.seq >= sealed_end {
+                    wal_tail.push(rec);
+                }
+            }
+            Err(_) => bad = true,
+        })?;
+        if bad {
+            return Err(io_invalid("undecodable WAL frame".to_string()));
+        }
+        let mut events_list: Vec<DeltaEvent> = Vec::new();
+        let events = FrameLog::open(&events_path, |frame| match DeltaEvent::decode(frame) {
+            Ok(event) => events_list.push(event),
+            Err(_) => bad = true,
+        })?;
+        if bad {
+            return Err(io_invalid("undecodable event frame".to_string()));
+        }
+        let (lineage, lineage_entries) = LineageSink::open(dir)?;
+
+        let next_seq = wal_tail.last().map(|r| r.seq + 1).unwrap_or(sealed_end);
+        // Recovery is a state change the query cache must observe: a recovered
+        // record set may coincide in count and model version with a cached one.
+        manifest.generation += 1;
+        manifest::write_manifest(&manifest_path, &manifest)?;
+
+        let recovered = RecoveredTopic {
+            meta,
+            manifest: manifest.clone(),
+            segments,
+            wal_tail: wal_tail.clone(),
+            events: events_list,
+            lineage: lineage_entries,
+        };
+        Ok((
+            TopicStorage {
+                dir: dir.to_path_buf(),
+                config,
+                manifest,
+                wal,
+                events,
+                lineage,
+                pending: wal_tail,
+                next_seq,
+                last_throughput: 0.0,
+            },
+            recovered,
+        ))
+    }
+
+    /// The storage directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The monotonic topic generation (recovery / retention / compaction).
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// Next sequence number to assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the oldest retained record.
+    pub fn first_live_seq(&self) -> u64 {
+        self.manifest.first_live_seq
+    }
+
+    /// Accounted bytes dropped by retention so far.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.manifest.bytes_dropped
+    }
+
+    /// Live segment metadata (ascending by sequence).
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.manifest.segments
+    }
+
+    /// A shared handle to the lineage sink (attached to the topic's
+    /// [`ModelStore`](crate::store::ModelStore)).
+    pub fn lineage_sink(&self) -> LineageSink {
+        self.lineage.clone()
+    }
+
+    /// Stamp the throughput recorded on segments sealed by the next commits
+    /// (the streaming engine reports it per run; must be finite).
+    pub fn set_ingest_throughput(&mut self, records_per_second: f64) {
+        debug_assert!(records_per_second.is_finite());
+        self.last_throughput = if records_per_second.is_finite() {
+            records_per_second
+        } else {
+            0.0
+        };
+    }
+
+    /// Append one ingested record to the WAL (durability lands at the next
+    /// [`TopicStorage::commit`]). Returns the record's sequence number.
+    pub fn append_record(
+        &mut self,
+        unmatched: bool,
+        node: Option<NodeId>,
+        text: &str,
+    ) -> io::Result<u64> {
+        let rec = WalRecord {
+            seq: self.next_seq,
+            unmatched,
+            node,
+            text: text.to_string(),
+        };
+        self.wal.append(&rec.encode())?;
+        self.pending.push(rec);
+        self.next_seq += 1;
+        Ok(self.next_seq - 1)
+    }
+
+    /// Append one incremental-maintenance event (delta version + record
+    /// moves) to the event log.
+    pub fn append_delta_event(&mut self, event: &DeltaEvent) -> io::Result<()> {
+        self.events.append(&event.encode())
+    }
+
+    /// Commit point: seal full segments out of the WAL (extracting variable
+    /// columns via `vars_of`), then fsync every dirty log in one batch.
+    /// Returns the number of segments sealed.
+    pub fn commit(
+        &mut self,
+        mut vars_of: impl FnMut(&WalRecord) -> Vec<String>,
+    ) -> io::Result<usize> {
+        let mut sealed = 0usize;
+        while self.pending.len() >= self.config.segment_records {
+            let chunk: Vec<WalRecord> = self.pending.drain(..self.config.segment_records).collect();
+            self.seal_segment(&chunk, &mut vars_of)?;
+            sealed += 1;
+        }
+        if sealed > 0 {
+            manifest::write_manifest(&self.dir.join("MANIFEST.json"), &self.manifest)?;
+            // Restart the WAL with just the unsealed remainder. A crash before
+            // this point leaves sealed duplicates in the WAL; replay skips
+            // them by sequence number.
+            self.wal.truncate()?;
+            for rec in &self.pending {
+                self.wal.append(&rec.encode())?;
+            }
+        }
+        if self.config.fsync {
+            self.wal.sync()?;
+            self.events.sync()?;
+            self.lineage.sync()?;
+        }
+        Ok(sealed)
+    }
+
+    fn seal_segment(
+        &mut self,
+        chunk: &[WalRecord],
+        vars_of: &mut impl FnMut(&WalRecord) -> Vec<String>,
+    ) -> io::Result<()> {
+        debug_assert!(!chunk.is_empty());
+        let variables: Vec<Vec<String>> = chunk.iter().map(&mut *vars_of).collect();
+        let id = self.manifest.next_segment_id;
+        segment::write_segment(
+            &self.dir.join("segments"),
+            id,
+            chunk[0].seq,
+            chunk,
+            &variables,
+        )?;
+        self.manifest.next_segment_id += 1;
+        self.manifest.segments.push(SegmentMeta {
+            id,
+            first_seq: chunk[0].seq,
+            records: chunk.len() as u64,
+            bytes: chunk.iter().map(|r| r.accounted_bytes()).sum(),
+            flagged: chunk.iter().filter(|r| r.unmatched).count() as u64,
+            created_at: unix_now(),
+            throughput: self.last_throughput,
+        });
+        self.manifest.wal_base_seq = chunk.last().expect("non-empty chunk").seq + 1;
+        Ok(())
+    }
+
+    /// Epoch boundary (full retrain): rewrite every live record as fresh
+    /// baseline segments carrying the post-retrain assignments, truncate the
+    /// WAL and event log, and swap the manifest. `records` are the topic's
+    /// live records after `rematch_all`; their flags are cleared — the new
+    /// epoch's model replay starts from the `base_version` snapshot, which
+    /// already absorbed every temporary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn checkpoint_retrain(
+        &mut self,
+        records: &[StoredRecord],
+        base_version: u64,
+        model_version: u64,
+        maintenance_runs: u64,
+        last_maintenance_seconds: f64,
+        training_runs: u64,
+        last_training_seconds: f64,
+        mut vars_of: impl FnMut(&WalRecord) -> Vec<String>,
+    ) -> io::Result<()> {
+        let first_live = self.manifest.first_live_seq;
+        debug_assert_eq!(
+            first_live + records.len() as u64,
+            self.next_seq,
+            "live records must cover the retained sequence range"
+        );
+        let old_segments = std::mem::take(&mut self.manifest.segments);
+        let mut baseline: Vec<WalRecord> = Vec::with_capacity(self.config.segment_records);
+        for (seq, stored) in (first_live..).zip(records.iter()) {
+            baseline.push(WalRecord {
+                seq,
+                unmatched: false,
+                node: stored.template,
+                text: stored.record.clone(),
+            });
+            if baseline.len() == self.config.segment_records {
+                self.seal_segment(&baseline, &mut vars_of)?;
+                baseline.clear();
+            }
+        }
+        if !baseline.is_empty() {
+            self.seal_segment(&baseline, &mut vars_of)?;
+        }
+        self.manifest.wal_base_seq = self.next_seq;
+        self.manifest.epoch_start_seq = self.next_seq;
+        self.manifest.epoch_base_version = base_version;
+        self.manifest.model_version_at_epoch = model_version;
+        self.manifest.maintenance_runs_at_epoch = maintenance_runs;
+        self.manifest.last_maintenance_seconds_at_epoch = last_maintenance_seconds;
+        self.manifest.training_runs = training_runs;
+        self.manifest.last_training_seconds = last_training_seconds;
+        manifest::write_manifest(&self.dir.join("MANIFEST.json"), &self.manifest)?;
+        // Only now is the old epoch unreachable: drop its WAL, events and
+        // superseded segment files.
+        self.pending.clear();
+        self.wal.truncate()?;
+        self.events.truncate()?;
+        for old in old_segments {
+            let _ = fs::remove_file(
+                self.dir
+                    .join("segments")
+                    .join(segment::segment_file_name(old.id)),
+            );
+        }
+        if self.config.fsync {
+            self.lineage.sync()?;
+        }
+        Ok(())
+    }
+
+    /// True when the segment may be dropped by retention: no flagged records
+    /// (their texts drive the epoch's model replay) and outside the current
+    /// training window (`training_cap` = the topic's training-buffer size).
+    fn droppable(&self, seg: &SegmentMeta, training_cap: u64) -> bool {
+        seg.flagged == 0
+            && (seg.end_seq() <= self.manifest.epoch_start_seq
+                || seg.first_seq >= self.manifest.epoch_start_seq.saturating_add(training_cap))
+    }
+
+    /// TTL retention: drop the longest expired, droppable prefix of segments.
+    /// The caller (the topic) drains the same record prefix from memory and
+    /// rebuilds its postings. No-op when no TTL is configured.
+    pub fn retention_pass(&mut self, training_cap: u64) -> io::Result<RetentionOutcome> {
+        let Some(ttl) = self.config.retention_ttl else {
+            return Ok(RetentionOutcome::default());
+        };
+        let now = unix_now();
+        let mut outcome = RetentionOutcome::default();
+        let mut dropped_ids = Vec::new();
+        while let Some(seg) = self.manifest.segments.first() {
+            let expired = seg.created_at.saturating_add(ttl.as_secs()) <= now;
+            if !(expired && self.droppable(seg, training_cap)) {
+                break;
+            }
+            let seg = self.manifest.segments.remove(0);
+            outcome.dropped_records += seg.records;
+            outcome.dropped_bytes += seg.bytes;
+            outcome.dropped_segments += 1;
+            self.manifest.first_live_seq = seg.end_seq();
+            dropped_ids.push(seg.id);
+        }
+        if outcome.dropped_segments > 0 {
+            self.manifest.bytes_dropped += outcome.dropped_bytes;
+            self.manifest.generation += 1;
+            manifest::write_manifest(&self.dir.join("MANIFEST.json"), &self.manifest)?;
+            for id in dropped_ids {
+                let _ = fs::remove_file(
+                    self.dir
+                        .join("segments")
+                        .join(segment::segment_file_name(id)),
+                );
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Compaction: merge adjacent segments that are both under the configured
+    /// minimum (as long as the merge stays within one segment's capacity).
+    /// Returns the number of merges performed; any merge bumps the generation.
+    pub fn compaction_pass(&mut self) -> io::Result<usize> {
+        let mut merges = 0usize;
+        let mut i = 0usize;
+        let mut stale_ids = Vec::new();
+        while i + 1 < self.manifest.segments.len() {
+            let a = &self.manifest.segments[i];
+            let b = &self.manifest.segments[i + 1];
+            let small = (a.records as usize) < self.config.compact_min_records
+                && (b.records as usize) < self.config.compact_min_records;
+            let fits = (a.records + b.records) as usize <= self.config.segment_records;
+            if !(small && fits) {
+                i += 1;
+                continue;
+            }
+            let seg_dir = self.dir.join("segments");
+            let left = segment::read_segment(&seg_dir.join(segment::segment_file_name(a.id)))?;
+            let right = segment::read_segment(&seg_dir.join(segment::segment_file_name(b.id)))?;
+            let mut records = left.records;
+            records.extend(right.records);
+            let mut variables = left.variables;
+            variables.extend(right.variables);
+            let id = self.manifest.next_segment_id;
+            self.manifest.next_segment_id += 1;
+            segment::write_segment(&seg_dir, id, left.first_seq, &records, &variables)?;
+            let merged = SegmentMeta {
+                id,
+                first_seq: a.first_seq,
+                records: a.records + b.records,
+                bytes: a.bytes + b.bytes,
+                flagged: a.flagged + b.flagged,
+                // The younger seal time: TTL expiry is delayed, never hastened.
+                created_at: a.created_at.max(b.created_at),
+                throughput: if a.records + b.records > 0 {
+                    (a.throughput * a.records as f64 + b.throughput * b.records as f64)
+                        / (a.records + b.records) as f64
+                } else {
+                    0.0
+                },
+            };
+            stale_ids.push(a.id);
+            stale_ids.push(b.id);
+            self.manifest.segments.splice(i..i + 2, [merged]);
+            merges += 1;
+            // Stay at `i`: the merged segment may merge again with its new
+            // right neighbour.
+        }
+        if merges > 0 {
+            self.manifest.generation += 1;
+            manifest::write_manifest(&self.dir.join("MANIFEST.json"), &self.manifest)?;
+            for id in stale_ids {
+                let _ = fs::remove_file(
+                    self.dir
+                        .join("segments")
+                        .join(segment::segment_file_name(id)),
+                );
+            }
+        }
+        Ok(merges)
+    }
+}

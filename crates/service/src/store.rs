@@ -9,6 +9,7 @@
 //! full ancestor and replaying the delta chain. [`ModelStore::prune`] therefore never
 //! drops a snapshot that a retained version still depends on.
 
+use crate::storage::{LineageEntry, LineageSink};
 use bytebrain::incremental::{apply_delta, ModelDelta};
 use bytebrain::ParserModel;
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,10 @@ pub struct SnapshotInfo {
 #[derive(Debug, Default)]
 pub struct ModelStore {
     inner: RwLock<StoreInner>,
+    /// Durable mirror: every save/prune is echoed to the topic's lineage log,
+    /// so a restart restores the whole store — and with it the cold-start
+    /// training plus the delta chain — instead of retraining.
+    sink: Option<LineageSink>,
 }
 
 #[derive(Debug, Default)]
@@ -84,6 +89,29 @@ impl ModelStore {
         Self::default()
     }
 
+    /// Rebuild a store from the lineage entries a
+    /// [`LineageSink`] restored on open (append order == version order).
+    pub fn restore(entries: &[LineageEntry]) -> Self {
+        let mut snapshots = HashMap::with_capacity(entries.len());
+        let mut latest = 0u64;
+        for entry in entries {
+            latest = latest.max(entry.info.version);
+            snapshots.insert(
+                entry.info.version,
+                (entry.info.clone(), entry.payload.clone()),
+            );
+        }
+        ModelStore {
+            inner: RwLock::new(StoreInner { snapshots, latest }),
+            sink: None,
+        }
+    }
+
+    /// Mirror every future save and prune to the durable lineage log.
+    pub fn attach_sink(&mut self, sink: LineageSink) {
+        self.sink = Some(sink);
+    }
+
     /// Persist `model` as the next snapshot version (a full, self-contained snapshot)
     /// and return its metadata.
     pub fn save(&self, model: &ParserModel) -> SnapshotInfo {
@@ -98,6 +126,10 @@ impl ModelStore {
             size_bytes: payload.len() as u64,
             trained_records: model.trained_records(),
         };
+        if let Some(sink) = &self.sink {
+            // Inside the write lock: lineage append order must match version order.
+            sink.append(&info, &payload).expect("lineage append");
+        }
         inner.snapshots.insert(version, (info.clone(), payload));
         inner.latest = version;
         info
@@ -126,6 +158,9 @@ impl ModelStore {
             size_bytes: payload.len() as u64,
             trained_records: resulting.trained_records(),
         };
+        if let Some(sink) = &self.sink {
+            sink.append(&info, &payload).expect("lineage append");
+        }
         inner.snapshots.insert(version, (info.clone(), payload));
         inner.latest = version;
         info
@@ -226,6 +261,17 @@ impl ModelStore {
         inner
             .snapshots
             .retain(|version, _| retain.contains(version));
+        if let Some(sink) = &self.sink {
+            // Atomically rewrite the lineage log with the retained set, ascending by
+            // version, so a restart sees exactly the pruned store.
+            let mut retained: Vec<(SnapshotInfo, String)> = inner
+                .snapshots
+                .values()
+                .map(|(info, payload)| (info.clone(), payload.clone()))
+                .collect();
+            retained.sort_by_key(|(info, _)| info.version);
+            sink.rewrite(&retained).expect("lineage rewrite");
+        }
     }
 }
 

@@ -17,14 +17,21 @@
 
 use crate::ingest::{IngestConfig, IngestStats, MatchedRecord, StreamIngestor};
 use crate::query::{QueryCache, QueryIndex};
+use crate::storage::{
+    DeltaEvent, RecordMove, RetentionOutcome, StorageConfig, TopicMeta, TopicStorage, WalRecord,
+};
 use crate::store::ModelStore;
 use crate::trigger::{TrainingTrigger, TriggerDecision};
-use bytebrain::incremental::{apply_delta, train_delta, DriftConfig, DriftDetector};
+use bytebrain::incremental::{apply_delta, train_delta, DriftConfig, DriftDetector, ModelDelta};
 use bytebrain::matcher::match_ids_batch;
 use bytebrain::merge::merge_models;
 use bytebrain::train::train;
-use bytebrain::{CompiledMatcher, MatchEngine, NodeId, ParserModel, SaturationLadder, TrainConfig};
+use bytebrain::{
+    CompiledMatcher, MatchEngine, NodeId, ParserModel, SaturationLadder, TemplateToken, TrainConfig,
+};
 use logtok::Preprocessor;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -207,6 +214,12 @@ pub struct LogTopic {
     last_training_seconds: f64,
     maintenance_runs: u64,
     last_maintenance_seconds: f64,
+    /// Durable storage tier (WAL + segments + lineage); `None` for in-memory topics.
+    storage: Option<TopicStorage>,
+    /// Monotonic topic generation mirrored from the storage manifest: bumped on
+    /// recovery, TTL retention and compaction. Part of the query-cache key — a
+    /// record *set* change without a model change must still miss the cache.
+    generation: u64,
 }
 
 impl LogTopic {
@@ -239,7 +252,229 @@ impl LogTopic {
             last_training_seconds: 0.0,
             maintenance_runs: 0,
             last_maintenance_seconds: 0.0,
+            storage: None,
+            generation: 0,
         }
+    }
+
+    /// Create an empty **durable** topic backed by the storage tier in `dir`
+    /// (standalone flavour: the persisted meta carries no tenant key).
+    pub fn durable(config: TopicConfig, dir: &Path, storage: StorageConfig) -> io::Result<Self> {
+        let topic_key = config.name.clone();
+        Self::durable_keyed("", &topic_key, config, dir, storage)
+    }
+
+    /// Create an empty durable topic whose persisted meta records the tenant/topic
+    /// keys (used by [`ServiceManager`](crate::manager::ServiceManager) so recovery
+    /// can re-key the fleet).
+    pub fn durable_keyed(
+        tenant: &str,
+        topic: &str,
+        config: TopicConfig,
+        dir: &Path,
+        storage: StorageConfig,
+    ) -> io::Result<Self> {
+        let meta = TopicMeta::from_config(tenant, topic, &config);
+        let storage = TopicStorage::create(dir, storage, &meta)?;
+        let mut created = LogTopic::new(config);
+        created.store.attach_sink(storage.lineage_sink());
+        created.generation = storage.generation();
+        created.storage = Some(storage);
+        Ok(created)
+    }
+
+    /// Reopen a durable topic from its storage directory, replaying WAL + segments +
+    /// event log on top of the epoch's base model snapshot from the lineage log.
+    ///
+    /// The replay is **deterministic and match-free**: the postings index loads
+    /// straight from the segments' columnar posting lists, flagged records re-execute
+    /// the deterministic temporary-template insertion they performed live (no
+    /// matching — the flag and the resulting node id are on disk), and delta events
+    /// re-apply the stored [`ModelDelta`]s. A recovered topic therefore answers every
+    /// query byte-identically to one that never restarted — and never retrains on
+    /// open.
+    pub fn open(dir: &Path, storage_config: StorageConfig) -> io::Result<Self> {
+        let (storage, recovered) = TopicStorage::open(dir, storage_config)?;
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let config = recovered.meta.to_config();
+        let mut topic = LogTopic::new(config);
+        topic.store = ModelStore::restore(&recovered.lineage);
+        topic.store.attach_sink(storage.lineage_sink());
+
+        let manifest = &recovered.manifest;
+        let first_live = manifest.first_live_seq;
+
+        // Epoch base: the full-retrain snapshot the live records replay on top of.
+        let mut model = if manifest.epoch_base_version > 0 {
+            topic
+                .store
+                .load(manifest.epoch_base_version)
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "epoch base snapshot v{} unreconstructable",
+                        manifest.epoch_base_version
+                    ))
+                })?
+        } else {
+            ParserModel::new()
+        };
+        let mut model_version = manifest.model_version_at_epoch;
+
+        // Postings load straight from the segments' columnar posting lists.
+        let mut index = QueryIndex::new();
+        index.ensure_nodes(model.len());
+        for segment in &recovered.segments {
+            let base = (segment.first_seq - first_live) as usize;
+            for (node, locals) in &segment.postings {
+                index.extend_posting(NodeId(*node as usize), base, locals);
+            }
+        }
+
+        // Delta payloads by version, for event replay.
+        let mut delta_of: std::collections::HashMap<u64, &str> = std::collections::HashMap::new();
+        for entry in &recovered.lineage {
+            delta_of.insert(entry.info.version, entry.payload.as_str());
+        }
+
+        let mut records: Vec<StoredRecord> = Vec::new();
+        let mut training_buffer: Vec<String> = Vec::new();
+        let mut unmatched_buffer: Vec<String> = Vec::new();
+        let mut total_bytes = manifest.bytes_dropped;
+        let mut maintenance_runs = manifest.maintenance_runs_at_epoch;
+        let mut last_maintenance_seconds = manifest.last_maintenance_seconds_at_epoch;
+        let mut last_reset_seq = manifest.epoch_start_seq.max(first_live);
+        let buffer_cap = topic.config.training_buffer;
+
+        let mut apply_event = |event: &DeltaEvent,
+                               model: &mut ParserModel,
+                               model_version: &mut u64,
+                               records: &mut Vec<StoredRecord>,
+                               index: &mut QueryIndex,
+                               unmatched_buffer: &mut Vec<String>|
+         -> io::Result<()> {
+            let payload = delta_of.get(&event.version).ok_or_else(|| {
+                invalid(format!(
+                    "delta event v{} missing from lineage",
+                    event.version
+                ))
+            })?;
+            let delta: ModelDelta = serde_json::from_str(payload)
+                .map_err(|e| invalid(format!("delta v{} payload: {e}", event.version)))?;
+            *model = apply_delta(model, &delta);
+            index.ensure_nodes(model.len());
+            *model_version += 1;
+            // The maintenance run consumed the unmatched buffer.
+            unmatched_buffer.clear();
+            // Re-apply the post-delta re-match moves (records dropped by
+            // retention since the event are simply gone).
+            let moves: Vec<(usize, Option<NodeId>, Option<NodeId>)> = event
+                .moves
+                .iter()
+                .filter(|mv| mv.seq >= first_live)
+                .map(|mv| ((mv.seq - first_live) as usize, mv.old, mv.new))
+                .collect();
+            for &(idx, _, new) in &moves {
+                records[idx].template = new;
+            }
+            index.reassign(&moves);
+            maintenance_runs += 1;
+            last_maintenance_seconds = event.elapsed_seconds;
+            last_reset_seq = event.at_seq;
+            Ok(())
+        };
+
+        let mut events = recovered.events.iter().peekable();
+        let all_records = recovered
+            .segments
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .chain(recovered.wal_tail.iter());
+        for rec in all_records {
+            while events.peek().map(|e| e.at_seq <= rec.seq).unwrap_or(false) {
+                let event = events.next().expect("peeked event exists");
+                apply_event(
+                    event,
+                    &mut model,
+                    &mut model_version,
+                    &mut records,
+                    &mut index,
+                    &mut unmatched_buffer,
+                )?;
+            }
+            total_bytes += rec.accounted_bytes();
+            if rec.unmatched {
+                if unmatched_buffer.len() < buffer_cap {
+                    unmatched_buffer.push(rec.text.clone());
+                }
+                if !model.is_empty() {
+                    // Re-execute the deterministic temporary insertion the live
+                    // topic performed; the resulting node id must reproduce the
+                    // stored assignment or the replay diverged.
+                    let tokens = topic.preprocessor.tokens_of(&rec.text);
+                    let id = model.insert_temporary(&tokens);
+                    model_version += 1;
+                    index.ensure_nodes(model.len());
+                    if rec.node != Some(id) {
+                        return Err(invalid(format!(
+                            "replay diverged at seq {}: temporary {:?} != stored {:?}",
+                            rec.seq,
+                            Some(id),
+                            rec.node
+                        )));
+                    }
+                }
+            }
+            if rec.seq >= manifest.epoch_start_seq && training_buffer.len() < buffer_cap {
+                training_buffer.push(rec.text.clone());
+            }
+            records.push(StoredRecord {
+                record: rec.text.clone(),
+                template: rec.node,
+            });
+            // Segment records arrived through their postings columns; only the
+            // WAL tail (never sealed) assigns here.
+            if rec.seq >= manifest.sealed_end_seq() {
+                if let Some(node) = rec.node {
+                    index.assign(node, records.len() - 1);
+                }
+            }
+        }
+        // Trailing events (a maintenance run after the last stored record).
+        for event in events {
+            apply_event(
+                event,
+                &mut model,
+                &mut model_version,
+                &mut records,
+                &mut index,
+                &mut unmatched_buffer,
+            )?;
+        }
+
+        let next_seq = storage.next_seq();
+        topic.model = Arc::new(model);
+        topic.ladder = Arc::new(SaturationLadder::build(&topic.model));
+        topic.index = Arc::new(index);
+        topic.model_version = model_version;
+        topic.records = records;
+        topic.total_bytes = total_bytes;
+        topic.training_buffer = training_buffer;
+        topic.unmatched_buffer = unmatched_buffer;
+        topic.training_runs = manifest.training_runs;
+        topic.last_training_seconds = manifest.last_training_seconds;
+        topic.maintenance_runs = maintenance_runs;
+        topic.last_maintenance_seconds = last_maintenance_seconds;
+        // Trigger state: trained (if a model exists), with the volume counter
+        // covering the records since the last training/maintenance reset.
+        if !topic.model.is_empty() {
+            topic.trigger.mark_trained(Instant::now());
+        }
+        topic
+            .trigger
+            .observe(next_seq - last_reset_seq.min(next_seq));
+        topic.generation = storage.generation();
+        topic.storage = Some(storage);
+        Ok(topic)
     }
 
     /// The topic name.
@@ -277,6 +512,18 @@ impl LogTopic {
     /// `(hits, misses)` of the topic's query cache since creation.
     pub fn query_cache_stats(&self) -> (u64, u64) {
         self.query_cache.stats()
+    }
+
+    /// The monotonic topic generation: bumped on recovery, TTL retention and
+    /// compaction (always 0 for in-memory topics). Part of the query-cache key.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The durable storage tier, when this topic was created via
+    /// [`LogTopic::durable`] or reopened via [`LogTopic::open`].
+    pub fn storage(&self) -> Option<&TopicStorage> {
+        self.storage.as_ref()
     }
 
     /// The precomputed saturation ladder (kept in lockstep with the model).
@@ -342,6 +589,46 @@ impl LogTopic {
         }
         self.trigger.observe(batch.len() as u64);
         self.maintain(&mut outcome);
+        self.commit_storage();
+        outcome
+    }
+
+    /// Storage commit point: seal full segments out of the WAL and fsync every dirty
+    /// log in one batch. Called at the end of each ingest call and at streaming
+    /// checkpoints. No-op for in-memory topics.
+    fn commit_storage(&mut self) {
+        if self.storage.is_none() {
+            return;
+        }
+        let model = Arc::clone(&self.model);
+        let preprocessor = Arc::clone(&self.preprocessor);
+        let storage = self.storage.as_mut().expect("storage just checked");
+        storage
+            .commit(|rec| extract_variables(&model, &preprocessor, rec))
+            .expect("storage commit");
+    }
+
+    /// TTL retention + segment compaction, in one pass. Expired segments outside the
+    /// training window (and holding no replay-relevant flagged records) are dropped
+    /// oldest-first, the in-memory record prefix is drained in lockstep, and adjacent
+    /// under-filled segments are merged. Any change bumps the topic generation and
+    /// clears the query cache. No-op for in-memory topics.
+    pub fn run_storage_maintenance(&mut self) -> RetentionOutcome {
+        let Some(storage) = &mut self.storage else {
+            return RetentionOutcome::default();
+        };
+        let cap = self.config.training_buffer as u64;
+        let outcome = storage.retention_pass(cap).expect("retention pass");
+        let merges = storage.compaction_pass().expect("compaction pass");
+        if outcome.dropped_records > 0 {
+            self.records.drain(..outcome.dropped_records as usize);
+            // Every record index shifted: rebuild the postings from the survivors.
+            self.index = Arc::new(QueryIndex::rebuild(&self.records, self.model.len()));
+        }
+        if outcome.dropped_segments > 0 || merges > 0 {
+            self.generation = storage.generation();
+            self.query_cache.clear();
+        }
         outcome
     }
 
@@ -388,6 +675,7 @@ impl LogTopic {
         matched: Option<NodeId>,
         outcome: &mut IngestOutcome,
     ) {
+        let unmatched_at_ingest = matched.is_none();
         let template = match matched {
             Some(id) => {
                 outcome.matched += 1;
@@ -415,6 +703,13 @@ impl LogTopic {
                 }
             }
         };
+        if let Some(storage) = &mut self.storage {
+            // WAL first: the flag is the ingest-time outcome (replay re-executes the
+            // temporary insertion), the node is the final assignment.
+            storage
+                .append_record(unmatched_at_ingest, template, &record)
+                .expect("WAL append");
+        }
         self.total_bytes += record.len() as u64 + 1;
         if self.training_buffer.len() < self.config.training_buffer {
             self.training_buffer.push(record.clone());
@@ -530,6 +825,9 @@ impl LogTopic {
                     self.apply_stream_records(drained, swapped, &mut outcome);
                     let maintained_before = outcome.maintained;
                     self.maintain(&mut outcome);
+                    // Durability tracks the checkpoint: the drained records and any
+                    // maintenance event land on disk before the stream resumes.
+                    self.commit_storage();
                     if outcome.maintained > maintained_before {
                         // Roll the patched model and its recompiled automaton
                         // into the running stream as one consistent snapshot
@@ -542,10 +840,16 @@ impl LogTopic {
             }
         }
         let report = ingestor.finish();
+        if let Some(storage) = &mut self.storage {
+            // Stamped onto the segments the trailing commit seals (always finite:
+            // the empty-report path clamps to 0.0).
+            storage.set_ingest_throughput(report.records_per_second());
+        }
         // The snapshot Arc has been dropped with the engine, so temporary-template
         // insertion inside apply_record does not clone the model.
         self.apply_stream_records(report.records, swapped, &mut outcome);
         self.maintain(&mut outcome);
+        self.commit_storage();
         StreamOutcome {
             outcome,
             stats: report.stats,
@@ -639,6 +943,30 @@ impl LogTopic {
         self.index = Arc::new(QueryIndex::rebuild(&self.records, self.model.len()));
         self.model_version += 1;
         self.query_cache.clear();
+        // Epoch boundary: rewrite every live record as baseline segments carrying
+        // the post-retrain assignments, truncate the WAL and event log, and anchor
+        // the manifest at the snapshot just saved — restart replays from here.
+        if let Some(storage) = &mut self.storage {
+            let base_version = self
+                .store
+                .latest_info()
+                .map(|info| info.version)
+                .unwrap_or(0);
+            let model = Arc::clone(&self.model);
+            let preprocessor = Arc::clone(&self.preprocessor);
+            storage
+                .checkpoint_retrain(
+                    &self.records,
+                    base_version,
+                    self.model_version,
+                    self.maintenance_runs,
+                    self.last_maintenance_seconds,
+                    self.training_runs,
+                    self.last_training_seconds,
+                    |rec| extract_variables(&model, &preprocessor, rec),
+                )
+                .expect("storage retrain checkpoint");
+        }
     }
 
     /// Fold the unmatched buffer into the current model as an incremental delta
@@ -685,7 +1013,33 @@ impl LogTopic {
         }
         // Only records that pointed at a now-retired temporary (or matched nothing)
         // need a fresh assignment; everyone else's node id is still valid.
-        self.rematch_retired();
+        let moves = self.rematch_retired();
+        if let Some(storage) = &mut self.storage {
+            // One event per maintenance run: the delta's snapshot version (its
+            // payload is in the lineage log), the sequence position it fired at,
+            // and the re-match moves — everything replay needs to fold the delta
+            // back in without matching a single line.
+            let version = self
+                .store
+                .latest_info()
+                .map(|info| info.version)
+                .unwrap_or(0);
+            let first_live = storage.first_live_seq();
+            let event = DeltaEvent {
+                version,
+                at_seq: storage.next_seq(),
+                elapsed_seconds: self.last_maintenance_seconds,
+                moves: moves
+                    .iter()
+                    .map(|&(idx, old, new)| RecordMove {
+                        seq: first_live + idx as u64,
+                        old,
+                        new,
+                    })
+                    .collect(),
+            };
+            storage.append_delta_event(&event).expect("event append");
+        }
         true
     }
 
@@ -710,9 +1064,11 @@ impl LogTopic {
 
     /// Re-assign template ids only for stored records that are unassigned or point at
     /// a retired node — the cheap post-delta fix-up (everything else kept its id).
-    fn rematch_retired(&mut self) {
+    /// Returns the `(record index, old, new)` moves (the storage tier logs them as
+    /// part of the maintenance event).
+    fn rematch_retired(&mut self) -> Vec<(usize, Option<NodeId>, Option<NodeId>)> {
         if self.records.is_empty() || self.model.is_empty() {
-            return;
+            return Vec::new();
         }
         let needs_rematch: Vec<usize> = self
             .records
@@ -725,7 +1081,7 @@ impl LogTopic {
             .map(|(idx, _)| idx)
             .collect();
         if needs_rematch.is_empty() {
-            return;
+            return Vec::new();
         }
         let texts: Vec<String> = needs_rematch
             .iter()
@@ -746,6 +1102,7 @@ impl LogTopic {
             moves.push((idx, old, node));
         }
         Arc::make_mut(&mut self.index).reassign(&moves);
+        moves
     }
 
     /// Current topic statistics.
@@ -761,6 +1118,33 @@ impl LogTopic {
             last_maintenance_seconds: self.last_maintenance_seconds,
         }
     }
+}
+
+/// Best-effort variable extraction for a record being sealed into a segment: the
+/// tokens sitting at the wildcard positions of its assigned template. Empty when the
+/// record has no assignment, the node is gone, or the token count disagrees with the
+/// template (replay correctness never depends on this column — it is query metadata).
+fn extract_variables(
+    model: &ParserModel,
+    preprocessor: &Preprocessor,
+    rec: &WalRecord,
+) -> Vec<String> {
+    let Some(id) = rec.node else {
+        return Vec::new();
+    };
+    let Some(node) = model.node(id) else {
+        return Vec::new();
+    };
+    let tokens = preprocessor.tokens_of(&rec.text);
+    if tokens.len() != node.template.len() {
+        return Vec::new();
+    }
+    tokens
+        .into_iter()
+        .zip(&node.template)
+        .filter(|(_, slot)| matches!(slot, TemplateToken::Wildcard))
+        .map(|(token, _)| token)
+        .collect()
 }
 
 #[cfg(test)]

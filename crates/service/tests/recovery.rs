@@ -1,0 +1,531 @@
+//! Kill-and-recover differential tests for the durable storage tier.
+//!
+//! Every test follows the same shape: run a durable topic through a workload,
+//! capture its externally observable state (stats, model JSON, query output at a
+//! ladder of thresholds, template distribution), simulate a crash by dropping the
+//! in-process state (optionally snapshotting the directory mid-flight, the way a
+//! `kill -9` freezes the disk), reopen with [`LogTopic::open`] /
+//! [`ServiceManager::open_with`], and assert the recovered topic is byte-identical
+//! to the never-restarted one. The fuzz test varies the interleaving of
+//! ingest / retrain / delta maintenance / snapshot prune / retention with the
+//! base seed taken from `BYTEBRAIN_TEST_SEED` (CI varies it across a matrix).
+
+use bytebrain::incremental::DriftConfig;
+use service::ingest::IngestConfig;
+use service::{
+    LogTopic, MaintenancePolicy, QueryOptions, ServiceManager, StorageConfig, TopicConfig,
+    TopicStats,
+};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Harness helpers
+// ---------------------------------------------------------------------------
+
+fn base_seed() -> u64 {
+    std::env::var("BYTEBRAIN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xB10C_5EED)
+}
+
+/// Tiny deterministic generator (splitmix64) for the interleaving fuzz test.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bb-recovery-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn copy_dir_all(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("create snapshot dir");
+    for entry in fs::read_dir(src).expect("read src dir") {
+        let entry = entry.expect("dir entry");
+        let target = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir_all(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).expect("copy file");
+        }
+    }
+}
+
+fn fast_storage() -> StorageConfig {
+    // Small segments exercise seal/replay paths; fsync off keeps the suite quick
+    // (crash simulation copies the live directory, so OS-cache durability is moot).
+    StorageConfig::default()
+        .with_segment_records(64)
+        .with_fsync(false)
+}
+
+fn web_access_batch(offset: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let code = [200, 200, 200, 404, 500][(offset + i) % 5];
+            format!(
+                "GET /api/v1/items/{} HTTP/1.1 status {} bytes {} latency {}ms",
+                (offset + i) % 50,
+                code,
+                100 + (offset + i) % 900,
+                1 + (offset + i) % 40
+            )
+        })
+        .collect()
+}
+
+fn auth_batch(offset: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "user u{} login from 10.0.{}.{} session {}",
+                (offset + i) % 40,
+                (offset + i) % 16,
+                (offset + i) % 250,
+                offset + i
+            )
+        })
+        .collect()
+}
+
+fn novel_batch(offset: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "disk scrubber pass {} repaired sector {} on volume vol-{}",
+                (offset + i) % 7,
+                offset + i,
+                (offset + i) % 3
+            )
+        })
+        .collect()
+}
+
+const THRESHOLDS: [f64; 6] = [0.0, 0.35, 0.6, 0.8, 0.9, 1.0];
+
+/// Everything a client can observe about a topic, captured for the differential.
+struct Expectation {
+    stats: TopicStats,
+    model_version: u64,
+    model_json: String,
+    record_count: usize,
+    records: Vec<String>,
+    groups: Vec<Vec<service::TemplateGroup>>,
+    distribution: HashMap<String, u64>,
+}
+
+fn capture(topic: &LogTopic) -> Expectation {
+    Expectation {
+        stats: topic.stats(),
+        model_version: topic.model_version(),
+        model_json: serde_json::to_string(topic.model()).expect("model serializes"),
+        record_count: topic.records().len(),
+        records: topic.records().iter().map(|r| r.record.clone()).collect(),
+        groups: THRESHOLDS
+            .iter()
+            .map(|&t| {
+                (*topic.query(QueryOptions {
+                    saturation_threshold: t,
+                    limit: usize::MAX,
+                }))
+                .clone()
+            })
+            .collect(),
+        distribution: topic.template_distribution(0.9),
+    }
+}
+
+fn assert_recovered(recovered: &LogTopic, expected: &Expectation, ctx: &str) {
+    assert_eq!(
+        recovered.records().len(),
+        expected.record_count,
+        "{ctx}: record count"
+    );
+    let recovered_records: Vec<String> = recovered
+        .records()
+        .iter()
+        .map(|r| r.record.clone())
+        .collect();
+    assert_eq!(recovered_records, expected.records, "{ctx}: record texts");
+    assert_eq!(
+        recovered.model_version(),
+        expected.model_version,
+        "{ctx}: model version"
+    );
+    assert_eq!(
+        serde_json::to_string(recovered.model()).expect("model serializes"),
+        expected.model_json,
+        "{ctx}: model JSON (byte-identical)"
+    );
+    assert_eq!(recovered.stats(), expected.stats, "{ctx}: topic stats");
+    for (i, &t) in THRESHOLDS.iter().enumerate() {
+        let groups = (*recovered.query(QueryOptions {
+            saturation_threshold: t,
+            limit: usize::MAX,
+        }))
+        .clone();
+        assert_eq!(
+            groups, expected.groups[i],
+            "{ctx}: group_by_template at threshold {t}"
+        );
+    }
+    assert_eq!(
+        recovered.template_distribution(0.9),
+        expected.distribution,
+        "{ctx}: template_distribution"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Durable wiring is semantically invisible
+// ---------------------------------------------------------------------------
+
+#[test]
+fn durable_topic_matches_in_memory_twin() {
+    let dir = scratch_dir("twin");
+    let config = TopicConfig::new("web-access").with_volume_threshold(250);
+    let mut durable =
+        LogTopic::durable(config.clone(), &dir, fast_storage()).expect("create durable topic");
+    let mut twin = LogTopic::new(config);
+
+    for batch in [
+        web_access_batch(0, 200),
+        novel_batch(0, 120),
+        web_access_batch(200, 150),
+        novel_batch(120, 80),
+    ] {
+        durable.ingest(&batch);
+        twin.ingest(&batch);
+    }
+
+    let d = durable.stats();
+    let t = twin.stats();
+    assert_eq!(d.total_records, t.total_records);
+    assert_eq!(d.total_bytes, t.total_bytes);
+    assert_eq!(d.templates, t.templates);
+    assert_eq!(d.training_runs, t.training_runs);
+    assert_eq!(d.maintenance_runs, t.maintenance_runs);
+    for &threshold in &THRESHOLDS {
+        let options = QueryOptions {
+            saturation_threshold: threshold,
+            limit: usize::MAX,
+        };
+        assert_eq!(
+            *durable.query(options),
+            *twin.query(options),
+            "durable and in-memory topics must serve identical groups at {threshold}"
+        );
+    }
+    assert_eq!(
+        durable.template_distribution(0.9),
+        twin.template_distribution(0.9)
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-recover differentials
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_and_recover_full_retrain_byte_identical() {
+    let dir = scratch_dir("full-retrain");
+    let config = TopicConfig::new("web-access").with_volume_threshold(250);
+    let mut topic = LogTopic::durable(config, &dir, fast_storage()).expect("create durable topic");
+
+    // Two full training runs (initial + volume-triggered) with temporary templates
+    // from the novel family layered on top of the second epoch.
+    topic.ingest(&web_access_batch(0, 200));
+    topic.ingest(&novel_batch(0, 120));
+    topic.ingest(&web_access_batch(200, 150));
+    topic.ingest(&novel_batch(120, 80));
+    assert!(topic.stats().training_runs >= 2, "retrain must have run");
+
+    let expected = capture(&topic);
+    let live_generation = topic.generation();
+    drop(topic); // kill: all in-process state gone
+
+    let recovered = LogTopic::open(&dir, fast_storage()).expect("recover topic");
+    assert_recovered(&recovered, &expected, "full-retrain recovery");
+    assert!(
+        recovered.generation() > live_generation,
+        "recovery must bump the topic generation"
+    );
+    assert!(recovered.storage().is_some());
+
+    // A second restart replays the (generation-bumped) state just as faithfully.
+    drop(recovered);
+    let again = LogTopic::open(&dir, fast_storage()).expect("recover topic twice");
+    assert_recovered(&again, &expected, "second recovery");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_recover_incremental_stream_maintenance() {
+    let dir = scratch_dir("incremental");
+    let config = TopicConfig::new("web-access-inc")
+        .with_volume_threshold(100_000)
+        .with_maintenance(MaintenancePolicy::Incremental {
+            drift: DriftConfig::default()
+                .with_window(200)
+                .with_min_samples(50)
+                .with_max_unmatched_rate(0.3),
+            check_interval: 64,
+        });
+    let mut topic = LogTopic::durable(config, &dir, fast_storage()).expect("create durable topic");
+
+    // Cold-start train on the known family, then stream a drifting workload so the
+    // mid-stream drift check fires incremental maintenance (delta events in the
+    // event log, moves re-applied on replay).
+    topic.ingest(&web_access_batch(0, 300));
+    let stream_config = IngestConfig {
+        shards: 2,
+        batch_records: 64,
+        workers: 2,
+        ..IngestConfig::default()
+    };
+    topic.ingest_stream(novel_batch(0, 400), &stream_config);
+    topic.ingest(&web_access_batch(300, 100));
+    assert!(
+        topic.stats().maintenance_runs >= 1,
+        "drift maintenance must have produced at least one delta event"
+    );
+
+    let expected = capture(&topic);
+    drop(topic);
+
+    let recovered = LogTopic::open(&dir, fast_storage()).expect("recover topic");
+    assert_recovered(&recovered, &expected, "incremental recovery");
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay ≡ live state at every event boundary (seeded fuzz, satellite 4)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wal_replay_equals_live_at_every_boundary() {
+    let seeds = base_seed()..base_seed() + 3;
+    for seed in seeds {
+        let dir = scratch_dir(&format!("fuzz-{seed}"));
+        let config = TopicConfig::new("fuzz")
+            .with_volume_threshold(400)
+            .with_maintenance(MaintenancePolicy::Incremental {
+                drift: DriftConfig::default()
+                    .with_window(200)
+                    .with_min_samples(50)
+                    .with_max_unmatched_rate(0.3),
+                check_interval: 128,
+            });
+        let storage = fast_storage().with_retention_ttl(Duration::ZERO);
+        let mut topic =
+            LogTopic::durable(config, &dir, storage.clone()).expect("create durable topic");
+
+        let mut rng = Rng(seed);
+        let mut offset = 0usize;
+        for op_index in 0..10 {
+            let op = rng.below(6);
+            match op {
+                0 | 1 => {
+                    let n = 40 + rng.below(80) as usize;
+                    topic.ingest(&web_access_batch(offset, n));
+                    offset += n;
+                }
+                2 => {
+                    let n = 30 + rng.below(60) as usize;
+                    topic.ingest(&novel_batch(offset, n));
+                    offset += n;
+                }
+                3 => topic.run_training(),
+                4 => {
+                    topic.run_incremental_maintenance();
+                }
+                _ => {
+                    topic.store().prune(2);
+                    topic.run_storage_maintenance();
+                }
+            }
+
+            // Kill here: freeze the directory exactly as the crash would leave it,
+            // then recover from the frozen copy and compare against the live topic.
+            let frozen = scratch_dir(&format!("fuzz-{seed}-boundary-{op_index}"));
+            fs::remove_dir_all(&frozen).ok();
+            copy_dir_all(&dir, &frozen);
+            let expected = capture(&topic);
+            let recovered = LogTopic::open(&frozen, storage.clone())
+                .unwrap_or_else(|e| panic!("seed {seed} op {op_index} ({op}): recover: {e}"));
+            assert_recovered(
+                &recovered,
+                &expected,
+                &format!("seed {seed} boundary after op {op_index} (kind {op})"),
+            );
+            fs::remove_dir_all(&frozen).ok();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query-cache generation key (satellite 1 regression)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn query_cache_generation_prevents_stale_hits_after_eviction() {
+    let dir = scratch_dir("cache-gen");
+    let config = TopicConfig::new("cache-gen").with_volume_threshold(1_000_000);
+    let storage = fast_storage().with_retention_ttl(Duration::ZERO);
+    let mut topic = LogTopic::durable(config, &dir, storage).expect("create durable topic");
+
+    // Train over two families, then query: the result (web + auth groups) lands in
+    // the cache under (model_version, generation, record_count, threshold).
+    let mut batch = web_access_batch(0, 150);
+    batch.extend(auth_batch(0, 150));
+    topic.ingest(&batch);
+    let version_before = topic.model_version();
+    let stale = (*topic.query(QueryOptions::default())).clone();
+    assert!(!stale.is_empty());
+
+    // TTL retention evicts every record; the generation must move so the old cache
+    // entry can never be served again.
+    let generation_before = topic.generation();
+    let outcome = topic.run_storage_maintenance();
+    assert_eq!(outcome.dropped_records, 300, "TTL=0 must evict everything");
+    assert!(topic.records().is_empty());
+    assert!(
+        topic.generation() > generation_before,
+        "retention must bump the generation"
+    );
+
+    // Refill to the *same* record count at the *same* model version with a
+    // different record set. Without the generation in the key this collides with
+    // the stale entry and the query would serve the evicted web+auth groups.
+    topic.ingest(&auth_batch(1_000, 300));
+    assert_eq!(
+        topic.model_version(),
+        version_before,
+        "matched refill must not bump the model version (the collision scenario)"
+    );
+    assert_eq!(topic.records().len(), 300);
+
+    let fresh = (*topic.query(QueryOptions::default())).clone();
+    assert_ne!(fresh, stale, "cache must not serve pre-eviction groups");
+    let total: usize = fresh.iter().map(|g| g.count()).sum();
+    assert_eq!(
+        total, 300,
+        "fresh result must cover exactly the live records"
+    );
+    let (hits, misses) = topic.query_cache_stats();
+    assert_eq!(hits, 0, "no query may hit across the eviction");
+    assert_eq!(misses, 2);
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Crash windows: torn WAL tail, orphan segment files
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_wal_tail_and_orphan_segments_are_discarded() {
+    use std::io::Write;
+
+    let dir = scratch_dir("crash-window");
+    let config = TopicConfig::new("crash").with_volume_threshold(1_000_000);
+    let mut topic = LogTopic::durable(config, &dir, fast_storage()).expect("create durable topic");
+    topic.ingest(&web_access_batch(0, 200));
+    topic.ingest(&web_access_batch(200, 90)); // 26 records stay in the WAL tail
+    let expected = capture(&topic);
+    drop(topic);
+
+    // Torn tail: the process died halfway through framing the next record.
+    let mut wal = fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("wal.log"))
+        .expect("open wal for corruption");
+    wal.write_all(&[0x42, 0x00, 0x00, 0x00, 0xDE, 0xAD])
+        .expect("append torn frame");
+    drop(wal);
+
+    // Orphan segment: flushed to disk but the crash hit before the manifest
+    // recorded it. The manifest is the source of truth; the file must be ignored
+    // and garbage-collected.
+    let orphan = dir.join("segments").join("seg-99999999.seg");
+    fs::write(&orphan, b"not a segment").expect("plant orphan segment");
+
+    let recovered = LogTopic::open(&dir, fast_storage()).expect("recover after crash");
+    assert_recovered(&recovered, &expected, "crash-window recovery");
+    assert!(
+        !orphan.exists(),
+        "orphan segment file must be garbage-collected on open"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet recovery through ServiceManager::open
+// ---------------------------------------------------------------------------
+
+#[test]
+fn manager_fleet_recovery_round_trips_all_topics() {
+    let root = scratch_dir("fleet");
+    let storage = fast_storage();
+    let mut manager =
+        ServiceManager::durable(&root, storage.clone()).expect("create durable manager");
+
+    // Tenant/topic names with separators and non-ASCII exercise the directory
+    // encoding; each topic gets a distinct workload.
+    manager.ingest("acme", "web", &web_access_batch(0, 200));
+    manager.ingest("acme", "auth:prod", &auth_batch(0, 180));
+    manager.ingest("globex/β", "scrub", &novel_batch(0, 160));
+    manager.ingest("acme", "web", &web_access_batch(200, 120));
+
+    let keys = [
+        ("acme", "web"),
+        ("acme", "auth:prod"),
+        ("globex/β", "scrub"),
+    ];
+    let expected: Vec<Expectation> = keys
+        .iter()
+        .map(|(tenant, topic)| capture(manager.topic(tenant, topic).expect("topic exists")))
+        .collect();
+    let fleet_before = manager.fleet_stats();
+    drop(manager);
+
+    let recovered = ServiceManager::open_with(&root, storage).expect("reopen fleet");
+    assert_eq!(recovered.topic_count(), 3);
+    let mut acme_topics = recovered.topics_of("acme");
+    acme_topics.sort_unstable();
+    assert_eq!(acme_topics, vec!["auth:prod", "web"]);
+    assert_eq!(recovered.topics_of("globex/β"), vec!["scrub"]);
+    for ((tenant, topic), exp) in keys.iter().zip(&expected) {
+        let recovered_topic = recovered
+            .topic(tenant, topic)
+            .unwrap_or_else(|| panic!("topic {tenant}/{topic} missing after recovery"));
+        assert_recovered(
+            recovered_topic,
+            exp,
+            &format!("fleet topic {tenant}/{topic}"),
+        );
+    }
+    assert_eq!(recovered.fleet_stats(), fleet_before);
+    fs::remove_dir_all(&root).ok();
+}

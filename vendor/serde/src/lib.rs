@@ -324,6 +324,40 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+/// Tuples serialize as fixed-length arrays — the on-disk framing used by the
+/// service storage tier relies on `(String, String)` pairs round-tripping.
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)+) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.serialize()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize(value: &Value) -> Result<Self, Error> {
+                    match value {
+                        Value::Array(items) if items.len() == $len => {
+                            Ok(($($name::deserialize(&items[$idx])?,)+))
+                        }
+                        other => Err(Error::msg(format!(
+                            "expected {}-element array, got {other:?}",
+                            $len
+                        ))),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple! {
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +390,22 @@ mod tests {
     fn type_mismatch_is_an_error() {
         assert!(bool::deserialize(&Value::String("no".into())).is_err());
         assert!(u8::deserialize(&Value::UInt(10_000)).is_err());
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let pair = ("mask".to_string(), "<IP>".to_string());
+        let v = pair.serialize();
+        assert_eq!(<(String, String)>::deserialize(&v).unwrap(), pair);
+
+        let triple = (1u64, "x".to_string(), true);
+        let v = triple.serialize();
+        assert_eq!(<(u64, String, bool)>::deserialize(&v).unwrap(), triple);
+    }
+
+    #[test]
+    fn tuple_arity_mismatch_is_an_error() {
+        let v = Value::Array(vec![Value::UInt(1)]);
+        assert!(<(u64, u64)>::deserialize(&v).is_err());
     }
 }
