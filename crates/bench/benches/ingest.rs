@@ -10,9 +10,11 @@
 //!
 //! This bench has a custom `main`: after the timed runs it drains the harness's
 //! measurement registry and writes the machine-readable `BENCH_ingest.json`
-//! artifact (path override: `BYTEBRAIN_BENCH_OUT`). `BYTEBRAIN_BENCH_SMOKE=1`
-//! runs only the engine-comparison group at reduced scale — CI uses it to prove
-//! the artifact plumbing without paying for a full benchmark run.
+//! artifact (path override: `BYTEBRAIN_BENCH_OUT`) plus the composed-query
+//! artifact `BENCH_query.json` (the `query_ast` group; override:
+//! `BYTEBRAIN_BENCH_QUERY_OUT`). `BYTEBRAIN_BENCH_SMOKE=1` runs only the
+//! engine-comparison and query-AST groups at reduced scale — CI uses it to
+//! prove the artifact plumbing without paying for a full benchmark run.
 
 use bytebrain::incremental::DriftConfig;
 use bytebrain::matcher::{match_record, match_record_with_scratch, match_view};
@@ -464,22 +466,125 @@ fn bench_ingest_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The composed-query path on a durable topic behind `BENCH_query.json`: a
+/// selective variable-value query executed through (a) the planned push-down
+/// path — per-segment column summaries prove most segments cannot contain the
+/// value and skip them before any record is touched — (b) the naive scan
+/// oracle, and (c) the serving path with the plan-fingerprint-keyed LRU cache
+/// in front; plus the predicate-free `group_by` on both paths as the
+/// no-pruning baseline. The rare value only occurs in the earliest slice of
+/// the stream, so on the full run the summaries prune all but the first
+/// segments — that gap *is* the push-down win the JSON records. The
+/// differential suite proves planned ≡ scan byte-identically, so the rates
+/// are directly comparable.
+fn bench_query_ast(c: &mut Criterion, smoke: bool) {
+    use bytebrain::{Predicate, Query};
+    use service::{QueryValue, StorageConfig};
+
+    let (train_lines, records, segment_records) = if smoke {
+        (600, 4_000, 256)
+    } else {
+        (4_000, 100_000, 4_096)
+    };
+
+    // Auth-style records with real variables (user id, session). The rare user
+    // appears only in the first 500 streamed records; everything later is
+    // provably free of it, which is exactly what the segment summaries encode.
+    let auth = |i: usize, rare: bool| -> String {
+        let user = if rare {
+            "u-rare".to_string()
+        } else {
+            format!("u{}", i % 40)
+        };
+        format!(
+            "user {} logged {} from 10.0.{}.{} session s{}",
+            user,
+            if i.is_multiple_of(3) { "out" } else { "in" },
+            i % 16,
+            i % 250,
+            i
+        )
+    };
+
+    let dir = std::env::temp_dir().join(format!("bb-bench-query-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale bench dir");
+    }
+    let storage = StorageConfig::default()
+        .with_segment_records(segment_records)
+        .with_fsync(false);
+    let mut topic = LogTopic::durable(
+        TopicConfig::new("query-ast-bench").with_volume_threshold(u64::MAX),
+        &dir,
+        storage,
+    )
+    .expect("create durable bench topic");
+    let warm: Vec<String> = (0..train_lines).map(|i| auth(i, false)).collect();
+    topic.ingest(&warm);
+    let stream: Vec<String> = (0..records).map(|i| auth(i, i < 500)).collect();
+    for chunk in stream.chunks(8_192) {
+        topic.ingest(chunk);
+    }
+
+    let selective = Query::distribution()
+        .filter(Predicate::variable_equals("u-rare"))
+        .plan()
+        .expect("valid plan");
+    let group_all = Query::group_by().plan().expect("valid plan");
+
+    let engine = QueryEngine::new(&topic);
+    // Sanity (untimed): the two paths agree, and the rare value really is in
+    // the store — rates below measure identical, non-empty answers.
+    let planned = engine.execute(&selective);
+    assert_eq!(
+        planned,
+        engine.execute_scan(&selective),
+        "planned path diverged from scan oracle"
+    );
+    let matched: u64 = match &planned {
+        QueryValue::Distribution(counts) => counts.iter().map(|(_, c)| *c).sum(),
+        other => panic!("distribution plan yields a distribution, got {other:?}"),
+    };
+    assert!(
+        matched >= 400,
+        "selective query must hit the rare slice ({matched} records)"
+    );
+
+    let mut group = c.benchmark_group("query_ast");
+    group.throughput(Throughput::Elements(topic.records().len() as u64));
+    group.sample_size(if smoke { 3 } else { 15 });
+
+    group.bench_function("planned_selective", |b| {
+        b.iter(|| engine.execute(&selective))
+    });
+    group.bench_function("scan_selective", |b| {
+        b.iter(|| engine.execute_scan(&selective))
+    });
+    group.bench_function("planned_cached", |b| b.iter(|| topic.execute(&selective)));
+    group.bench_function("planned_group_by", |b| {
+        b.iter(|| engine.execute(&group_all))
+    });
+    group.bench_function("scan_group_by", |b| {
+        b.iter(|| engine.execute_scan(&group_all))
+    });
+
+    group.finish();
+    drop(topic);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn smoke_mode() -> bool {
     std::env::var("BYTEBRAIN_BENCH_SMOKE")
         .map(|v| v != "0")
         .unwrap_or(false)
 }
 
-/// Render the drained measurement registry as the `BENCH_ingest.json` artifact.
-fn write_bench_json(smoke: bool) {
+/// Render one drained measurement set as a bench artifact document.
+fn write_artifact(out: &str, kind: &str, smoke: bool, measurements: &[criterion::Measurement]) {
     use serde::Value;
 
-    // Anchor the default at the workspace root (bench binaries run with the
-    // package dir as cwd), so the committed artifact path is stable.
-    let out = std::env::var("BYTEBRAIN_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
-    let rows: Vec<Value> = criterion::take_measurements()
-        .into_iter()
+    let rows: Vec<Value> = measurements
+        .iter()
         .map(|m| {
             let mut fields = vec![
                 (
@@ -497,7 +602,7 @@ fn write_bench_json(smoke: bool) {
         })
         .collect();
     let doc = Value::Object(vec![
-        ("bench".to_string(), Value::String("ingest".to_string())),
+        ("bench".to_string(), Value::String(kind.to_string())),
         (
             "mode".to_string(),
             Value::String(if smoke { "smoke" } else { "full" }.to_string()),
@@ -505,14 +610,31 @@ fn write_bench_json(smoke: bool) {
         ("rows".to_string(), Value::Array(rows)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("bench rows serialize");
-    std::fs::write(&out, json + "\n").expect("write bench artifact");
+    std::fs::write(out, json + "\n").expect("write bench artifact");
     println!("[bench] wrote {out}");
+}
+
+/// Split the drained measurement registry into the `BENCH_ingest.json` and
+/// `BENCH_query.json` artifacts (the `query_ast` group goes to the latter).
+fn write_bench_json(smoke: bool) {
+    // Anchor the defaults at the workspace root (bench binaries run with the
+    // package dir as cwd), so the committed artifact paths are stable.
+    let ingest_out = std::env::var("BYTEBRAIN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
+    let query_out = std::env::var("BYTEBRAIN_BENCH_QUERY_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_query.json", env!("CARGO_MANIFEST_DIR")));
+    let (query_rows, ingest_rows): (Vec<_>, Vec<_>) = criterion::take_measurements()
+        .into_iter()
+        .partition(|m| m.group.as_deref() == Some("query_ast"));
+    write_artifact(&ingest_out, "ingest", smoke, &ingest_rows);
+    write_artifact(&query_out, "query", smoke, &query_rows);
 }
 
 fn main() {
     let smoke = smoke_mode();
     let mut criterion = Criterion::default();
     bench_ingest_engines(&mut criterion);
+    bench_query_ast(&mut criterion, smoke);
     if !smoke {
         bench_topic_ingest_paths(&mut criterion);
         bench_matcher_paths(&mut criterion);

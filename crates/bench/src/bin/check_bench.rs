@@ -1,9 +1,9 @@
 //! Validate committed bench artifacts (CI gate for the bench plumbing).
 //!
-//! Usage: `check_bench [path...]` (default: `BENCH_ingest.json` and
-//! `BENCH_storage.json`). Exits non-zero — failing the CI step — when a file is
-//! missing, is not valid JSON, or lacks its required rows with positive
-//! `records_per_sec` rates. Per-artifact requirements:
+//! Usage: `check_bench [path...]` (default: `BENCH_ingest.json`,
+//! `BENCH_storage.json` and `BENCH_query.json`). Exits non-zero — failing the
+//! CI step — when a file is missing, is not valid JSON, or lacks its required
+//! rows with positive `records_per_sec` rates. Per-artifact requirements:
 //!
 //! - `BENCH_ingest.json`: `ingest_engines` rows `tree_walk`, `automaton`,
 //!   `automaton_cached`.
@@ -12,6 +12,8 @@
 //!   `recovery_replay` must additionally clear 200k records/s — the durability
 //!   tier must never become the ingest bottleneck, and recovery must replay
 //!   (not retrain) its way back to serving.
+//! - `BENCH_query.json`: `query_ast` rows `planned_selective`,
+//!   `scan_selective`, `planned_cached`, `planned_group_by`, `scan_group_by`.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -76,6 +78,13 @@ fn check_artifact(path: &str) -> bool {
             ("storage", "segment_flush", STORAGE_FLOOR_RPS),
             ("storage", "recovery_replay", STORAGE_FLOOR_RPS),
         ],
+        "query" => &[
+            ("query_ast", "planned_selective", 0.0),
+            ("query_ast", "scan_selective", 0.0),
+            ("query_ast", "planned_cached", 0.0),
+            ("query_ast", "planned_group_by", 0.0),
+            ("query_ast", "scan_group_by", 0.0),
+        ],
         other => return fail(&format!("{path}: unknown bench kind {other:?}")),
     };
 
@@ -107,6 +116,7 @@ fn main() -> ExitCode {
         vec![
             "BENCH_ingest.json".to_string(),
             "BENCH_storage.json".to_string(),
+            "BENCH_query.json".to_string(),
         ]
     } else {
         paths

@@ -56,6 +56,8 @@ pub use incremental::{
 pub use matcher::{MatchResult, Matcher};
 pub use model::ParserModel;
 pub use parser::ByteBrainParser;
+pub use query::ast::{Aggregate, Predicate, Query};
+pub use query::plan::{CompiledPredicate, PlanError, PlanOutput, QueryPlan, RecordView};
 pub use query::{
     clamp_threshold, merge_consecutive_wildcards, presentation_template, resolve_with_threshold,
     LadderRung, SaturationLadder, DEFAULT_THRESHOLD,

@@ -1,0 +1,235 @@
+//! Composable query AST (§5 query surface).
+//!
+//! A [`Query`] is a declarative description of a template-level question:
+//! an optional boolean [`Predicate`] over records, a saturation threshold
+//! that picks the presentation precision, and one [`Aggregate`] combinator
+//! deciding the output shape. The AST is deliberately small — every public
+//! query entry point in the service layer is a thin constructor over it —
+//! and it carries no execution state: call [`Query::plan`] to normalize it
+//! into a [`QueryPlan`] that executors run.
+//!
+//! Predicates compose with `and` / `or` / `not` and come in two flavours
+//! the planner treats differently:
+//!
+//! * **node-level** — [`Predicate::TemplateMatches`] inspects only the
+//!   resolved presentation template text, so it is evaluated once per live
+//!   node (never per record);
+//! * **record-level** — variable-value filters and time-window bounds
+//!   inspect individual records; the planner pushes the required conjuncts
+//!   down to storage so whole segments can be skipped via column summaries
+//!   before any postings are touched.
+
+use crate::query::plan::{PlanError, QueryPlan};
+use crate::query::DEFAULT_THRESHOLD;
+
+/// A boolean predicate over one stored record.
+///
+/// `TemplateMatches` sees the record through its *resolved* presentation
+/// template (coarsened to the query threshold); variable filters see the
+/// concrete tokens sitting at the wildcard positions of the record's
+/// *assigned* (most precise) template; time windows see the record's
+/// sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// The resolved presentation template text matches this `logregex`
+    /// pattern (unanchored search semantics).
+    TemplateMatches(String),
+    /// Some variable token of the record equals this value exactly.
+    VariableEquals(String),
+    /// Some variable token of the record contains this value as a substring.
+    VariableContains(String),
+    /// The record's sequence number lies in `[start, end)`.
+    TimeWindow {
+        /// Inclusive lower sequence bound.
+        start: u64,
+        /// Exclusive upper sequence bound.
+        end: u64,
+    },
+    /// Every child predicate holds.
+    And(Vec<Predicate>),
+    /// At least one child predicate holds.
+    Or(Vec<Predicate>),
+    /// The child predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Template-text regex predicate.
+    pub fn template_matches(pattern: impl Into<String>) -> Self {
+        Predicate::TemplateMatches(pattern.into())
+    }
+
+    /// Exact variable-value predicate.
+    pub fn variable_equals(value: impl Into<String>) -> Self {
+        Predicate::VariableEquals(value.into())
+    }
+
+    /// Substring variable-value predicate.
+    pub fn variable_contains(value: impl Into<String>) -> Self {
+        Predicate::VariableContains(value.into())
+    }
+
+    /// Sequence-window predicate over `[start, end)`.
+    pub fn time_window(start: u64, end: u64) -> Self {
+        Predicate::TimeWindow { start, end }
+    }
+
+    /// Conjunction with another predicate.
+    pub fn and(self, other: Predicate) -> Self {
+        match self {
+            Predicate::And(mut children) => {
+                children.push(other);
+                Predicate::And(children)
+            }
+            first => Predicate::And(vec![first, other]),
+        }
+    }
+
+    /// Disjunction with another predicate.
+    pub fn or(self, other: Predicate) -> Self {
+        match self {
+            Predicate::Or(mut children) => {
+                children.push(other);
+                Predicate::Or(children)
+            }
+            first => Predicate::Or(vec![first, other]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// True when no leaf of this predicate inspects individual records
+    /// (variables or sequence numbers) — i.e. it can be decided per
+    /// resolved node from the template text alone.
+    pub fn is_node_only(&self) -> bool {
+        match self {
+            Predicate::TemplateMatches(_) => true,
+            Predicate::VariableEquals(_)
+            | Predicate::VariableContains(_)
+            | Predicate::TimeWindow { .. } => false,
+            Predicate::And(children) | Predicate::Or(children) => {
+                children.iter().all(Predicate::is_node_only)
+            }
+            Predicate::Not(child) => child.is_node_only(),
+        }
+    }
+}
+
+/// The output combinator of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// All template groups (members, saturation, record indices), sorted by
+    /// count descending then template ascending.
+    GroupBy,
+    /// Like [`Aggregate::GroupBy`], truncated to the `k` largest groups.
+    TopK(usize),
+    /// `(template, count)` pairs, sorted by count descending then template
+    /// ascending.
+    Distribution,
+    /// Number of distinct presentation templates with at least one matching
+    /// record.
+    CountDistinct,
+}
+
+/// A declarative query: predicate + threshold + aggregate.
+///
+/// ```
+/// use bytebrain::query::ast::{Predicate, Query};
+///
+/// let plan = Query::top_k(5)
+///     .at_threshold(0.8)
+///     .filter(Predicate::template_matches("worker").and(Predicate::time_window(0, 1_000)))
+///     .plan()
+///     .unwrap();
+/// assert!(plan.predicate().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Optional record filter; `None` keeps every record.
+    pub predicate: Option<Predicate>,
+    /// Saturation threshold controlling presentation precision.
+    pub threshold: f64,
+    /// Output combinator.
+    pub aggregate: Aggregate,
+}
+
+impl Query {
+    fn new(aggregate: Aggregate) -> Self {
+        Query {
+            predicate: None,
+            threshold: DEFAULT_THRESHOLD,
+            aggregate,
+        }
+    }
+
+    /// Group matching records by presentation template.
+    pub fn group_by() -> Self {
+        Query::new(Aggregate::GroupBy)
+    }
+
+    /// Group matching records and keep the `k` largest groups.
+    pub fn top_k(k: usize) -> Self {
+        Query::new(Aggregate::TopK(k))
+    }
+
+    /// Count matching records per presentation template.
+    pub fn distribution() -> Self {
+        Query::new(Aggregate::Distribution)
+    }
+
+    /// Count distinct presentation templates with matching records.
+    pub fn count_distinct() -> Self {
+        Query::new(Aggregate::CountDistinct)
+    }
+
+    /// Set the saturation threshold (clamped to `[0, 1]` at plan time).
+    pub fn at_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// AND `predicate` into the query filter.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(match self.predicate.take() {
+            Some(existing) => existing.and(predicate),
+            None => predicate,
+        });
+        self
+    }
+
+    /// Normalize into an executable [`QueryPlan`].
+    pub fn plan(self) -> Result<QueryPlan, PlanError> {
+        QueryPlan::from_query(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_filters_into_a_conjunction() {
+        let q = Query::group_by()
+            .filter(Predicate::variable_equals("a"))
+            .filter(Predicate::time_window(0, 10));
+        match q.predicate {
+            Some(Predicate::And(children)) => assert_eq!(children.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_only_classification() {
+        assert!(Predicate::template_matches("a")
+            .and(Predicate::template_matches("b").not())
+            .is_node_only());
+        assert!(!Predicate::template_matches("a")
+            .or(Predicate::variable_equals("x"))
+            .is_node_only());
+        assert!(!Predicate::time_window(0, 1).is_node_only());
+    }
+}

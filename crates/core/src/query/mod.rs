@@ -31,6 +31,9 @@
 //! 3. **Thresholds are clamped** by [`clamp_threshold`] — NaN falls back to
 //!    [`DEFAULT_THRESHOLD`], anything outside `[0, 1]` is clamped to the range.
 
+pub mod ast;
+pub mod plan;
+
 use crate::incremental::ModelDelta;
 use crate::model::ParserModel;
 use crate::tree::NodeId;

@@ -2,8 +2,9 @@
 //! flags (a) templates that newly appear and (b) templates whose record count shifts
 //! abnormally between two time windows.
 //!
-//! Window distributions come from the indexed query path: callers either pass
-//! precomputed maps to [`AnomalyDetector::detect`] or hand two
+//! Window distributions come from the planned query path: callers either pass
+//! precomputed `(template, count)` distributions (as returned by
+//! `template_distribution`) to [`AnomalyDetector::detect`] or hand two
 //! [`QuerySnapshot`]s to [`AnomalyDetector::detect_snapshots`], which aggregates
 //! per-node postings up the saturation ladder — O(templates) per window, never a
 //! record scan.
@@ -61,15 +62,20 @@ impl Default for AnomalyDetector {
 
 impl AnomalyDetector {
     /// Compare a baseline template distribution against the current one and report
-    /// anomalies, most severe (largest relative change) first.
+    /// anomalies, most severe (largest relative change) first. Distributions are
+    /// `(template, count)` pairs as returned by `template_distribution`.
     pub fn detect(
         &self,
-        baseline: &HashMap<String, u64>,
-        current: &HashMap<String, u64>,
+        baseline: &[(String, u64)],
+        current: &[(String, u64)],
     ) -> Vec<AnomalyReport> {
+        let baseline_by_template: HashMap<&str, u64> =
+            baseline.iter().map(|(t, c)| (t.as_str(), *c)).collect();
+        let current_by_template: HashMap<&str, u64> =
+            current.iter().map(|(t, c)| (t.as_str(), *c)).collect();
         let mut reports = Vec::new();
-        for (template, &current_count) in current {
-            match baseline.get(template) {
+        for (template, &current_count) in current.iter().map(|(t, c)| (t, c)) {
+            match baseline_by_template.get(template.as_str()).copied() {
                 None => {
                     if current_count >= self.min_count.min(1) {
                         reports.push(AnomalyReport {
@@ -80,7 +86,7 @@ impl AnomalyDetector {
                         });
                     }
                 }
-                Some(&baseline_count) => {
+                Some(baseline_count) => {
                     if current_count >= self.min_count
                         && current_count as f64 > baseline_count as f64 * self.surge_factor
                     {
@@ -104,8 +110,10 @@ impl AnomalyDetector {
             }
         }
         // Templates that vanished entirely.
-        for (template, &baseline_count) in baseline {
-            if !current.contains_key(template) && baseline_count >= self.min_count {
+        for (template, &baseline_count) in baseline.iter().map(|(t, c)| (t, c)) {
+            if !current_by_template.contains_key(template.as_str())
+                && baseline_count >= self.min_count
+            {
                 reports.push(AnomalyReport {
                     template: template.clone(),
                     kind: AnomalyKind::CountDrop,
@@ -154,7 +162,7 @@ impl AnomalyDetector {
 mod tests {
     use super::*;
 
-    fn counts(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+    fn counts(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 

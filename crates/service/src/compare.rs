@@ -23,14 +23,17 @@ pub struct DistributionShift {
     pub share_delta: f64,
 }
 
-/// Compare two template distributions and return one entry per template seen in either
+/// Compare two template distributions (`(template, count)` pairs as returned by
+/// `template_distribution`) and return one entry per template seen in either
 /// window, ordered by the absolute change of stream share (largest first).
 pub fn compare_windows(
-    before: &HashMap<String, u64>,
-    after: &HashMap<String, u64>,
+    before: &[(String, u64)],
+    after: &[(String, u64)],
 ) -> Vec<DistributionShift> {
-    let total_before: u64 = before.values().sum();
-    let total_after: u64 = after.values().sum();
+    let before_map: HashMap<&str, u64> = before.iter().map(|(t, c)| (t.as_str(), *c)).collect();
+    let after_map: HashMap<&str, u64> = after.iter().map(|(t, c)| (t.as_str(), *c)).collect();
+    let total_before: u64 = before_map.values().sum();
+    let total_after: u64 = after_map.values().sum();
     let share = |count: u64, total: u64| {
         if total == 0 {
             0.0
@@ -38,14 +41,14 @@ pub fn compare_windows(
             count as f64 / total as f64
         }
     };
-    let templates: HashSet<&String> = before.keys().chain(after.keys()).collect();
+    let templates: HashSet<&str> = before_map.keys().chain(after_map.keys()).copied().collect();
     let mut shifts: Vec<DistributionShift> = templates
         .into_iter()
         .map(|template| {
-            let b = before.get(template).copied().unwrap_or(0);
-            let a = after.get(template).copied().unwrap_or(0);
+            let b = before_map.get(template).copied().unwrap_or(0);
+            let a = after_map.get(template).copied().unwrap_or(0);
             DistributionShift {
-                template: template.clone(),
+                template: template.to_string(),
                 before: b,
                 after: a,
                 share_delta: share(a, total_after) - share(b, total_before),
@@ -80,7 +83,7 @@ pub fn compare_snapshots(
 mod tests {
     use super::*;
 
-    fn counts(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+    fn counts(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
@@ -156,7 +159,7 @@ mod tests {
 
     #[test]
     fn empty_windows_do_not_divide_by_zero() {
-        let empty = HashMap::new();
+        let empty = Vec::new();
         let after = counts(&[("x *", 5)]);
         let shifts = compare_windows(&empty, &after);
         assert_eq!(shifts.len(), 1);

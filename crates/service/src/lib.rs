@@ -67,7 +67,9 @@ pub use ingest::{
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
 pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
-pub use query::{QueryCache, QueryEngine, QueryIndex, QueryOptions, QuerySnapshot, TemplateGroup};
+pub use query::{
+    QueryCache, QueryEngine, QueryIndex, QueryOptions, QuerySnapshot, QueryValue, TemplateGroup,
+};
 pub use storage::{RecoveredTopic, StorageConfig, TopicMeta, TopicStorage};
 pub use store::{ModelStore, SnapshotInfo, SnapshotKind};
 pub use topic::{

@@ -4,7 +4,6 @@
 //! scenarios.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// An alert rule attached to a saved template.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,8 +107,9 @@ impl TemplateLibrary {
             .collect()
     }
 
-    /// Evaluate every alert rule against a template-count distribution for a window.
-    pub fn evaluate_alerts(&self, distribution: &HashMap<String, u64>) -> Vec<Alert> {
+    /// Evaluate every alert rule against a template-count distribution for a window
+    /// (`(template, count)` pairs as returned by `template_distribution`).
+    pub fn evaluate_alerts(&self, distribution: &[(String, u64)]) -> Vec<Alert> {
         let mut alerts = Vec::new();
         for entry in &self.entries {
             // Aggregate the counts of all distribution templates compatible with this entry.
@@ -145,7 +145,7 @@ impl TemplateLibrary {
 mod tests {
     use super::*;
 
-    fn distribution(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+    fn distribution(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 

@@ -7,12 +7,12 @@
 //! per-tenant defaults, and exposes fleet-wide statistics of the kind Table 5 reports.
 
 use crate::ingest::IngestConfig;
-use crate::query::{QueryOptions, QuerySnapshot, TemplateGroup};
+use crate::query::{QueryOptions, QuerySnapshot, QueryValue, TemplateGroup};
 use crate::storage::{self, RetentionOutcome, StorageConfig, TopicStorage};
 use crate::topic::{
     IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
 };
-use bytebrain::MatchEngine;
+use bytebrain::{MatchEngine, QueryPlan};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -247,14 +247,26 @@ impl ServiceManager {
         self.topic(tenant, topic).map(|t| t.query(options))
     }
 
+    /// Execute a composed [`QueryPlan`] against a tenant's topic through the
+    /// planned push-down path (cached). Returns `None` when the topic does not
+    /// exist. This is the full query surface — predicates, time windows,
+    /// top-k, distribution, count-distinct — of which [`ServiceManager::query`]
+    /// and [`ServiceManager::template_distribution`] are fixed-shape special
+    /// cases.
+    pub fn execute(&self, tenant: &str, topic: &str, plan: &QueryPlan) -> Option<QueryValue> {
+        self.topic(tenant, topic).map(|t| t.execute(plan))
+    }
+
     /// Template-count distribution of a tenant's topic at the requested precision
-    /// (indexed, counts-only). Returns `None` when the topic does not exist.
+    /// (planned path, counts-only): deterministic `(template, count)` pairs sorted
+    /// by count descending then template ascending. Returns `None` when the topic
+    /// does not exist.
     pub fn template_distribution(
         &self,
         tenant: &str,
         topic: &str,
         threshold: f64,
-    ) -> Option<std::collections::HashMap<String, u64>> {
+    ) -> Option<Vec<(String, u64)>> {
         self.topic(tenant, topic)
             .map(|t| t.template_distribution(threshold))
     }
@@ -387,7 +399,7 @@ mod tests {
         let distribution = manager
             .template_distribution("a", "web", 0.9)
             .expect("topic exists");
-        assert_eq!(distribution.values().sum::<u64>(), 300);
+        assert_eq!(distribution.iter().map(|(_, c)| *c).sum::<u64>(), 300);
         assert!(manager
             .query("nobody", "nothing", QueryOptions::default())
             .is_none());

@@ -1,39 +1,52 @@
-//! The query API (§3 "Query", §6): group stored records by template at a per-query
-//! precision threshold, without reprocessing — or even scanning — any log.
+//! The query subsystem (§3 "Query", §6): one planned `execute` path fed by
+//! thin AST constructors.
 //!
-//! Two implementations exist and are kept byte-identical by the differential suite:
+//! Every public query entry point — [`LogTopic::query`],
+//! [`LogTopic::template_distribution`], the anomaly and comparison features,
+//! the [`crate::manager::ServiceManager`] forwarding methods — builds a
+//! [`bytebrain::Query`] AST, plans it ([`QueryPlan`]) and hands the plan to
+//! the single [`LogTopic::execute`] entry point. Two executors exist and are
+//! kept byte-identical by the differential suite:
 //!
-//! * the **indexed path** (the serving path): per-node **postings** ([`QueryIndex`] —
-//!   record counts plus record-index lists, maintained at ingest/stream-flush time by
-//!   [`LogTopic`]) are aggregated up the precomputed
-//!   [`SaturationLadder`], so a query touches one posting
-//!   list per *template* instead of one entry per *record*; results are memoized in an
-//!   LRU [`QueryCache`] keyed by `(model version, record count, quantized threshold,
-//!   limit)` and invalidated when maintenance hot-swaps the model;
-//! * the **scan path** ([`QueryEngine::group_by_template_scan`]): the original
-//!   per-record ancestor walk, retained as the differential reference.
+//! * the **planned path** (`run_plan`, the serving path): template
+//!   predicates are decided once per resolved node against the live node set,
+//!   threshold resolution goes through [`SaturationLadder::resolve_batch`],
+//!   and grouping streams over per-node postings ([`QueryIndex`]) so a
+//!   predicate-free query touches one posting list per *template* instead of
+//!   one entry per *record*. Record-level predicates (variable filters, time
+//!   windows) consult per-segment column summaries first
+//!   ([`crate::storage::SegmentSummary`]): segments whose summaries rule out
+//!   a required conjunct are skipped wholesale before any record is touched.
+//!   Results are memoized in an LRU [`QueryCache`] keyed by the canonical
+//!   plan fingerprint plus `(model version, topic generation, record count)`;
+//! * the **scan oracle** ([`QueryEngine::execute_scan`]): the naive
+//!   per-record ancestor walk with per-record predicate evaluation, retained
+//!   purely as the differential reference.
 //!
-//! Both paths resolve templates through the same core semantics: retired nodes are
-//! skipped to the nearest live ancestor, the full chain is scanned for the coarsest
-//! qualifying ancestor, and thresholds are sanitized identically — clamped by
-//! [`bytebrain::clamp_threshold`] and snapped to the slider's 1/1000 grid, so the
-//! cache key always names exactly the threshold a result was computed at. When
-//! presentation merging (§7) combines several
-//! nodes under one merged-wildcard text, the reported representative node is
-//! deterministic — the member with the largest record count, ties broken by the
-//! smallest [`NodeId`] — and the reported saturation is the minimum across the merged
+//! Both paths resolve templates through the same core semantics: retired
+//! nodes are skipped to the nearest live ancestor, the full chain is scanned
+//! for the coarsest qualifying ancestor, and thresholds are sanitized
+//! identically — clamped by [`bytebrain::clamp_threshold`] and (for the
+//! options-based entry points) snapped to the slider's 1/1000 grid. When
+//! presentation merging (§7) combines several nodes under one
+//! merged-wildcard text, the reported representative node is deterministic —
+//! the member with the largest record count, ties broken by the smallest
+//! [`NodeId`] — and the reported saturation is the minimum across the merged
 //! nodes (the honest precision of the combined group).
 
-use crate::topic::{LogTopic, StoredRecord};
+use crate::topic::{variables_of, LogTopic, StoredRecord};
+use bytebrain::query::ast::Query;
+use bytebrain::query::plan::{CompiledPredicate, PlanOutput, QueryPlan, RecordView};
 use bytebrain::query::{
     clamp_threshold, merge_consecutive_wildcards, resolve_with_threshold, SaturationLadder,
 };
 use bytebrain::{NodeId, ParserModel};
+use logtok::Preprocessor;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::sync::Mutex;
 
-/// Options controlling one query.
+/// Options controlling one options-based (predicate-free) query.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Saturation threshold: higher values request more precise templates. This is the
@@ -56,9 +69,9 @@ impl Default for QueryOptions {
 
 /// Sanitize a threshold for the service query surface: the single core clamp
 /// ([`bytebrain::clamp_threshold`]: NaN → default, out-of-range → clamped) plus a snap
-/// to the slider's 1/1000 grid — so the query cache key (which stores the threshold in
-/// mills) always describes exactly the threshold the cached result was computed at,
-/// and the indexed and scan paths quantize identically. Core resolution called
+/// to the slider's 1/1000 grid — so the canonical plan (whose fingerprint keys the
+/// query cache) always describes exactly the threshold the cached result was computed
+/// at, and the planned and scan paths quantize identically. Core resolution called
 /// directly (outside this module) keeps exact thresholds.
 fn sanitize_threshold(threshold: f64) -> f64 {
     (clamp_threshold(threshold) * 1_000.0).round() / 1_000.0
@@ -72,6 +85,31 @@ impl QueryOptions {
         self.saturation_threshold = sanitize_threshold(self.saturation_threshold);
         self
     }
+
+    /// The plan this options struct describes: a predicate-free `group_by`
+    /// (or `top_k` when a limit is set) at the sanitized threshold. This is
+    /// the thin-constructor bridge from the legacy options surface onto the
+    /// AST path.
+    pub fn to_plan(self) -> QueryPlan {
+        let sanitized = self.sanitized();
+        let query = if sanitized.limit == usize::MAX {
+            Query::group_by()
+        } else {
+            Query::top_k(sanitized.limit)
+        };
+        query
+            .at_threshold(sanitized.saturation_threshold)
+            .plan()
+            .expect("predicate-free queries always plan")
+    }
+}
+
+/// Build the (cached) distribution plan for a raw threshold.
+fn distribution_plan(threshold: f64) -> QueryPlan {
+    Query::distribution()
+        .at_threshold(sanitize_threshold(threshold))
+        .plan()
+        .expect("predicate-free queries always plan")
 }
 
 /// One group of query results: a template and the records it covers.
@@ -92,6 +130,48 @@ impl TemplateGroup {
     /// Number of member records.
     pub fn count(&self) -> usize {
         self.record_indices.len()
+    }
+}
+
+/// The result of executing a [`QueryPlan`]: one variant per
+/// [`PlanOutput`] shape. Aggregate results are shared via `Arc`, so cloning
+/// a value (and every cache hit) is a reference-count bump, never a copy of
+/// the member index lists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    /// Template groups, largest first.
+    Groups(Arc<Vec<TemplateGroup>>),
+    /// `(template, count)` pairs, sorted by count descending then template
+    /// ascending — deterministic, unlike the `HashMap` this API used to
+    /// return.
+    Distribution(Arc<Vec<(String, u64)>>),
+    /// Number of distinct presentation templates with matching records.
+    Count(u64),
+}
+
+impl QueryValue {
+    /// The group list, if this is a groups result.
+    pub fn groups(&self) -> Option<&Arc<Vec<TemplateGroup>>> {
+        match self {
+            QueryValue::Groups(groups) => Some(groups),
+            _ => None,
+        }
+    }
+
+    /// The distribution pairs, if this is a distribution result.
+    pub fn distribution(&self) -> Option<&Arc<Vec<(String, u64)>>> {
+        match self {
+            QueryValue::Distribution(counts) => Some(counts),
+            _ => None,
+        }
+    }
+
+    /// The distinct-template count, if this is a count result.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            QueryValue::Count(count) => Some(*count),
+            _ => None,
+        }
     }
 }
 
@@ -214,7 +294,33 @@ impl QueryIndex {
 }
 
 // ---------------------------------------------------------------------------
-// Group assembly (shared by the indexed and scan paths)
+// Record access (planned path only)
+// ---------------------------------------------------------------------------
+
+/// Everything the planned executor needs to evaluate record-level predicates:
+/// the record store, the preprocessor (for variable extraction), the sequence
+/// number of the first stored record, and the push-down result — index ranges
+/// that storage summaries proved cannot match, skipped before any record is
+/// touched.
+pub(crate) struct RecordAccess<'a> {
+    pub(crate) records: &'a [StoredRecord],
+    pub(crate) preprocessor: &'a Preprocessor,
+    /// Sequence number of `records[0]` (`first_live_seq` for durable topics).
+    pub(crate) first_seq: u64,
+    /// Sorted, disjoint, half-open record-index ranges proven non-matching by
+    /// segment summaries.
+    pub(crate) skip: Vec<(usize, usize)>,
+}
+
+impl RecordAccess<'_> {
+    fn skipped(&self, idx: usize) -> bool {
+        let pos = self.skip.partition_point(|&(start, _)| start <= idx);
+        pos > 0 && self.skip[pos - 1].1 > idx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group assembly (shared by the planned and scan paths)
 // ---------------------------------------------------------------------------
 
 /// Accumulator for one presentation-text group while aggregating member nodes.
@@ -223,7 +329,9 @@ struct GroupAccumulator {
     /// Record count per resolved member node (BTreeMap: deterministic iteration for
     /// the representative rule).
     members: BTreeMap<NodeId, usize>,
-    /// All member record indices (sorted ascending before output).
+    /// All member record indices (sorted ascending before output). Only
+    /// populated for group outputs — distribution and count queries stay
+    /// counts-only.
     record_indices: Vec<usize>,
 }
 
@@ -263,86 +371,194 @@ fn finish_groups(
     out
 }
 
-/// The indexed grouping: aggregate postings up the ladder — O(templates), not
-/// O(records), until the member index lists are materialised.
+/// Assemble the deterministic distribution: `(template, count)` pairs sorted
+/// by count descending, ties by template ascending — the same order groups
+/// use, so diffs and examples are stable run to run.
+fn finish_distribution(groups: HashMap<String, GroupAccumulator>) -> Vec<(String, u64)> {
+    let mut counts: Vec<(String, u64)> = groups
+        .into_iter()
+        .map(|(template, acc)| {
+            let total: usize = acc.members.values().sum();
+            (template, total as u64)
+        })
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    counts
+}
+
+fn finish(
+    model: &ParserModel,
+    groups: HashMap<String, GroupAccumulator>,
+    plan: &QueryPlan,
+) -> QueryValue {
+    match plan.output() {
+        PlanOutput::Groups { limit } => {
+            QueryValue::Groups(Arc::new(finish_groups(model, groups, limit)))
+        }
+        PlanOutput::Distribution => QueryValue::Distribution(Arc::new(finish_distribution(groups))),
+        PlanOutput::Count => QueryValue::Count(groups.len() as u64),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The planned executor and the scan oracle
+// ---------------------------------------------------------------------------
+
+/// The planned execution path. Node-only work (threshold resolution via
+/// [`SaturationLadder::resolve_batch`], template predicates, presentation
+/// texts) happens once per posting node; record-level predicates run only
+/// over posting entries that survived segment pruning (`access.skip`).
+/// `access` may be `None` only for node-only plans (e.g. snapshots, which
+/// carry no record store).
+fn run_plan(
+    model: &ParserModel,
+    ladder: &SaturationLadder,
+    index: &QueryIndex,
+    access: Option<&RecordAccess<'_>>,
+    plan: &QueryPlan,
+) -> QueryValue {
+    let nodes: Vec<NodeId> = index.non_empty().map(|(node, _)| node).collect();
+    let resolved = ladder.resolve_batch(&nodes, plan.threshold());
+    let compiled = plan.predicate().map(CompiledPredicate::compile);
+    let node_only = plan.is_node_only();
+    let want_indices = matches!(plan.output(), PlanOutput::Groups { .. });
+    let mut text_of: HashMap<NodeId, String> = HashMap::new();
+    let mut template_ok: HashMap<NodeId, bool> = HashMap::new();
+    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
+    for ((_, posting), &res) in index.non_empty().zip(resolved.iter()) {
+        let text = text_of
+            .entry(res)
+            .or_insert_with(|| merge_consecutive_wildcards(&model.nodes[res.0].template_text()))
+            .clone();
+        if node_only {
+            if let Some(compiled) = &compiled {
+                let ok = *template_ok
+                    .entry(res)
+                    .or_insert_with(|| compiled.matches_template(&text));
+                if !ok {
+                    continue;
+                }
+            }
+            let acc = groups.entry(text).or_default();
+            *acc.members.entry(res).or_insert(0) += posting.len();
+            if want_indices {
+                acc.record_indices
+                    .extend(posting.iter().map(|&i| i as usize));
+            }
+        } else {
+            let access = access.expect("record-level predicates require record access");
+            let compiled = compiled
+                .as_ref()
+                .expect("record-level plans carry a predicate");
+            let mut accepted = 0usize;
+            let mut indices: Vec<usize> = Vec::new();
+            for &i in posting {
+                let idx = i as usize;
+                if access.skipped(idx) {
+                    continue;
+                }
+                let stored = &access.records[idx];
+                let vars =
+                    variables_of(model, access.preprocessor, &stored.record, stored.template);
+                let view = RecordView {
+                    template: &text,
+                    seq: access.first_seq + idx as u64,
+                    variables: &vars,
+                };
+                if compiled.matches(&view) {
+                    accepted += 1;
+                    if want_indices {
+                        indices.push(idx);
+                    }
+                }
+            }
+            if accepted > 0 {
+                let acc = groups.entry(text).or_default();
+                *acc.members.entry(res).or_insert(0) += accepted;
+                acc.record_indices.extend(indices);
+            }
+        }
+    }
+    finish(model, groups, plan)
+}
+
+/// The retained scan oracle: resolve every stored record through the
+/// pointer-walk path, extract its variables, and evaluate the full predicate
+/// per record — no postings, no ladder, no pruning. Differential-identical
+/// to [`run_plan`] by test. `preprocessor` is only needed when the plan
+/// carries a predicate (variable extraction).
+fn scan_plan(
+    model: &ParserModel,
+    preprocessor: Option<&Preprocessor>,
+    records: &[StoredRecord],
+    first_seq: u64,
+    plan: &QueryPlan,
+) -> QueryValue {
+    let compiled = plan.predicate().map(CompiledPredicate::compile);
+    let want_indices = matches!(plan.output(), PlanOutput::Groups { .. });
+    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
+    for (idx, stored) in records.iter().enumerate() {
+        let Some(node) = stored.template else {
+            continue;
+        };
+        let resolved = resolve_with_threshold(model, node, plan.threshold());
+        let text = merge_consecutive_wildcards(&model.nodes[resolved.0].template_text());
+        if let Some(compiled) = &compiled {
+            let preprocessor =
+                preprocessor.expect("scanning with a predicate requires the preprocessor");
+            let vars = variables_of(model, preprocessor, &stored.record, stored.template);
+            let view = RecordView {
+                template: &text,
+                seq: first_seq + idx as u64,
+                variables: &vars,
+            };
+            if !compiled.matches(&view) {
+                continue;
+            }
+        }
+        let acc = groups.entry(text).or_default();
+        *acc.members.entry(resolved).or_insert(0) += 1;
+        if want_indices {
+            acc.record_indices.push(idx);
+        }
+    }
+    finish(model, groups, plan)
+}
+
+/// Options-based planned grouping (used by snapshots and module tests).
 fn indexed_groups(
     model: &ParserModel,
     ladder: &SaturationLadder,
     index: &QueryIndex,
     options: QueryOptions,
 ) -> Vec<TemplateGroup> {
-    let options = options.sanitized();
-    let mut text_of: HashMap<NodeId, String> = HashMap::new();
-    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
-    for (node, posting) in index.non_empty() {
-        let resolved = ladder.resolve(node, options.saturation_threshold);
-        let text = text_of
-            .entry(resolved)
-            .or_insert_with(|| {
-                merge_consecutive_wildcards(&model.nodes[resolved.0].template_text())
-            })
-            .clone();
-        let acc = groups.entry(text).or_default();
-        *acc.members.entry(resolved).or_insert(0) += posting.len();
-        acc.record_indices
-            .extend(posting.iter().map(|&i| i as usize));
+    match run_plan(model, ladder, index, None, &options.to_plan()) {
+        QueryValue::Groups(groups) => Arc::try_unwrap(groups).unwrap_or_else(|arc| (*arc).clone()),
+        _ => unreachable!("groups plan yields groups"),
     }
-    finish_groups(model, groups, options.limit)
 }
 
-/// The counts-only variant of [`indexed_groups`] for distribution queries: no record
-/// index lists are materialised at all, so the cost is O(templates).
-fn indexed_distribution(
-    model: &ParserModel,
-    ladder: &SaturationLadder,
-    index: &QueryIndex,
-    threshold: f64,
-) -> HashMap<String, u64> {
-    let threshold = sanitize_threshold(threshold);
-    let mut text_of: HashMap<NodeId, String> = HashMap::new();
-    let mut counts: HashMap<String, u64> = HashMap::new();
-    for (node, posting) in index.non_empty() {
-        let resolved = ladder.resolve(node, threshold);
-        let text = text_of
-            .entry(resolved)
-            .or_insert_with(|| {
-                merge_consecutive_wildcards(&model.nodes[resolved.0].template_text())
-            })
-            .clone();
-        *counts.entry(text).or_insert(0) += posting.len() as u64;
-    }
-    counts
-}
-
-/// The retained scan reference: resolve every stored record through the pointer-walk
-/// path and group per record. Differential-identical to [`indexed_groups`] by test.
+/// Options-based scan grouping (the predicate-free oracle surface).
 fn scan_groups(
     model: &ParserModel,
     records: &[StoredRecord],
     options: QueryOptions,
 ) -> Vec<TemplateGroup> {
-    let options = options.sanitized();
-    let mut groups: HashMap<String, GroupAccumulator> = HashMap::new();
-    for (idx, stored) in records.iter().enumerate() {
-        let Some(node) = stored.template else {
-            continue;
-        };
-        let resolved = resolve_with_threshold(model, node, options.saturation_threshold);
-        let text = merge_consecutive_wildcards(&model.nodes[resolved.0].template_text());
-        let acc = groups.entry(text).or_default();
-        *acc.members.entry(resolved).or_insert(0) += 1;
-        acc.record_indices.push(idx);
+    match scan_plan(model, None, records, 0, &options.to_plan()) {
+        QueryValue::Groups(groups) => Arc::try_unwrap(groups).unwrap_or_else(|arc| (*arc).clone()),
+        _ => unreachable!("groups plan yields groups"),
     }
-    finish_groups(model, groups, options.limit)
 }
 
 // ---------------------------------------------------------------------------
 // Query cache
 // ---------------------------------------------------------------------------
 
-/// Cache key: model version + topic generation + record count pin the topic state,
-/// the quantized threshold collapses slider jitter onto a 1/1000 grid, and the limit
-/// is part of the result shape.
+/// Cache key: model version + topic generation + record count pin the topic state;
+/// the canonical plan fingerprint ([`QueryPlan::fingerprint`]) pins *what* was asked —
+/// threshold, output shape, and the normalized predicate. Two different ASTs can
+/// never collide on a key (the old `(threshold, limit)` key could not tell a
+/// filtered query from an unfiltered one).
 ///
 /// The **generation** (bumped on recovery, TTL retention and compaction) exists
 /// because `(version, record count)` stops being sound once state persists: retention
@@ -354,20 +570,16 @@ struct CacheKey {
     version: u64,
     generation: u64,
     records: usize,
-    threshold_millis: u32,
-    limit: usize,
+    plan: u64,
 }
 
 impl CacheKey {
-    /// `options` must already be sanitized: the threshold sits exactly on the 1/1000
-    /// grid, so the mills key names precisely the computed threshold.
-    fn new(version: u64, generation: u64, records: usize, options: QueryOptions) -> Self {
+    fn new(version: u64, generation: u64, records: usize, plan: &QueryPlan) -> Self {
         CacheKey {
             version,
             generation,
             records,
-            threshold_millis: (options.saturation_threshold * 1_000.0).round() as u32,
-            limit: options.limit,
+            plan: plan.fingerprint(),
         }
     }
 }
@@ -382,10 +594,10 @@ pub struct QueryCache {
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// Most recently used first. Results are shared via `Arc`, so a cache hit is a
-    /// reference-count bump — never a copy of the (potentially record-count-sized)
-    /// member index lists.
-    entries: Vec<(CacheKey, Arc<Vec<TemplateGroup>>)>,
+    /// Most recently used first. Results are shared via `Arc` inside
+    /// [`QueryValue`], so a cache hit is a reference-count bump — never a
+    /// copy of the (potentially record-count-sized) member index lists.
+    entries: Vec<(CacheKey, QueryValue)>,
     hits: u64,
     misses: u64,
 }
@@ -394,11 +606,11 @@ struct CacheInner {
 const QUERY_CACHE_CAPACITY: usize = 16;
 
 impl QueryCache {
-    fn get(&self, key: CacheKey) -> Option<Arc<Vec<TemplateGroup>>> {
+    fn get(&self, key: CacheKey) -> Option<QueryValue> {
         let mut inner = self.inner.lock().expect("query cache poisoned");
         if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
             let entry = inner.entries.remove(pos);
-            let result = Arc::clone(&entry.1);
+            let result = entry.1.clone();
             inner.entries.insert(0, entry);
             inner.hits += 1;
             Some(result)
@@ -408,7 +620,7 @@ impl QueryCache {
         }
     }
 
-    fn put(&self, key: CacheKey, value: Arc<Vec<TemplateGroup>>) {
+    fn put(&self, key: CacheKey, value: QueryValue) {
         let mut inner = self.inner.lock().expect("query cache poisoned");
         inner.entries.retain(|(k, _)| *k != key);
         inner.entries.insert(0, (key, value));
@@ -435,10 +647,12 @@ impl QueryCache {
 // Snapshot
 // ---------------------------------------------------------------------------
 
-/// A self-contained, immutable snapshot of everything a query needs — model, ladder
-/// and postings behind `Arc`s — so queries can be served from other threads while the
-/// topic keeps ingesting (the topic copies-on-write whatever the snapshot still
-/// shares).
+/// A self-contained, immutable snapshot of everything a node-level query needs —
+/// model, ladder and postings behind `Arc`s — so queries can be served from other
+/// threads while the topic keeps ingesting (the topic copies-on-write whatever the
+/// snapshot still shares). Snapshots carry no record store, so they serve the
+/// node-only query surface (grouping, distribution); record-level predicates need
+/// the topic itself.
 #[derive(Debug, Clone)]
 pub struct QuerySnapshot {
     model: Arc<ParserModel>,
@@ -477,15 +691,28 @@ impl QuerySnapshot {
         self.index.assigned_records()
     }
 
-    /// Group the snapshot's records by template at the requested precision (indexed
+    /// Group the snapshot's records by template at the requested precision (planned
     /// path, uncached — snapshots are cheap and short-lived).
     pub fn group_by_template(&self, options: QueryOptions) -> Vec<TemplateGroup> {
         indexed_groups(&self.model, &self.ladder, &self.index, options)
     }
 
-    /// Distribution of record counts per template at the requested precision.
-    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
-        indexed_distribution(&self.model, &self.ladder, &self.index, threshold)
+    /// Distribution of record counts per template at the requested precision:
+    /// deterministic `(template, count)` pairs sorted by count descending then
+    /// template ascending.
+    pub fn template_distribution(&self, threshold: f64) -> Vec<(String, u64)> {
+        match run_plan(
+            &self.model,
+            &self.ladder,
+            &self.index,
+            None,
+            &distribution_plan(threshold),
+        ) {
+            QueryValue::Distribution(counts) => {
+                Arc::try_unwrap(counts).unwrap_or_else(|arc| (*arc).clone())
+            }
+            _ => unreachable!("distribution plan yields a distribution"),
+        }
     }
 }
 
@@ -505,8 +732,37 @@ impl<'a> QueryEngine<'a> {
         QueryEngine { topic }
     }
 
+    /// Execute a plan through the planned push-down path, **uncached**: always
+    /// a fresh computation (segment pruning included). The serving path,
+    /// [`LogTopic::execute`], adds the LRU cache on top.
+    pub fn execute(&self, plan: &QueryPlan) -> QueryValue {
+        let access = self.topic.record_access(plan);
+        run_plan(
+            self.topic.model(),
+            self.topic.ladder(),
+            self.topic.query_index(),
+            access.as_ref(),
+            plan,
+        )
+    }
+
+    /// Execute a plan through the naive scan oracle: per-record ancestor
+    /// walks, per-record predicate evaluation, no postings and no pruning.
+    /// Byte-identical to [`QueryEngine::execute`] (the differential suite
+    /// enforces it) but O(records) per query — kept for verification and
+    /// benchmarking, not serving.
+    pub fn execute_scan(&self, plan: &QueryPlan) -> QueryValue {
+        scan_plan(
+            self.topic.model(),
+            Some(self.topic.preprocessor()),
+            self.topic.records(),
+            self.topic.first_record_seq(),
+            plan,
+        )
+    }
+
     /// Group all stored records by template at the requested precision, via the
-    /// indexed path (postings aggregated up the saturation ladder, LRU-cached).
+    /// planned path (postings aggregated up the saturation ladder, LRU-cached).
     /// Materialises an owned copy of the result; the serving path
     /// ([`LogTopic::query`] / `ServiceManager::query`) hands out the cache-shared
     /// `Arc` instead.
@@ -514,18 +770,17 @@ impl<'a> QueryEngine<'a> {
         self.topic.query(options).as_ref().clone()
     }
 
-    /// The retained scan reference: per-record ancestor walks over the whole record
-    /// store. Byte-identical to [`QueryEngine::group_by_template`] (the differential
-    /// suite enforces it) but O(records) per query — kept for verification and
-    /// benchmarking, not serving.
+    /// The retained scan reference for the options surface: per-record ancestor
+    /// walks over the whole record store. Byte-identical to
+    /// [`QueryEngine::group_by_template`] (the differential suite enforces it).
     pub fn group_by_template_scan(&self, options: QueryOptions) -> Vec<TemplateGroup> {
         scan_groups(self.topic.model(), self.topic.records(), options)
     }
 
-    /// Distribution of record counts per template at the requested precision, keyed by
-    /// template text (indexed path). Used by the comparison and anomaly-detection
-    /// features.
-    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
+    /// Distribution of record counts per template at the requested precision
+    /// (planned path): deterministic sorted `(template, count)` pairs. Used by
+    /// the comparison and anomaly-detection features.
+    pub fn template_distribution(&self, threshold: f64) -> Vec<(String, u64)> {
         self.topic.template_distribution(threshold)
     }
 }
@@ -535,37 +790,58 @@ impl<'a> QueryEngine<'a> {
 // ---------------------------------------------------------------------------
 
 impl LogTopic {
-    /// Group all stored records by template at the requested precision. Serves from
-    /// the per-node postings aggregated up the saturation ladder — O(templates) plus
-    /// the size of the answer, never a record scan — with an LRU cache keyed by
-    /// `(model version, record count, quantized threshold, limit)`. The result is
-    /// shared via `Arc`: a warm-cache query is a reference-count bump, not a copy of
-    /// the member index lists.
-    pub fn query(&self, options: QueryOptions) -> Arc<Vec<TemplateGroup>> {
-        let options = options.sanitized();
+    /// **The** query entry point: execute a normalized [`QueryPlan`] through
+    /// the planned push-down path with the LRU cache in front. Every other
+    /// query method on the topic, engine, and manager is a thin AST
+    /// constructor over this.
+    ///
+    /// The cache key is `(model version, topic generation, record count,
+    /// canonical plan fingerprint)`; a warm hit is a reference-count bump on
+    /// the shared [`QueryValue`], never a copy.
+    pub fn execute(&self, plan: &QueryPlan) -> QueryValue {
         let key = CacheKey::new(
             self.model_version(),
             self.generation(),
             self.records().len(),
-            options,
+            plan,
         );
         if let Some(cached) = self.query_cache().get(key) {
             return cached;
         }
-        let result = Arc::new(indexed_groups(
+        let access = self.record_access(plan);
+        let value = run_plan(
             self.model(),
             self.ladder(),
             self.query_index(),
-            options,
-        ));
-        self.query_cache().put(key, Arc::clone(&result));
-        result
+            access.as_ref(),
+            plan,
+        );
+        self.query_cache().put(key, value.clone());
+        value
     }
 
-    /// Distribution of record counts per template at the requested precision (indexed,
-    /// counts-only — no record index lists are materialised).
-    pub fn template_distribution(&self, threshold: f64) -> HashMap<String, u64> {
-        indexed_distribution(self.model(), self.ladder(), self.query_index(), threshold)
+    /// Group all stored records by template at the requested precision. Thin
+    /// constructor: builds a predicate-free `group_by`/`top_k` plan and runs it
+    /// through [`LogTopic::execute`]. The result is shared via `Arc`: a
+    /// warm-cache query is a reference-count bump, not a copy of the member
+    /// index lists.
+    pub fn query(&self, options: QueryOptions) -> Arc<Vec<TemplateGroup>> {
+        match self.execute(&options.to_plan()) {
+            QueryValue::Groups(groups) => groups,
+            _ => unreachable!("groups plan yields groups"),
+        }
+    }
+
+    /// Distribution of record counts per template at the requested precision:
+    /// deterministic `(template, count)` pairs sorted by count descending then
+    /// template ascending. Thin constructor over [`LogTopic::execute`]
+    /// (counts-only — no record index lists are materialised — and cached like
+    /// every planned query).
+    pub fn template_distribution(&self, threshold: f64) -> Vec<(String, u64)> {
+        match self.execute(&distribution_plan(threshold)) {
+            QueryValue::Distribution(counts) => (*counts).clone(),
+            _ => unreachable!("distribution plan yields a distribution"),
+        }
     }
 
     /// An immutable snapshot of the query state (model + ladder + postings), safe to
@@ -584,7 +860,7 @@ impl LogTopic {
 mod tests {
     use super::*;
     use crate::topic::{LogTopic, TopicConfig};
-    use bytebrain::{TemplateToken, TreeNode};
+    use bytebrain::{Predicate, TemplateToken, TreeNode};
 
     fn topic_with_data() -> LogTopic {
         let mut topic = LogTopic::new(TopicConfig::new("query-test"));
@@ -657,8 +933,38 @@ mod tests {
         let topic = topic_with_data();
         let engine = QueryEngine::new(&topic);
         let distribution = engine.template_distribution(0.9);
-        let total: u64 = distribution.values().sum();
+        let total: u64 = distribution.iter().map(|(_, count)| count).sum();
         assert_eq!(total, topic.records().len() as u64);
+    }
+
+    /// Satellite regression: the distribution is a deterministic sorted Vec on
+    /// both paths — count descending, ties broken by template ascending —
+    /// instead of a HashMap whose iteration order leaked into examples.
+    #[test]
+    fn distribution_is_deterministically_sorted_on_both_paths() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        for threshold in [0.0, 0.5, 0.9, 1.0] {
+            let planned = engine.template_distribution(threshold);
+            for pair in planned.windows(2) {
+                assert!(
+                    pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                    "distribution must sort by count desc then template asc: {pair:?}"
+                );
+            }
+            let plan = Query::distribution()
+                .at_threshold(threshold)
+                .plan()
+                .unwrap();
+            let scanned = engine.execute_scan(&plan);
+            assert_eq!(
+                QueryValue::Distribution(Arc::new(planned.clone())),
+                scanned,
+                "planned and scan distributions diverged at threshold {threshold}"
+            );
+            // And the order itself is reproducible run to run.
+            assert_eq!(planned, engine.template_distribution(threshold));
+        }
     }
 
     #[test]
@@ -672,7 +978,7 @@ mod tests {
         assert!(login_group.template.contains('*'));
     }
 
-    // -- indexed vs scan ------------------------------------------------------
+    // -- planned vs scan ------------------------------------------------------
 
     #[test]
     fn indexed_path_is_byte_identical_to_scan_path() {
@@ -689,6 +995,49 @@ mod tests {
                 "indexed and scan paths diverged at threshold {threshold}"
             );
         }
+    }
+
+    /// Every operator on an in-memory topic: planned ≡ scan oracle. (The
+    /// heavyweight version — durable topics, deltas, recovery — lives in
+    /// `tests/differential.rs`.)
+    #[test]
+    fn planned_operators_match_scan_oracle_in_memory() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let total = topic.records().len() as u64;
+        let queries = vec![
+            Query::group_by().filter(Predicate::template_matches("logged (in|out)")),
+            Query::top_k(2).filter(Predicate::template_matches("user")),
+            Query::distribution().filter(Predicate::variable_equals("u3")),
+            Query::count_distinct(),
+            Query::group_by().filter(Predicate::variable_contains("0.0.")),
+            Query::distribution().filter(Predicate::time_window(10, total / 2)),
+            Query::group_by().filter(
+                Predicate::template_matches("payment")
+                    .or(Predicate::variable_equals("u1").and(Predicate::time_window(0, 200))),
+            ),
+            Query::group_by().filter(Predicate::variable_equals("u1").not()),
+        ];
+        for (i, query) in queries.into_iter().enumerate() {
+            for threshold in [0.3, 0.9] {
+                let plan = query.clone().at_threshold(threshold).plan().unwrap();
+                assert_eq!(
+                    engine.execute(&plan),
+                    engine.execute_scan(&plan),
+                    "planned and scan paths diverged on query {i} at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_distinct_matches_distribution_length() {
+        let topic = topic_with_data();
+        let engine = QueryEngine::new(&topic);
+        let plan = Query::count_distinct().at_threshold(0.9).plan().unwrap();
+        let count = engine.execute(&plan).count().unwrap();
+        assert_eq!(count, engine.template_distribution(0.9).len() as u64);
+        assert!(count > 0);
     }
 
     #[test]
@@ -736,6 +1085,85 @@ mod tests {
             third.iter().map(|g| g.count()).sum::<usize>(),
             topic.records().len()
         );
+    }
+
+    /// Satellite regression: the cache key carries the canonical plan
+    /// fingerprint, so two different ASTs over identical topic state can
+    /// never collide — the old `(threshold, limit)` key could not tell a
+    /// filtered query from an unfiltered one.
+    #[test]
+    fn query_cache_distinguishes_different_plans() {
+        let topic = topic_with_data();
+        let unfiltered = Query::distribution().at_threshold(0.9).plan().unwrap();
+        let filtered = Query::distribution()
+            .at_threshold(0.9)
+            .filter(Predicate::variable_equals("u3"))
+            .plan()
+            .unwrap();
+        let all = topic.execute(&unfiltered).distribution().unwrap().clone();
+        let only_u3 = topic.execute(&filtered).distribution().unwrap().clone();
+        assert_ne!(
+            all, only_u3,
+            "the filter must change the result (otherwise the test is vacuous)"
+        );
+        // Replaying both in reverse order must serve each from its own entry.
+        let (hits_before, _) = topic.query_cache_stats();
+        assert_eq!(*topic.execute(&filtered).distribution().unwrap(), only_u3);
+        assert_eq!(*topic.execute(&unfiltered).distribution().unwrap(), all);
+        let (hits_after, misses) = topic.query_cache_stats();
+        assert_eq!(hits_after, hits_before + 2, "both replays must hit");
+        assert_eq!(misses, 2, "exactly the two initial computations missed");
+        // Commutation: the same predicate written in either order is the
+        // same canonical plan, hence the same cache entry.
+        let swapped = Query::distribution()
+            .at_threshold(0.9)
+            .filter(Predicate::variable_equals("u3").and(Predicate::time_window(0, u64::MAX)))
+            .plan()
+            .unwrap();
+        let canonical = Query::distribution()
+            .at_threshold(0.9)
+            .filter(Predicate::time_window(0, u64::MAX).and(Predicate::variable_equals("u3")))
+            .plan()
+            .unwrap();
+        assert_eq!(swapped.fingerprint(), canonical.fingerprint());
+        topic.execute(&swapped);
+        let (hits_mid, _) = topic.query_cache_stats();
+        topic.execute(&canonical);
+        let (hits_end, _) = topic.query_cache_stats();
+        assert_eq!(
+            hits_end,
+            hits_mid + 1,
+            "commuted plan must hit the same entry"
+        );
+    }
+
+    /// Satellite regression: eviction. Cycling more distinct plans than the
+    /// cache holds evicts the oldest; re-running it misses but still returns
+    /// the correct (recomputed) result.
+    #[test]
+    fn query_cache_eviction_recomputes_correctly() {
+        let topic = topic_with_data();
+        let first_plan = Query::distribution().at_threshold(0.9).plan().unwrap();
+        let first = topic.execute(&first_plan);
+        // Fill the cache with > capacity distinct plans (different windows →
+        // different fingerprints).
+        for end in 0..(QUERY_CACHE_CAPACITY as u64 + 4) {
+            let plan = Query::distribution()
+                .at_threshold(0.9)
+                .filter(Predicate::time_window(0, 1_000 + end))
+                .plan()
+                .unwrap();
+            topic.execute(&plan);
+        }
+        let (_, misses_before) = topic.query_cache_stats();
+        let again = topic.execute(&first_plan);
+        let (_, misses_after) = topic.query_cache_stats();
+        assert_eq!(
+            misses_after,
+            misses_before + 1,
+            "the evicted plan must miss, not alias another entry"
+        );
+        assert_eq!(first, again, "recomputation after eviction must agree");
     }
 
     // -- merged-group determinism (satellite) --------------------------------
@@ -865,15 +1293,31 @@ mod tests {
         }
     }
 
-    /// The cache key stores the threshold in mills, so the computed threshold must
-    /// sit exactly on that grid: a query at 0.8995 and one at 0.9001 share a key
-    /// *and* a computation (both snap to 0.900), and the scan path snaps identically
-    /// — no cached result can ever be served for a threshold it was not computed at.
+    /// The canonical plan stores the sanitized threshold, so the computed threshold
+    /// must sit exactly on the service's 1/1000 grid: a query at 0.8995 and one at
+    /// 0.9001 share a plan fingerprint *and* a computation (both snap to 0.900), and
+    /// the scan path snaps identically — no cached result can ever be served for a
+    /// threshold it was not computed at.
     #[test]
     fn cache_key_and_computation_agree_on_the_quantized_threshold() {
         assert_eq!(sanitize_threshold(0.8995), 0.9);
         assert_eq!(sanitize_threshold(0.9001), 0.9);
         assert_eq!(sanitize_threshold(0.89949), 0.899);
+        assert_eq!(
+            QueryOptions {
+                saturation_threshold: 0.8995,
+                limit: usize::MAX
+            }
+            .to_plan()
+            .fingerprint(),
+            QueryOptions {
+                saturation_threshold: 0.9001,
+                limit: usize::MAX
+            }
+            .to_plan()
+            .fingerprint(),
+            "thresholds on the same grid stop must share a plan"
+        );
         // A node whose saturation (0.8998) falls between two off-grid query
         // thresholds: both paths must treat both thresholds as the same grid stop.
         let make = |sat: f64, text: &[&str]| TreeNode {

@@ -44,11 +44,13 @@ pub mod framing;
 pub mod lineage;
 pub mod manifest;
 pub mod segment;
+pub mod summary;
 pub mod wal;
 
 pub use lineage::{LineageEntry, LineageSink};
 pub use manifest::{Manifest, SegmentMeta};
 pub use segment::Segment;
+pub use summary::SegmentSummary;
 pub use wal::{DeltaEvent, RecordMove, WalRecord};
 
 use crate::topic::{MaintenancePolicy, StoredRecord, TopicConfig};
@@ -263,6 +265,13 @@ pub struct TopicStorage {
     next_seq: u64,
     /// Throughput metadata stamped on the next sealed segments.
     last_throughput: f64,
+    /// Derived push-down summaries, one per live segment (lockstep with
+    /// `manifest.segments`); recomputed from the decoded columns on open.
+    summaries: Vec<SegmentSummary>,
+    /// `at_seq` of the latest delta event since the epoch boundary (0 when
+    /// none): summaries of segments sealed before it are stale — the delta
+    /// may have re-matched their records — and must not prune.
+    last_delta_seq: u64,
 }
 
 impl TopicStorage {
@@ -302,6 +311,8 @@ impl TopicStorage {
             pending: Vec::new(),
             next_seq: 0,
             last_throughput: 0.0,
+            summaries: Vec::new(),
+            last_delta_seq: 0,
         })
     }
 
@@ -379,6 +390,14 @@ impl TopicStorage {
         manifest.generation += 1;
         manifest::write_manifest(&manifest_path, &manifest)?;
 
+        // Summaries are derived state: recompute from the decoded variable
+        // columns, so they can never disagree with what is on disk.
+        let summaries = segments
+            .iter()
+            .map(|seg| SegmentSummary::build(&seg.variables))
+            .collect();
+        let last_delta_seq = events_list.iter().map(|e| e.at_seq).max().unwrap_or(0);
+
         let recovered = RecoveredTopic {
             meta,
             manifest: manifest.clone(),
@@ -398,6 +417,8 @@ impl TopicStorage {
                 pending: wal_tail,
                 next_seq,
                 last_throughput: 0.0,
+                summaries,
+                last_delta_seq,
             },
             recovered,
         ))
@@ -431,6 +452,22 @@ impl TopicStorage {
     /// Live segment metadata (ascending by sequence).
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.manifest.segments
+    }
+
+    /// Live segments paired with their push-down summaries (ascending by
+    /// sequence). The planner consults these to skip whole segments before
+    /// touching any record.
+    pub fn segment_summaries(&self) -> impl Iterator<Item = (&SegmentMeta, &SegmentSummary)> {
+        debug_assert_eq!(self.summaries.len(), self.manifest.segments.len());
+        self.manifest.segments.iter().zip(self.summaries.iter())
+    }
+
+    /// `at_seq` of the latest delta event since the epoch boundary (0 when
+    /// none). Variable-column summaries of segments whose `first_seq` is
+    /// below this are stale (the delta may have re-matched their records or
+    /// patched their templates) and must not prune.
+    pub fn last_delta_seq(&self) -> u64 {
+        self.last_delta_seq
     }
 
     /// A shared handle to the lineage sink (attached to the topic's
@@ -471,8 +508,11 @@ impl TopicStorage {
     }
 
     /// Append one incremental-maintenance event (delta version + record
-    /// moves) to the event log.
+    /// moves) to the event log. Marks summaries of every already-sealed
+    /// segment stale for push-down pruning (see
+    /// [`TopicStorage::last_delta_seq`]).
     pub fn append_delta_event(&mut self, event: &DeltaEvent) -> io::Result<()> {
+        self.last_delta_seq = self.last_delta_seq.max(event.at_seq);
         self.events.append(&event.encode())
     }
 
@@ -522,6 +562,7 @@ impl TopicStorage {
             chunk,
             &variables,
         )?;
+        self.summaries.push(SegmentSummary::build(&variables));
         self.manifest.next_segment_id += 1;
         self.manifest.segments.push(SegmentMeta {
             id,
@@ -561,6 +602,7 @@ impl TopicStorage {
             "live records must cover the retained sequence range"
         );
         let old_segments = std::mem::take(&mut self.manifest.segments);
+        self.summaries.clear();
         let mut baseline: Vec<WalRecord> = Vec::with_capacity(self.config.segment_records);
         for (seq, stored) in (first_live..).zip(records.iter()) {
             baseline.push(WalRecord {
@@ -591,6 +633,9 @@ impl TopicStorage {
         self.pending.clear();
         self.wal.truncate()?;
         self.events.truncate()?;
+        // Fresh epoch: every segment was resealed with current assignments,
+        // so all summaries are trustworthy again.
+        self.last_delta_seq = 0;
         for old in old_segments {
             let _ = fs::remove_file(
                 self.dir
@@ -629,6 +674,7 @@ impl TopicStorage {
                 break;
             }
             let seg = self.manifest.segments.remove(0);
+            self.summaries.remove(0);
             outcome.dropped_records += seg.records;
             outcome.dropped_bytes += seg.bytes;
             outcome.dropped_segments += 1;
@@ -695,6 +741,10 @@ impl TopicStorage {
             stale_ids.push(a.id);
             stale_ids.push(b.id);
             self.manifest.segments.splice(i..i + 2, [merged]);
+            // Rebuild the merged summary from the concatenated columns (an
+            // exact rebuild, not a lossy bloom union).
+            self.summaries
+                .splice(i..i + 2, [SegmentSummary::build(&variables)]);
             merges += 1;
             // Stay at `i`: the merged segment may merge again with its new
             // right neighbour.

@@ -16,7 +16,7 @@
 //! snapshot is hot-swapped into a running stream at a shard-flush boundary.
 
 use crate::ingest::{IngestConfig, IngestStats, MatchedRecord, StreamIngestor};
-use crate::query::{QueryCache, QueryIndex};
+use crate::query::{QueryCache, QueryIndex, RecordAccess};
 use crate::storage::{
     DeltaEvent, RecordMove, RetentionOutcome, StorageConfig, TopicMeta, TopicStorage, WalRecord,
 };
@@ -27,7 +27,8 @@ use bytebrain::matcher::match_ids_batch;
 use bytebrain::merge::merge_models;
 use bytebrain::train::train;
 use bytebrain::{
-    CompiledMatcher, MatchEngine, NodeId, ParserModel, SaturationLadder, TemplateToken, TrainConfig,
+    CompiledMatcher, MatchEngine, NodeId, ParserModel, QueryPlan, SaturationLadder, TemplateToken,
+    TrainConfig,
 };
 use logtok::Preprocessor;
 use std::io;
@@ -539,6 +540,79 @@ impl LogTopic {
     /// The topic's query cache.
     pub(crate) fn query_cache(&self) -> &QueryCache {
         &self.query_cache
+    }
+
+    /// The topic's preprocessor (masking + tokenization), shared with the
+    /// ingest path so query-time variable extraction agrees with sealing.
+    pub(crate) fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
+    }
+
+    /// Sequence number of `records()[0]`: `first_live_seq` for durable topics
+    /// (retention may have dropped a prefix), 0 for in-memory topics.
+    pub fn first_record_seq(&self) -> u64 {
+        self.storage
+            .as_ref()
+            .map(|storage| storage.first_live_seq())
+            .unwrap_or(0)
+    }
+
+    /// Assemble record access for a plan's record-level predicates, push-down
+    /// included: `None` when the plan is node-only (postings alone answer it),
+    /// otherwise the record store plus skip ranges for segments the storage
+    /// summaries proved cannot match.
+    pub(crate) fn record_access(&self, plan: &QueryPlan) -> Option<RecordAccess<'_>> {
+        if plan.is_node_only() {
+            return None;
+        }
+        let first_seq = self.first_record_seq();
+        Some(RecordAccess {
+            records: &self.records,
+            preprocessor: &self.preprocessor,
+            first_seq,
+            skip: self.prune_ranges(plan, first_seq),
+        })
+    }
+
+    /// Half-open record-index ranges proven non-matching by segment summaries
+    /// (sorted and disjoint because segments are ordered and non-overlapping;
+    /// empty for in-memory topics). A segment is skipped when a required
+    /// time-window conjunct is disjoint from its sequence range (always
+    /// sound), or when a required variable-equals value is provably absent
+    /// from its variable column — the latter only for segments sealed at or
+    /// after the latest incremental delta
+    /// ([`TopicStorage::last_delta_seq`]), since deltas can re-match sealed
+    /// records or patch node templates and thereby change what query-time
+    /// extraction returns. WAL-tail and in-memory records are never pruned.
+    fn prune_ranges(&self, plan: &QueryPlan, first_seq: u64) -> Vec<(usize, usize)> {
+        let Some(storage) = self.storage.as_ref() else {
+            return Vec::new();
+        };
+        let required_values = plan.required_variable_equals();
+        let window = plan.required_window();
+        if required_values.is_empty() && window.is_none() {
+            return Vec::new();
+        }
+        let last_delta_seq = storage.last_delta_seq();
+        let mut skip = Vec::new();
+        for (meta, summary) in storage.segment_summaries() {
+            debug_assert!(meta.first_seq >= first_seq);
+            let start = (meta.first_seq - first_seq) as usize;
+            let end = start + meta.records as usize;
+            let seg_end_seq = meta.first_seq + meta.records; // half-open, like TimeWindow
+            let window_prunes = window.is_some_and(|(win_start, win_end)| {
+                seg_end_seq <= win_start || meta.first_seq >= win_end
+            });
+            let summary_fresh = meta.first_seq >= last_delta_seq;
+            let value_prunes = summary_fresh
+                && required_values
+                    .iter()
+                    .any(|value| !summary.may_contain(value));
+            if window_prunes || value_prunes {
+                skip.push((start, end));
+            }
+        }
+        skip
     }
 
     /// A cheap shared handle to the saturation ladder (for query snapshots).
@@ -1120,22 +1194,25 @@ impl LogTopic {
     }
 }
 
-/// Best-effort variable extraction for a record being sealed into a segment: the
-/// tokens sitting at the wildcard positions of its assigned template. Empty when the
-/// record has no assignment, the node is gone, or the token count disagrees with the
-/// template (replay correctness never depends on this column — it is query metadata).
-fn extract_variables(
+/// Best-effort variable extraction: the tokens sitting at the wildcard positions of a
+/// record's assigned template. Empty when the record has no assignment, the node is
+/// gone, or the token count disagrees with the template (replay correctness never
+/// depends on this column — it is query metadata). The same definition serves segment
+/// sealing and query-time predicate evaluation, so `VariableEquals` semantics cannot
+/// drift between the planned path and the storage summaries.
+pub(crate) fn variables_of(
     model: &ParserModel,
     preprocessor: &Preprocessor,
-    rec: &WalRecord,
+    text: &str,
+    node: Option<NodeId>,
 ) -> Vec<String> {
-    let Some(id) = rec.node else {
+    let Some(id) = node else {
         return Vec::new();
     };
     let Some(node) = model.node(id) else {
         return Vec::new();
     };
-    let tokens = preprocessor.tokens_of(&rec.text);
+    let tokens = preprocessor.tokens_of(text);
     if tokens.len() != node.template.len() {
         return Vec::new();
     }
@@ -1145,6 +1222,15 @@ fn extract_variables(
         .filter(|(_, slot)| matches!(slot, TemplateToken::Wildcard))
         .map(|(token, _)| token)
         .collect()
+}
+
+/// [`variables_of`] over a WAL record about to be sealed into a segment.
+fn extract_variables(
+    model: &ParserModel,
+    preprocessor: &Preprocessor,
+    rec: &WalRecord,
+) -> Vec<String> {
+    variables_of(model, preprocessor, &rec.text, rec.node)
 }
 
 #[cfg(test)]

@@ -16,7 +16,6 @@ use service::{
     LogTopic, MaintenancePolicy, QueryOptions, ServiceManager, StorageConfig, TopicConfig,
     TopicStats,
 };
-use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -131,7 +130,7 @@ struct Expectation {
     record_count: usize,
     records: Vec<String>,
     groups: Vec<Vec<service::TemplateGroup>>,
-    distribution: HashMap<String, u64>,
+    distribution: Vec<(String, u64)>,
 }
 
 fn capture(topic: &LogTopic) -> Expectation {

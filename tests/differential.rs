@@ -393,9 +393,11 @@ fn indexed_query_path_is_byte_identical_to_scan_path() {
                      limit {limit})"
                 );
             }
-            // The counts-only distribution agrees with the full grouping.
+            // The counts-only distribution agrees with the full grouping — and
+            // comes back in the canonical deterministic order (count descending,
+            // template ascending).
             let distribution = topic.template_distribution(threshold);
-            let from_groups: std::collections::HashMap<String, u64> = engine
+            let mut from_groups: Vec<(String, u64)> = engine
                 .group_by_template(QueryOptions {
                     saturation_threshold: threshold,
                     limit: usize::MAX,
@@ -403,6 +405,7 @@ fn indexed_query_path_is_byte_identical_to_scan_path() {
                 .into_iter()
                 .map(|g| (g.template, g.record_indices.len() as u64))
                 .collect();
+            from_groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             assert_eq!(
                 distribution, from_groups,
                 "distribution diverged from grouping ({label}, threshold {threshold})"
@@ -551,4 +554,169 @@ fn automaton_match_path_is_byte_identical_to_tree_walk() {
     );
     assert_eq!(auto.stats().maintenance_runs, tree.stats().maintenance_runs);
     assert_eq!(auto.stats().training_runs, tree.stats().training_runs);
+}
+
+/// Every AST operator must be **byte-identical** between the planned push-down
+/// path ([`QueryEngine::execute`]: batched ladder resolution, postings, segment
+/// pruning, aggregation) and the naive scan oracle ([`QueryEngine::execute_scan`]:
+/// per-record ancestor walks, no postings, no pruning) — over durable topics,
+/// under both maintenance policies, with mid-stream delta maintenance, and after
+/// kill-and-open crash recovery (where summaries are recomputed from the decoded
+/// segments). Runs under the CI seed matrix via `BYTEBRAIN_TEST_SEED`.
+#[test]
+fn planned_operators_match_scan_oracle_under_maintenance_and_recovery() {
+    use bytebrain_repro::bytebrain::{Predicate, Query, QueryPlan};
+    use bytebrain_repro::service::{QueryEngine, StorageConfig};
+
+    // Auth-style records carry variables worth filtering on (user ids, IPs);
+    // the scrubber family is novel relative to the warm-up, so streaming it
+    // into the incremental topic trips the drift detector mid-stream.
+    let auth_batch = |offset: usize, n: usize| -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "user u{} logged {} from 10.0.{}.{}",
+                    (offset + i) % 40,
+                    if (offset + i).is_multiple_of(3) {
+                        "out"
+                    } else {
+                        "in"
+                    },
+                    (offset + i) % 16,
+                    (offset + i) % 250,
+                )
+            })
+            .collect()
+    };
+    let scrub_batch = |offset: usize, n: usize| -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "disk scrubber pass {} repaired sector {} on volume vol-{}",
+                    (offset + i) % 7,
+                    offset + i,
+                    (offset + i) % 3
+                )
+            })
+            .collect()
+    };
+
+    // One plan per operator, plus a composed query mixing all predicate kinds.
+    let battery = |records: u64| -> Vec<(&'static str, QueryPlan)> {
+        vec![
+            ("group_by", Query::group_by().plan().unwrap()),
+            ("top_k", Query::top_k(3).at_threshold(0.6).plan().unwrap()),
+            ("distribution", Query::distribution().plan().unwrap()),
+            ("count_distinct", Query::count_distinct().plan().unwrap()),
+            (
+                "text_predicate",
+                Query::group_by()
+                    .filter(Predicate::template_matches("logged (in|out)"))
+                    .plan()
+                    .unwrap(),
+            ),
+            (
+                "variable_equals",
+                Query::group_by()
+                    .filter(Predicate::variable_equals("u3"))
+                    .plan()
+                    .unwrap(),
+            ),
+            (
+                "variable_contains",
+                Query::distribution()
+                    .filter(Predicate::variable_contains("10.0."))
+                    .plan()
+                    .unwrap(),
+            ),
+            (
+                "time_window",
+                Query::distribution()
+                    .filter(Predicate::time_window(records / 4, records / 2))
+                    .plan()
+                    .unwrap(),
+            ),
+            (
+                "composed",
+                Query::top_k(5)
+                    .at_threshold(0.75)
+                    .filter(
+                        Predicate::variable_equals("u7").or(Predicate::time_window(0, records / 2)
+                            .and(Predicate::variable_contains("10.0.3").not())),
+                    )
+                    .plan()
+                    .unwrap(),
+            ),
+        ]
+    };
+
+    let assert_agree = |topic: &LogTopic, ctx: &str| {
+        let engine = QueryEngine::new(topic);
+        for (name, plan) in battery(topic.records().len() as u64) {
+            assert_eq!(
+                engine.execute(&plan),
+                engine.execute_scan(&plan),
+                "planned path diverged from scan oracle: {ctx}/{name}"
+            );
+        }
+    };
+
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("bb-diff-ast-{tag}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+        }
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    };
+    let storage = StorageConfig::default()
+        .with_segment_records(64)
+        .with_fsync(false);
+
+    // --- Full-retrain policy: volume triggers fire stop-the-world retrains. ---
+    let dir = scratch("full");
+    let config = TopicConfig::new("ast-full").with_volume_threshold(300);
+    let mut topic = LogTopic::durable(config, &dir, storage.clone()).expect("create durable topic");
+    topic.ingest(&auth_batch(0, 250));
+    assert_agree(&topic, "full/after-ingest");
+    topic.ingest(&auth_batch(250, 200)); // crosses the volume threshold → retrain
+    topic.ingest(&scrub_batch(0, 150));
+    assert!(topic.stats().training_runs >= 1, "retrain must have fired");
+    assert_agree(&topic, "full/after-retrain");
+    drop(topic); // kill: all in-process state gone
+    let recovered = LogTopic::open(&dir, storage.clone()).expect("recover topic");
+    assert_agree(&recovered, "full/after-recovery");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Incremental policy: drift folds deltas in mid-stream. ---
+    let dir = scratch("inc");
+    let config = TopicConfig::new("ast-inc")
+        .with_volume_threshold(100_000)
+        .with_maintenance(MaintenancePolicy::Incremental {
+            drift: DriftConfig::default()
+                .with_window(200)
+                .with_min_samples(50)
+                .with_max_unmatched_rate(0.3),
+            check_interval: 64,
+        });
+    let mut topic = LogTopic::durable(config, &dir, storage.clone()).expect("create durable topic");
+    topic.ingest(&auth_batch(0, 300));
+    assert_agree(&topic, "inc/after-ingest");
+    let stream_config = IngestConfig::default()
+        .with_shards(2)
+        .with_batch_records(64);
+    topic.ingest_stream(scrub_batch(0, 400), &stream_config);
+    assert!(
+        topic.stats().maintenance_runs >= 1,
+        "drift maintenance must have produced at least one delta"
+    );
+    // Sealed pre-delta segments are now stale for variable pruning; the
+    // differential proves the staleness rule keeps the planned path exact.
+    assert_agree(&topic, "inc/after-delta");
+    topic.ingest(&auth_batch(300, 150)); // fresh post-delta records (and segments)
+    assert_agree(&topic, "inc/after-delta-ingest");
+    drop(topic);
+    let recovered = LogTopic::open(&dir, storage).expect("recover topic");
+    assert_agree(&recovered, "inc/after-recovery");
+    std::fs::remove_dir_all(&dir).ok();
 }
