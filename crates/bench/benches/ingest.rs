@@ -19,7 +19,7 @@
 use bytebrain::incremental::DriftConfig;
 use bytebrain::matcher::{match_record, match_record_with_scratch, match_view};
 use bytebrain::train::train;
-use bytebrain::{CompiledMatcher, MatchCache, MatchEngine, ParserModel, TrainConfig};
+use bytebrain::{CompiledMatcher, DfaEncoding, MatchCache, MatchEngine, ParserModel, TrainConfig};
 use criterion::{BatchSize, Criterion, Throughput};
 use datasets::LabeledDataset;
 use logtok::{Preprocessor, TokenScratch};
@@ -160,7 +160,7 @@ fn bench_matcher_paths(c: &mut Criterion) {
                     .with_batch_records(1_024),
             );
             for record in &stream_part {
-                ingestor.push(record.clone());
+                ingestor.push(record.as_str());
             }
             ingestor.finish().matched()
         })
@@ -352,10 +352,11 @@ fn repetitive_stream(n: usize, distinct: usize) -> Vec<String> {
 
 /// The match-engine comparison behind `BENCH_ingest.json`: the same stream
 /// through (a) the tree walker, (b) the compiled automaton cold (every line
-/// preprocessed + matched through the DFA), and (c) the automaton behind a warm
-/// per-worker line cache. Rows are records/s; the differential suite proves all
-/// three produce byte-identical assignments, so the rates are directly
-/// comparable.
+/// preprocessed + matched through the DFA) under each state encoding — sparse
+/// binary-search edges, fully dense rows, and the shipping hybrid — and (c)
+/// the automaton behind a warm per-worker line cache. Rows are records/s; the
+/// differential suite proves every engine produces byte-identical assignments,
+/// so the rates are directly comparable.
 fn bench_ingest_engines(c: &mut Criterion) {
     let smoke = smoke_mode();
     let (train_lines, lines) = if smoke { (600, 2_000) } else { (4_000, 16_000) };
@@ -388,19 +389,34 @@ fn bench_ingest_engines(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("automaton", |b| {
-        b.iter(|| {
-            let mut scratch = TokenScratch::new();
-            let mut matched = 0usize;
-            for record in &stream {
-                let view = preprocessor.token_view(record, &mut scratch);
-                if compiled.match_view(&view).is_some() {
-                    matched += 1;
+    // Cold path per encoding: `automaton` is the shipping hybrid; the sparse
+    // and dense rows bracket it (pure binary-search edges vs a dense row for
+    // every state).
+    for (name, engine) in [
+        ("automaton", &compiled),
+        (
+            "automaton_sparse",
+            &CompiledMatcher::compile_with_encoding(&model, DfaEncoding::Sparse),
+        ),
+        (
+            "automaton_dense",
+            &CompiledMatcher::compile_with_encoding(&model, DfaEncoding::Dense),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut scratch = TokenScratch::new();
+                let mut matched = 0usize;
+                for record in &stream {
+                    let view = preprocessor.token_view(record, &mut scratch);
+                    if engine.match_view(&view).is_some() {
+                        matched += 1;
+                    }
                 }
-            }
-            matched
-        })
-    });
+                matched
+            })
+        });
+    }
 
     {
         let mut cache = MatchCache::default();

@@ -5,8 +5,12 @@
 //! CI step — when a file is missing, is not valid JSON, or lacks its required
 //! rows with positive `records_per_sec` rates. Per-artifact requirements:
 //!
-//! - `BENCH_ingest.json`: `ingest_engines` rows `tree_walk`, `automaton`,
-//!   `automaton_cached`.
+//! - `BENCH_ingest.json`: `ingest_engines` rows `tree_walk`, `automaton`
+//!   (hybrid encoding), `automaton_sparse`, `automaton_dense`,
+//!   `automaton_cached`, `stream_tree_walk` and `stream_automaton`; on a full
+//!   run the cold hybrid `automaton` row must clear 400k records/s and the
+//!   end-to-end `stream_automaton` row 1.5M records/s — the compiled match
+//!   path must stay decisively ahead of the tree walk, cold and streamed.
 //! - `BENCH_storage.json`: `storage` rows `wal_append`, `segment_flush`,
 //!   `recovery_replay`; on a full (non-smoke) run, `segment_flush` and
 //!   `recovery_replay` must additionally clear 200k records/s — the durability
@@ -20,6 +24,14 @@ use std::process::ExitCode;
 
 /// Throughput floor for the durable tier's full-run flush/replay rows.
 const STORAGE_FLOOR_RPS: f64 = 200_000.0;
+
+/// Full-run floor for the cold compiled-automaton row (hybrid encoding,
+/// every line masked + tokenized + matched, no line cache).
+const COLD_AUTOMATON_FLOOR_RPS: f64 = 400_000.0;
+
+/// Full-run floor for the end-to-end streaming engine under the automaton
+/// (shards, batching, worker pool, per-worker caches, batch reordering).
+const STREAM_AUTOMATON_FLOOR_RPS: f64 = 1_500_000.0;
 
 fn fail(msg: &str) -> bool {
     eprintln!("[check_bench] FAIL: {msg}");
@@ -70,8 +82,16 @@ fn check_artifact(path: &str) -> bool {
     let required: &[(&str, &str, f64)] = match bench.as_str() {
         "ingest" => &[
             ("ingest_engines", "tree_walk", 0.0),
-            ("ingest_engines", "automaton", 0.0),
+            ("ingest_engines", "automaton", COLD_AUTOMATON_FLOOR_RPS),
+            ("ingest_engines", "automaton_sparse", 0.0),
+            ("ingest_engines", "automaton_dense", 0.0),
             ("ingest_engines", "automaton_cached", 0.0),
+            ("ingest_engines", "stream_tree_walk", 0.0),
+            (
+                "ingest_engines",
+                "stream_automaton",
+                STREAM_AUTOMATON_FLOOR_RPS,
+            ),
         ],
         "storage" => &[
             ("storage", "wal_append", 0.0),

@@ -104,6 +104,17 @@ impl BuildHasher for FnvBuildHasher {
 
 type FnvMap<K, V> = HashMap<K, V, FnvBuildHasher>;
 
+/// One-shot FNV-1a over `bytes` (the loop form the hot paths inline).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 // ---------------------------------------------------------------------------
 // Token interner
 // ---------------------------------------------------------------------------
@@ -150,11 +161,6 @@ impl Interner {
         sym
     }
 
-    /// Lookup without interning (the match path never mutates the interner).
-    fn get(&self, text: &str) -> Option<u32> {
-        self.ids.get(text).copied()
-    }
-
     fn text(&self, sym: u32) -> &str {
         &self.symbols[sym as usize].text
     }
@@ -172,6 +178,91 @@ impl Interner {
     /// Number of live interned symbols.
     fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// One past the highest symbol id in use — the width of a dense DFA
+    /// transition row. Larger than [`len`](Interner::len) when recycled slots
+    /// fragment the id range (compaction closes the gap).
+    fn symbol_range(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Fraction of the id range occupied by recycled (dead) slots.
+    fn fragmentation(&self) -> f64 {
+        if self.symbols.is_empty() {
+            0.0
+        } else {
+            self.free.len() as f64 / self.symbols.len() as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressing symbol table (the match-path token → symbol lookup)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct SymSlot {
+    hash: u64,
+    /// Interned symbol id, or [`NONE`] for an empty slot.
+    sym: u32,
+}
+
+/// FNV-keyed open-addressing (linear probing) table mapping masked token text
+/// to interned symbol ids. This replaces the std `HashMap` probe on the match
+/// hot path: one FNV hash, one masked index, and (almost always) one slot load.
+/// Entries are verified against the interner's stored text on a hash hit, so a
+/// 64-bit collision degrades to a miss-and-compare, never a wrong symbol —
+/// byte-identity with the tree walk is absolute, not probabilistic.
+///
+/// The table is rebuilt as part of every compiled snapshot (compile and
+/// `refreshed` both finish through [`CompiledMatcher::finalize`]) and shared
+/// read-only by every worker via the snapshot `Arc`.
+#[derive(Debug, Clone, Default)]
+struct SymbolTable {
+    slots: Vec<SymSlot>,
+    mask: usize,
+}
+
+impl SymbolTable {
+    /// Build from the interner's live symbols at ≤ 50% load factor.
+    fn build(interner: &Interner) -> Self {
+        let live = interner.len();
+        if live == 0 {
+            return SymbolTable::default();
+        }
+        let capacity = (live * 2).next_power_of_two().max(16);
+        let mask = capacity - 1;
+        let mut slots = vec![SymSlot { hash: 0, sym: NONE }; capacity];
+        for (text, &sym) in &interner.ids {
+            let hash = fnv1a(text.as_bytes());
+            let mut idx = (hash as usize) & mask;
+            while slots[idx].sym != NONE {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = SymSlot { hash, sym };
+        }
+        SymbolTable { slots, mask }
+    }
+
+    /// Resolve `token` to its symbol id, or `None` when never interned.
+    #[inline]
+    fn lookup(&self, token: &str, interner: &Interner) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let hash = fnv1a(token.as_bytes());
+        let mut idx = (hash as usize) & self.mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot.sym == NONE {
+                return None;
+            }
+            if slot.hash == hash && interner.text(slot.sym) == token {
+                return Some(slot.sym);
+            }
+            idx = (idx + 1) & self.mask;
+        }
     }
 }
 
@@ -233,15 +324,66 @@ struct DfaState {
     /// Winning template if the record ends in this state: the minimum-rank
     /// member accept, i.e. exactly what the linear tree walk would return.
     accept: Option<NodeId>,
+    /// Offset of this state's dense transition row in the shared row arena,
+    /// or [`NONE`] when the state is cold (sparse binary search). A dense row
+    /// holds one `u32` target per symbol id in `0..symbol_range`, pre-filled
+    /// with `default` so a transition is exactly one array load.
+    dense_row: u32,
+}
+
+impl DfaState {
+    fn new() -> Self {
+        DfaState {
+            edges: Vec::new(),
+            default: NONE,
+            accept: None,
+            dense_row: NONE,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 enum Exec {
-    Dfa(Vec<DfaState>),
+    Dfa {
+        states: Vec<DfaState>,
+        /// Dense transition row arena (hybrid encoding): hot states index this
+        /// with `dense_row + sym`; cold states keep sorted-edge binary search.
+        dense: Vec<u32>,
+    },
     /// Subset construction exceeded the state cap; match by active-set
     /// simulation over the trie instead.
     Nfa,
 }
+
+/// How DFA transitions are stored. [`Hybrid`](DfaEncoding::Hybrid) is the
+/// production default; the pure variants exist for benchmarking and for the
+/// differential property suite, which proves all three byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DfaEncoding {
+    /// Sorted-edge binary search for every state (the pre-hybrid layout).
+    Sparse,
+    /// A dense row for every state with at least one edge, budget permitting.
+    Dense,
+    /// Dense rows for hot states (≥ [`DENSE_EDGE_THRESHOLD`] edges), sparse
+    /// edges for the long cold tail.
+    #[default]
+    Hybrid,
+}
+
+/// Minimum edge count for a state to earn a dense row under
+/// [`DfaEncoding::Hybrid`]. Below this, binary search over the sorted edge
+/// vector touches fewer cache lines than a row load would save.
+pub const DENSE_EDGE_THRESHOLD: usize = 4;
+
+/// Upper bound on total dense-row entries (`rows × symbol_range`); 4 bytes
+/// each, so this caps the arena at 16 MiB. Rows are granted to the widest
+/// states first, so a pathological snapshot degrades to sparse, never OOM.
+const DENSE_BUDGET_ENTRIES: usize = 1 << 22;
+
+/// Interner fragmentation (recycled id slots ÷ id range) above which
+/// [`CompiledMatcher::refreshed`] compacts symbol ids before re-determinizing,
+/// keeping dense rows sized to the live symbol count under delta churn.
+const COMPACT_FRAGMENTATION: f64 = 0.25;
 
 // ---------------------------------------------------------------------------
 // CompiledMatcher
@@ -266,7 +408,11 @@ pub struct CompiledMatcher {
     /// `rank[id]` = position of `NodeId(id)` in the model's match order
     /// (`u32::MAX` for non-live nodes). Lower rank wins.
     ranks: Vec<u32>,
+    /// Open-addressing token → symbol lookup used by the match hot path;
+    /// rebuilt in [`finalize`](CompiledMatcher::finalize) for every snapshot.
+    symbols: SymbolTable,
     exec: Exec,
+    encoding: DfaEncoding,
     max_dfa_states: usize,
     generation: u64,
 }
@@ -280,6 +426,16 @@ impl CompiledMatcher {
     /// [`compile`](CompiledMatcher::compile) with an explicit determinization
     /// cap — tests use a tiny cap to force the NFA fallback path.
     pub fn compile_with_limit(model: &ParserModel, max_dfa_states: usize) -> Self {
+        Self::compile_with(model, max_dfa_states, DfaEncoding::default())
+    }
+
+    /// [`compile`](CompiledMatcher::compile) with an explicit transition
+    /// encoding — benches and the differential suite compare all variants.
+    pub fn compile_with_encoding(model: &ParserModel, encoding: DfaEncoding) -> Self {
+        Self::compile_with(model, DEFAULT_MAX_DFA_STATES, encoding)
+    }
+
+    fn compile_with(model: &ParserModel, max_dfa_states: usize, encoding: DfaEncoding) -> Self {
         let mut compiled = CompiledMatcher {
             interner: Interner::default(),
             trie: vec![TrieNode {
@@ -289,28 +445,73 @@ impl CompiledMatcher {
             free_trie: Vec::new(),
             templates: FnvMap::default(),
             ranks: Vec::new(),
+            symbols: SymbolTable::default(),
             exec: Exec::Nfa,
+            encoding,
             max_dfa_states,
             generation: 0,
         };
         compiled.reconcile(model);
-        compiled.determinize();
-        compiled.generation = GENERATION.fetch_add(1, Ordering::Relaxed);
+        compiled.finalize();
         compiled
     }
 
     /// Produce a new snapshot consistent with `model` by *patching* this one:
     /// templates that are unchanged keep their trie paths untouched; retired
     /// or rewritten templates are pruned; new templates are inserted; the DFA
-    /// is re-determinized from the patched trie. Called at every
+    /// (including the dense transition rows) is rebuilt from the patched trie,
+    /// and symbol ids are compacted when delta churn has fragmented the id
+    /// range (dense row width tracks the live symbol count). Called at every
     /// `apply_delta`/`swap_model` boundary. Equivalent (proven by the property
     /// suite) to [`CompiledMatcher::compile`] on the post-delta model.
     pub fn refreshed(&self, model: &ParserModel) -> Self {
         let mut next = self.clone();
         next.reconcile(model);
-        next.determinize();
-        next.generation = GENERATION.fetch_add(1, Ordering::Relaxed);
+        next.finalize();
         next
+    }
+
+    /// Shared tail of compile/refresh: compact fragmented symbol ids, rebuild
+    /// the open-addressing symbol table, re-determinize (which also lays out
+    /// the dense rows), and stamp a fresh generation.
+    fn finalize(&mut self) {
+        if self.interner.fragmentation() > COMPACT_FRAGMENTATION {
+            self.compact_symbols();
+        }
+        self.symbols = SymbolTable::build(&self.interner);
+        self.determinize();
+        self.generation = GENERATION.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reassign live symbol ids to the compact range `0..live_count`,
+    /// rewriting trie edges and stored template sequences. The remap is
+    /// monotone in the old id, so sorted edge vectors stay sorted.
+    fn compact_symbols(&mut self) {
+        let mut remap = vec![NONE; self.interner.symbols.len()];
+        let mut kept = Vec::with_capacity(self.interner.len());
+        for (old, entry) in self.interner.symbols.iter().enumerate() {
+            if entry.refs > 0 {
+                remap[old] = kept.len() as u32;
+                kept.push(entry.clone());
+            }
+        }
+        self.interner.symbols = kept;
+        self.interner.free.clear();
+        for sym in self.interner.ids.values_mut() {
+            *sym = remap[*sym as usize];
+        }
+        for node in &mut self.trie {
+            for edge in &mut node.edges {
+                edge.0 = remap[edge.0 as usize];
+            }
+        }
+        for seq in self.templates.values_mut() {
+            for sym in seq.iter_mut() {
+                if let TplSym::Const(s) = sym {
+                    *s = remap[*s as usize];
+                }
+            }
+        }
     }
 
     /// Process-unique id of this snapshot; [`MatchCache`] keys on it.
@@ -332,14 +533,35 @@ impl CompiledMatcher {
     /// Number of DFA states, or `None` when running in NFA fallback mode.
     pub fn dfa_states(&self) -> Option<usize> {
         match &self.exec {
-            Exec::Dfa(states) => Some(states.len()),
+            Exec::Dfa { states, .. } => Some(states.len()),
             Exec::Nfa => None,
         }
+    }
+
+    /// Number of DFA states carrying a dense transition row (0 in NFA mode or
+    /// under [`DfaEncoding::Sparse`]).
+    pub fn dense_states(&self) -> usize {
+        match &self.exec {
+            Exec::Dfa { states, .. } => states.iter().filter(|s| s.dense_row != NONE).count(),
+            Exec::Nfa => 0,
+        }
+    }
+
+    /// The transition encoding this snapshot was compiled with.
+    pub fn encoding(&self) -> DfaEncoding {
+        self.encoding
     }
 
     /// Number of distinct interned const tokens.
     pub fn interned_symbols(&self) -> usize {
         self.interner.len()
+    }
+
+    /// Width of a dense transition row: one past the highest symbol id.
+    /// Tracks [`interned_symbols`](CompiledMatcher::interned_symbols) closely
+    /// because `refreshed` compacts the id range under fragmentation.
+    pub fn symbol_range(&self) -> usize {
+        self.interner.symbol_range()
     }
 
     /// True when subset construction hit the cap and matching runs by NFA
@@ -514,11 +736,7 @@ impl CompiledMatcher {
         let start: Box<[u32]> = vec![TRIE_ROOT].into_boxed_slice();
         index.insert(start.clone(), 0);
         members_of.push(start);
-        states.push(DfaState {
-            edges: Vec::new(),
-            default: NONE,
-            accept: None,
-        });
+        states.push(DfaState::new());
 
         let mut next_state = 0usize;
         while next_state < states.len() {
@@ -571,7 +789,46 @@ impl CompiledMatcher {
             states[next_state].accept = self.best_accept(&members_of[next_state]);
             next_state += 1;
         }
-        self.exec = Exec::Dfa(states);
+        let dense = self.build_dense_rows(&mut states);
+        self.exec = Exec::Dfa { states, dense };
+    }
+
+    /// Lay out dense transition rows for hot states according to the snapshot
+    /// encoding. Rows are granted widest-state-first (deterministic tiebreak
+    /// on state index) until [`DENSE_BUDGET_ENTRIES`] is exhausted; each row
+    /// is pre-filled with the state's default so the hot-path transition for
+    /// an interned symbol is a single indexed load.
+    fn build_dense_rows(&self, states: &mut [DfaState]) -> Vec<u32> {
+        let sym_range = self.interner.symbol_range();
+        let threshold = match self.encoding {
+            DfaEncoding::Sparse => return Vec::new(),
+            DfaEncoding::Dense => 1,
+            DfaEncoding::Hybrid => DENSE_EDGE_THRESHOLD,
+        };
+        if sym_range == 0 {
+            return Vec::new();
+        }
+        let mut hot: Vec<(usize, usize)> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.edges.len() >= threshold)
+            .map(|(idx, s)| (s.edges.len(), idx))
+            .collect();
+        hot.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut dense = Vec::new();
+        for (_, idx) in hot {
+            if dense.len() + sym_range > DENSE_BUDGET_ENTRIES {
+                break;
+            }
+            let state = &mut states[idx];
+            let row = dense.len();
+            state.dense_row = row as u32;
+            dense.resize(row + sym_range, state.default);
+            for &(sym, target) in &state.edges {
+                dense[row + sym as usize] = target;
+            }
+        }
+        dense
     }
 
     fn intern_state(
@@ -588,11 +845,7 @@ impl CompiledMatcher {
         let state = states.len() as u32;
         index.insert(key.clone(), state);
         members_of.push(key);
-        states.push(DfaState {
-            edges: Vec::new(),
-            default: NONE,
-            accept: None,
-        });
+        states.push(DfaState::new());
         state
     }
 
@@ -601,16 +854,22 @@ impl CompiledMatcher {
     /// Match a token stream; `tokens` yields each masked token once, in order.
     fn match_symbols<'a, I: Iterator<Item = &'a str>>(&self, tokens: I) -> Option<NodeId> {
         match &self.exec {
-            Exec::Dfa(states) => {
+            Exec::Dfa { states, dense } => {
                 let mut at = 0u32;
                 for token in tokens {
                     let state = &states[at as usize];
-                    let next = match self.interner.get(token) {
-                        Some(sym) => state
-                            .edges
-                            .binary_search_by_key(&sym, |&(s, _)| s)
-                            .map(|pos| state.edges[pos].1)
-                            .unwrap_or(state.default),
+                    let next = match self.symbols.lookup(token, &self.interner) {
+                        Some(sym) => {
+                            if state.dense_row != NONE {
+                                dense[state.dense_row as usize + sym as usize]
+                            } else {
+                                state
+                                    .edges
+                                    .binary_search_by_key(&sym, |&(s, _)| s)
+                                    .map(|pos| state.edges[pos].1)
+                                    .unwrap_or(state.default)
+                            }
+                        }
                         None => state.default,
                     };
                     if next == NONE {
@@ -624,7 +883,7 @@ impl CompiledMatcher {
                 let mut active: Vec<u32> = vec![TRIE_ROOT];
                 let mut next: Vec<u32> = Vec::new();
                 for token in tokens {
-                    let sym = self.interner.get(token);
+                    let sym = self.symbols.lookup(token, &self.interner);
                     next.clear();
                     for &node in &active {
                         let trie_node = &self.trie[node as usize];
@@ -729,14 +988,26 @@ impl Matcher for CompiledMatcher {
 /// probe/insert, bounded at `2 × capacity` entries — and owned per worker
 /// thread, so the hot path takes no lock. Entries are tagged with the compiled
 /// snapshot's generation and the whole cache is dropped on a snapshot swap.
+///
+/// Keys are precomputed 64-bit FNV line hashes ([`logtok::hash_line`]): the
+/// stream layer hashes each record once at shard admission and carries the
+/// hash through the job, so a cache probe re-hashes 8 bytes instead of the
+/// whole line. Each entry stores the full line and verifies it on a hit, so a
+/// hash collision degrades to a miss — results stay byte-identical.
 #[derive(Debug)]
 pub struct MatchCache {
     capacity: usize,
     generation: u64,
-    current: FnvMap<Box<str>, Option<NodeId>>,
-    previous: FnvMap<Box<str>, Option<NodeId>>,
+    current: FnvMap<u64, CacheEntry>,
+    previous: FnvMap<u64, CacheEntry>,
     hits: u64,
     misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    line: Box<str>,
+    node: Option<NodeId>,
 }
 
 /// Default per-worker cache capacity (segment size).
@@ -761,10 +1032,9 @@ impl MatchCache {
         }
     }
 
-    /// Match `record` through the cache: exact-line hits return the stored
-    /// assignment; misses preprocess + match via `compiled` and remember the
-    /// result. A `compiled` snapshot from a different generation than the
-    /// cached entries invalidates the whole cache first.
+    /// Match `record` through the cache, hashing the line first. Prefer
+    /// [`match_record_hashed`](MatchCache::match_record_hashed) when the
+    /// caller already carries the record's line hash.
     pub fn match_record(
         &mut self,
         compiled: &CompiledMatcher,
@@ -772,34 +1042,62 @@ impl MatchCache {
         scratch: &mut TokenScratch,
         record: &str,
     ) -> Option<NodeId> {
+        let line_hash = logtok::hash_line(record);
+        self.match_record_hashed(compiled, preprocessor, scratch, record, line_hash)
+    }
+
+    /// Match `record` through the cache keyed by its precomputed FNV line
+    /// hash: exact-line hits return the stored assignment; misses preprocess
+    /// and match via `compiled` and remember the result. A `compiled`
+    /// snapshot from a different generation than the cached entries
+    /// invalidates the whole cache first.
+    pub fn match_record_hashed(
+        &mut self,
+        compiled: &CompiledMatcher,
+        preprocessor: &Preprocessor,
+        scratch: &mut TokenScratch,
+        record: &str,
+        line_hash: u64,
+    ) -> Option<NodeId> {
         if self.generation != compiled.generation {
             self.current.clear();
             self.previous.clear();
             self.generation = compiled.generation;
         }
-        if let Some(&node) = self.current.get(record) {
-            self.hits += 1;
-            return node;
+        if let Some(entry) = self.current.get(&line_hash) {
+            if &*entry.line == record {
+                self.hits += 1;
+                return entry.node;
+            }
         }
-        if let Some(node) = self.previous.remove(record) {
-            self.hits += 1;
-            self.insert(record, node);
-            return node;
+        if let Some(entry) = self.previous.remove(&line_hash) {
+            if &*entry.line == record {
+                self.hits += 1;
+                let node = entry.node;
+                self.insert(line_hash, entry);
+                return node;
+            }
         }
         self.misses += 1;
         let view = preprocessor.token_view(record, scratch);
         let node = compiled.match_view(&view);
-        self.insert(record, node);
+        self.insert(
+            line_hash,
+            CacheEntry {
+                line: record.into(),
+                node,
+            },
+        );
         node
     }
 
-    fn insert(&mut self, record: &str, node: Option<NodeId>) {
+    fn insert(&mut self, line_hash: u64, entry: CacheEntry) {
         if self.current.len() >= self.capacity {
             // Rotate segments: the old `current` becomes `previous` (probed,
             // promoted on hit) and the evicted segment is dropped wholesale.
             self.previous = std::mem::take(&mut self.current);
         }
-        self.current.insert(record.into(), node);
+        self.current.insert(line_hash, entry);
     }
 
     /// `(hits, misses)` since creation.

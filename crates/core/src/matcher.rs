@@ -155,18 +155,22 @@ pub fn match_view_with(
 /// Lean engine-dispatching batch matcher: like [`match_batch`] but returns
 /// `(node, saturation)` pairs without rendering template texts — the service
 /// layer's ingest and maintenance re-match paths only need the assignment.
-pub fn match_ids_batch(
+pub fn match_ids_batch<S: AsRef<str> + Sync>(
     model: &ParserModel,
     compiled: Option<&CompiledMatcher>,
     preprocessor: &Preprocessor,
-    records: &[String],
+    records: &[S],
     workers: usize,
 ) -> Vec<(Option<NodeId>, f64)> {
     thread_local! {
         static SCRATCH: std::cell::RefCell<TokenScratch> =
             std::cell::RefCell::new(TokenScratch::new());
     }
-    let indexed: Vec<(usize, &String)> = records.iter().enumerate().collect();
+    let indexed: Vec<(usize, &str)> = records
+        .iter()
+        .map(|record| record.as_ref())
+        .enumerate()
+        .collect();
     let mut results = run_parallel(workers, indexed, |(idx, record)| {
         SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();

@@ -425,6 +425,139 @@ fn patched_automaton_equals_scratch_compile_after_random_deltas() {
     }
 }
 
+/// Every DFA encoding — sparse binary-search edges, fully dense rows, and the
+/// hybrid (dense rows for hot states only) — produces **byte-identical**
+/// assignments to the tree walk, and to each other, across random
+/// delta/retire/temporary sequences with mid-stream hot-swaps. The hashed
+/// match cache, probed across snapshot swaps, must agree with every engine.
+#[test]
+fn dense_sparse_hybrid_encodings_are_byte_identical() {
+    use bytebrain::incremental::{apply_delta, train_delta};
+    use bytebrain::matcher::match_tokens;
+    use bytebrain::{CompiledMatcher, DfaEncoding, MatchCache, NodeId};
+    use logtok::{Preprocessor, TokenScratch};
+
+    let mut rng = StdRng::seed_from_u64(adversarial_seed() ^ 0xDE2E_0002);
+    let config = TrainConfig::default();
+    let pre = Preprocessor::new(config.preprocess.clone());
+    let mut scratch = TokenScratch::new();
+
+    for case in 0..4 {
+        let warm: Vec<String> = (0..rng.gen_range(40..120usize))
+            .map(|_| family_record(&mut rng, 0))
+            .collect();
+        let mut model = train(&warm, &config).model;
+        let mut engines = [
+            (
+                "sparse",
+                CompiledMatcher::compile_with_encoding(&model, DfaEncoding::Sparse),
+            ),
+            (
+                "dense",
+                CompiledMatcher::compile_with_encoding(&model, DfaEncoding::Dense),
+            ),
+            (
+                "hybrid",
+                CompiledMatcher::compile_with_encoding(&model, DfaEncoding::Hybrid),
+            ),
+        ];
+        // One cache per engine, kept *across* hot-swaps: generation
+        // invalidation (not staleness) must keep hits equal to misses.
+        let mut caches = [
+            MatchCache::new(64),
+            MatchCache::new(64),
+            MatchCache::new(64),
+        ];
+
+        for step in 0..8 {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let family = rng.gen_range(1..4u32);
+                    let batch: Vec<String> = (0..rng.gen_range(5..40usize))
+                        .map(|_| family_record(&mut rng, family))
+                        .collect();
+                    let delta = train_delta(&model, &batch, &config, 0.6);
+                    model = apply_delta(&model, &delta);
+                }
+                1 => {
+                    let family = rng.gen_range(0..4u32);
+                    let line = family_record(&mut rng, family);
+                    let tokens = pre.tokens_of(&format!("novel {step} {line}"));
+                    model.insert_temporary(&tokens);
+                }
+                2 => {
+                    let live: Vec<NodeId> = model
+                        .nodes
+                        .iter()
+                        .filter(|n| !n.retired)
+                        .map(|n| n.id)
+                        .collect();
+                    if !live.is_empty() {
+                        model.retire(live[rng.gen_range(0..live.len())]);
+                        model.rebuild_match_order();
+                    }
+                }
+                _ => {
+                    if !model.nodes.is_empty() {
+                        let idx = rng.gen_range(0..model.nodes.len());
+                        model.nodes[idx].saturation = rng.gen_range(0.0..1.0);
+                        model.rebuild_match_order();
+                    }
+                }
+            }
+
+            // Mid-stream hot-swap: every engine refreshes from its previous
+            // snapshot (dense rows patched in place, symbols possibly
+            // compacted), never from scratch.
+            for (_, engine) in engines.iter_mut() {
+                *engine = engine.refreshed(&model);
+            }
+            let [(_, sparse), (_, dense), (_, hybrid)] = &engines;
+            assert_eq!(
+                sparse.canonical_form(),
+                dense.canonical_form(),
+                "sparse/dense canonical forms diverged (case {case}, step {step})"
+            );
+            assert_eq!(
+                sparse.canonical_form(),
+                hybrid.canonical_form(),
+                "sparse/hybrid canonical forms diverged (case {case}, step {step})"
+            );
+
+            for _ in 0..30 {
+                let probe = if rng.gen_bool(0.8) {
+                    let family = rng.gen_range(0..4u32);
+                    family_record(&mut rng, family)
+                } else {
+                    fuzz_line(&mut rng)
+                };
+                let tokens = pre.tokens_of(&probe);
+                let tree = match_tokens(&model, &tokens);
+                for ((name, engine), cache) in engines.iter().zip(caches.iter_mut()) {
+                    assert_eq!(
+                        engine.match_tokens(&tokens),
+                        tree,
+                        "{name} diverged from tree walk (case {case}, step {step}, {probe:?})"
+                    );
+                    let cached = cache.match_record(engine, &pre, &mut scratch, &probe);
+                    assert_eq!(
+                        cached, tree,
+                        "{name} hashed cache diverged (case {case}, step {step}, {probe:?})"
+                    );
+                }
+            }
+        }
+        // The hybrid engine actually exercised the dense path somewhere in the
+        // run (otherwise this test silently degrades to sparse-vs-sparse).
+        let [(_, _), (_, dense), (_, hybrid)] = &engines;
+        assert!(dense.dense_states() > 0, "dense engine granted no rows");
+        assert!(
+            hybrid.dense_states() <= dense.dense_states(),
+            "hybrid granted more rows than dense"
+        );
+    }
+}
+
 /// Arbitrary masked-token line for the compiler/cache fuzzer: unicode, empty
 /// lines, whitespace-only lines, 20k-char tokens, wildcard-token injection,
 /// control characters, and very wide lines.

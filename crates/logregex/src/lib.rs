@@ -32,9 +32,8 @@ mod error;
 mod matcher;
 mod parser;
 
+pub use compile::{BytePresence, ByteSet, Program, StartBytes};
 pub use error::RegexError;
-
-use compile::Program;
 
 /// A compiled regular expression.
 ///
@@ -116,11 +115,28 @@ impl Regex {
 
     /// Iterator over all non-overlapping matches, left to right.
     pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> Matches<'r, 'h> {
+        self.find_iter_at(haystack, 0)
+    }
+
+    /// Like [`Regex::find_iter`], but starting from byte offset `start`. Hot
+    /// paths that already located the first match use this to resume scanning
+    /// without re-walking the prefix.
+    pub fn find_iter_at<'r, 'h>(&'r self, haystack: &'h str, start: usize) -> Matches<'r, 'h> {
         Matches {
             regex: self,
             haystack,
-            pos: 0,
+            pos: start,
         }
+    }
+
+    /// True when `presence` (a one-pass byte bitmap of some haystack, see
+    /// [`BytePresence::scan`]) does not rule out a match of this pattern.
+    /// `false` is definitive — the pattern cannot match that haystack; `true`
+    /// means the full VM must decide. Lets callers probing many patterns
+    /// against the same line (the masking pipeline) skip most of them in O(1).
+    #[inline]
+    pub fn may_match(&self, presence: &BytePresence) -> bool {
+        self.program.may_match(presence)
     }
 
     /// Replace every non-overlapping match with `replacement` (a literal string).
@@ -160,6 +176,12 @@ impl Regex {
     /// enforcing complexity budgets on user-supplied patterns).
     pub fn program_len(&self) -> usize {
         self.program.insts.len()
+    }
+
+    /// The compiled NFA program, exposing the first-byte prefilter for
+    /// introspection (diagnostics and tests).
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 }
 

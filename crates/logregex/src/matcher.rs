@@ -63,8 +63,24 @@ pub fn find_at(program: &Program, haystack: &[u8], from: usize, len: usize) -> O
     let mut pos = from;
     loop {
         // Seed a new start thread at `pos` unless a leftmost match already exists.
+        // With a first-byte prefilter (pattern cannot match the empty string), a
+        // match starting at `pos` must consume `haystack[pos]` as its first byte,
+        // so positions outside the start-byte set never need a seed — and when no
+        // threads are live we can skip straight to the next candidate position.
         if best.is_none() {
-            add_thread(program, &mut current, 0, pos, pos, len, &mut best);
+            match &program.start_bytes {
+                Some(start_bytes) => {
+                    if current.threads.is_empty() {
+                        while pos < len && !start_bytes.contains(haystack[pos]) {
+                            pos += 1;
+                        }
+                    }
+                    if pos < len && start_bytes.contains(haystack[pos]) {
+                        add_thread(program, &mut current, 0, pos, pos, len, &mut best);
+                    }
+                }
+                None => add_thread(program, &mut current, 0, pos, pos, len, &mut best),
+            }
         }
         if current.threads.is_empty() && best.is_some() {
             break;
@@ -202,6 +218,70 @@ mod tests {
         let re = Regex::new("ab").unwrap();
         let m = re.find_at("abxab", 1).unwrap();
         assert_eq!(m.start, 3);
+    }
+
+    #[test]
+    fn prefilter_computed_for_nonempty_patterns_only() {
+        let re = Regex::new("[0-9]+ms").unwrap();
+        let lut = re.program().start_bytes.as_ref().expect("prefilter");
+        assert_eq!(lut.len(), 10);
+        assert!(lut.contains(b'7'));
+        assert!(!lut.contains(b'm'));
+        // Empty-matchable patterns must disable the filter entirely.
+        assert!(Regex::new("a*").unwrap().program().start_bytes.is_none());
+        assert!(Regex::new("^").unwrap().program().start_bytes.is_none());
+        assert!(Regex::new("x?").unwrap().program().start_bytes.is_none());
+    }
+
+    #[test]
+    fn prefilter_includes_all_alternation_branches() {
+        let re = Regex::new("(foo|[0-9]ar|^zap)").unwrap();
+        let lut = re.program().start_bytes.as_ref().expect("prefilter");
+        assert!(lut.contains(b'f'));
+        assert!(lut.contains(b'5'));
+        assert!(lut.contains(b'z'));
+        assert!(!lut.contains(b'a'));
+    }
+
+    #[test]
+    fn prefilter_agrees_with_unfiltered_vm_on_mixed_haystacks() {
+        use crate::compile::compile;
+        use crate::matcher::find_at;
+        use crate::parser::parse;
+
+        let patterns = [
+            "[0-9]+",
+            "ab+c",
+            "x$",
+            "^st",
+            "(GET|POST) /",
+            "a{2,4}b",
+            "a*",
+            "z?7",
+        ];
+        let haystacks = [
+            "",
+            "no digits here at all",
+            "tail 42",
+            "42 head",
+            "middle 0 x",
+            "stxst",
+            "GET /api POST /other",
+            "aaaab aab ab b",
+            "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx7",
+        ];
+        for pattern in patterns {
+            let filtered = compile(&parse(pattern).unwrap());
+            let mut unfiltered = filtered.clone();
+            unfiltered.start_bytes = None;
+            for hay in haystacks {
+                for from in 0..=hay.len() {
+                    let got = find_at(&filtered, hay.as_bytes(), from, hay.len());
+                    let expected = find_at(&unfiltered, hay.as_bytes(), from, hay.len());
+                    assert_eq!(got, expected, "pattern={pattern:?} hay={hay:?} from={from}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,20 @@ pub fn hash_token(token: &str) -> u64 {
     }
 }
 
+/// Deterministic 64-bit FNV-1a hash of a raw log line (no wildcard remapping —
+/// lines are never compared against the wildcard sentinel). Computed once per
+/// record at stream admission and carried alongside the line so downstream
+/// consumers (batch reordering, the match cache) never re-hash the full text.
+#[inline]
+pub fn hash_line(line: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in line.as_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// A log record after preprocessing: the hashed token vector plus bookkeeping needed to
 /// render templates and count duplicates.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -9,7 +9,7 @@
 //! them as already-resolved variable positions.
 
 use crate::WILDCARD;
-use logregex::{Regex, RegexError};
+use logregex::{BytePresence, Regex, RegexError};
 
 /// One masking rule: a pattern and the replacement it maps to.
 #[derive(Debug, Clone)]
@@ -118,28 +118,56 @@ impl Masker {
 
     /// Apply every rule in order and return the masked record.
     pub fn mask(&self, record: &str) -> String {
-        let mut current = record.to_string();
-        for rule in &self.rules {
-            // Fast path: skip the allocation when the rule does not match.
-            if rule.matches(&current) {
-                current = rule.apply(&current);
-            }
-        }
-        current
+        let mut out = String::new();
+        let mut swap = String::new();
+        self.mask_into(record, &mut out, &mut swap);
+        out
     }
 
     /// Allocation-free variant of [`Masker::mask`] for hot paths: the masked record is
     /// left in `out`, with `swap` used as the ping-pong buffer between rules. Both
     /// buffers are reused across calls, so after warm-up no heap allocation happens.
+    ///
+    /// Two filters keep the per-record regex work proportional to the rules that can
+    /// actually fire: a one-pass [`BytePresence`] bitmap rejects rules whose mandatory
+    /// bytes are absent from the line (a line with no `-` can never contain a UUID or
+    /// ISO timestamp), and rules that pass are driven by a single find-then-resume scan
+    /// instead of an `is_match` probe followed by a full re-scan.
     pub fn mask_into(&self, record: &str, out: &mut String, swap: &mut String) {
         out.clear();
         out.push_str(record);
+        if self.rules.is_empty() {
+            return;
+        }
+        let mut presence = BytePresence::scan(out.as_bytes());
         for rule in &self.rules {
-            if rule.matches(out) {
-                swap.clear();
-                rule.regex.replace_all_into(out, &rule.replacement, swap);
-                std::mem::swap(out, swap);
+            if !rule.regex.may_match(&presence) {
+                continue;
             }
+            let Some(first) = rule.regex.find(out) else {
+                continue;
+            };
+            swap.clear();
+            swap.push_str(&out[..first.start]);
+            swap.push_str(&rule.replacement);
+            let mut last = first.end;
+            // Resume past the first match; for an empty match step one byte so
+            // the scan always advances (mirrors `find_iter` semantics).
+            let resume = if first.is_empty() {
+                first.end + 1
+            } else {
+                first.end
+            };
+            for m in rule.regex.find_iter_at(out, resume) {
+                swap.push_str(&out[last..m.start]);
+                swap.push_str(&rule.replacement);
+                last = m.end;
+            }
+            swap.push_str(&out[last..]);
+            std::mem::swap(out, swap);
+            // The replacement changed the byte population; rescan for the
+            // remaining rules (only paid when a rule actually fired).
+            presence = BytePresence::scan(out.as_bytes());
         }
     }
 

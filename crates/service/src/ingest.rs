@@ -36,11 +36,18 @@
 //!     IdBatchResult  ──────►  completed records (seq-ordered on finish)
 //! ```
 
-use crate::matcher_pool::{IdBatchResult, MatcherPool};
+use crate::matcher_pool::{IdBatchResult, MatcherPool, StreamRecord};
 use bytebrain::{CompiledMatcher, NodeId, ParserModel};
-use logtok::{hash_token, Preprocessor};
+use logtok::{hash_line, hash_token, Preprocessor};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Pushes between time-bound staleness checks on the hot path: `push` consults
+/// the clock only every this many records (plus whenever a batch flushes),
+/// keeping `Instant::now` off the per-record cost. [`StreamIngestor::poll`]
+/// always applies the time bound exactly.
+const STALE_CHECK_INTERVAL: u64 = 64;
 
 /// How [`LogTopic::ingest_stream`](crate::topic::LogTopic::ingest_stream) routes each
 /// record to a shard buffer.
@@ -242,8 +249,8 @@ impl IngestReport {
 /// One shard's batch buffer.
 #[derive(Debug, Default)]
 struct ShardBuffer {
-    /// `(sequence number, record)` pairs of the open batch.
-    pending: Vec<(u64, String)>,
+    /// Records of the open batch, each carrying its admission-time line hash.
+    pending: Vec<StreamRecord>,
     /// When the oldest pending record arrived (None while empty).
     opened_at: Option<Instant>,
 }
@@ -272,14 +279,22 @@ pub struct StreamIngestor {
     compiled: Option<Arc<CompiledMatcher>>,
     buffers: Vec<ShardBuffer>,
     stats: IngestStats,
-    /// Completed records keyed by sequence number, so mid-stream harvesting can
-    /// release a contiguous, deterministic arrival-order prefix.
-    completed: std::collections::BTreeMap<u64, MatchedRecord>,
+    /// Completed records as a sequence-indexed ring: slot `i` holds the record
+    /// with sequence `next_release + i` (None until its batch lands). O(1)
+    /// absorb and pop-front, replacing the former `BTreeMap` (whose per-record
+    /// rebalancing showed up on the stream hot path); mid-stream harvesting
+    /// still releases a contiguous, deterministic arrival-order prefix.
+    completed: VecDeque<Option<MatchedRecord>>,
+    /// Number of `Some` slots in `completed` (for loss accounting).
+    completed_count: usize,
     /// First sequence number not yet released by [`StreamIngestor::drain_completed`].
     next_release: u64,
     next_seq: u64,
     round_robin: usize,
     in_flight: usize,
+    /// Emptied batch buffers recycled back to the shards, so steady-state
+    /// pushes append into already-allocated Vecs.
+    spare_batches: Vec<Vec<StreamRecord>>,
     started: Instant,
 }
 
@@ -313,11 +328,13 @@ impl StreamIngestor {
             compiled: None,
             buffers,
             stats,
-            completed: std::collections::BTreeMap::new(),
+            completed: VecDeque::new(),
+            completed_count: 0,
             next_release: 0,
             next_seq: 0,
             round_robin: 0,
             in_flight: 0,
+            spare_batches: Vec::new(),
             started: Instant::now(),
         }
     }
@@ -396,10 +413,9 @@ impl StreamIngestor {
     }
 
     fn push_to_shard(&mut self, shard: usize, record: String) {
-        // Opportunistically harvest finished batches so `completed` keeps pace.
-        self.drain_ready();
         let seq = self.next_seq;
         self.next_seq += 1;
+        let line_hash = hash_line(&record);
         let counters = &mut self.stats.shards[shard];
         counters.records += 1;
         counters.bytes += record.len() as u64;
@@ -407,10 +423,17 @@ impl StreamIngestor {
         if buffer.pending.is_empty() {
             buffer.opened_at = Some(Instant::now());
         }
-        buffer.pending.push((seq, record));
+        buffer.pending.push(StreamRecord {
+            seq,
+            line_hash,
+            line: record,
+        });
         if buffer.pending.len() >= self.config.batch_records {
+            // Harvest finished batches at flush boundaries (bounded lag: at
+            // most `max_in_flight` batches ever wait in the result channel).
+            self.drain_ready();
             self.flush_shard(shard, FlushReason::Size);
-        } else {
+        } else if seq.is_multiple_of(STALE_CHECK_INTERVAL) {
             self.flush_if_stale(shard);
         }
     }
@@ -445,9 +468,11 @@ impl StreamIngestor {
     }
 
     fn flush_shard(&mut self, shard: usize, reason: FlushReason) {
-        let batch = std::mem::take(&mut self.buffers[shard].pending);
+        let refill = self.spare_batches.pop().unwrap_or_default();
+        let batch = std::mem::replace(&mut self.buffers[shard].pending, refill);
         self.buffers[shard].opened_at = None;
         if batch.is_empty() {
+            self.spare_batches.push(batch);
             return;
         }
         // Back-pressure: park on the results channel until a slot frees up. One
@@ -489,27 +514,33 @@ impl StreamIngestor {
         self.stats.completed_batches += 1;
         let IdBatchResult {
             shard,
-            records,
+            mut records,
             results,
             ..
         } = result;
         let counters = &mut self.stats.shards[shard];
-        for ((seq, record), id) in records.into_iter().zip(results) {
+        for (record, id) in records.drain(..).zip(results) {
             match id.node {
                 Some(_) => counters.matched += 1,
                 None => counters.unmatched += 1,
             }
-            self.completed.insert(
-                seq,
-                MatchedRecord {
-                    seq,
-                    shard,
-                    record,
-                    node: id.node,
-                    saturation: id.saturation,
-                },
-            );
+            // Slot `seq - next_release` in the completed ring; batches never
+            // carry a released sequence, so the index never underflows.
+            let slot = (record.seq - self.next_release) as usize;
+            if slot >= self.completed.len() {
+                self.completed.resize_with(slot + 1, || None);
+            }
+            self.completed[slot] = Some(MatchedRecord {
+                seq: record.seq,
+                shard,
+                record: record.line,
+                node: id.node,
+                saturation: id.saturation,
+            });
+            self.completed_count += 1;
         }
+        // Hand the emptied batch buffer back to the shards.
+        self.spare_batches.push(records);
     }
 
     /// Harvest finished batches without blocking and return the records that form a
@@ -521,9 +552,11 @@ impl StreamIngestor {
     pub fn drain_completed(&mut self) -> Vec<MatchedRecord> {
         self.drain_ready();
         let mut out = Vec::new();
-        while let Some(record) = self.completed.remove(&self.next_release) {
+        while matches!(self.completed.front(), Some(Some(_))) {
+            let record = self.completed.pop_front().flatten().expect("checked Some");
             out.push(record);
             self.next_release += 1;
+            self.completed_count -= 1;
         }
         out
     }
@@ -557,7 +590,7 @@ impl StreamIngestor {
             "matcher pool workers terminated with {} batch(es) outstanding — \
              {} record(s) would be lost",
             self.in_flight,
-            self.stats.records() - self.next_release - self.completed.len() as u64
+            self.stats.records() - self.next_release - self.completed_count as u64
         );
     }
 
@@ -578,8 +611,14 @@ impl StreamIngestor {
             }
         }
         let elapsed = self.started.elapsed();
-        let records: Vec<MatchedRecord> =
-            std::mem::take(&mut self.completed).into_values().collect();
+        // After sync-ing every batch the ring is fully contiguous: the flatten
+        // drops nothing (trailing None slots can only exist from a resize past
+        // the highest landed sequence, which absorb never leaves behind).
+        let records: Vec<MatchedRecord> = std::mem::take(&mut self.completed)
+            .into_iter()
+            .flatten()
+            .collect();
+        self.completed_count = 0;
         IngestReport {
             records,
             stats: std::mem::take(&mut self.stats),

@@ -66,7 +66,7 @@ pub use ingest::{
 };
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
-pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool};
+pub use matcher_pool::{BatchResult, IdBatchResult, MatchId, MatcherPool, StreamRecord};
 pub use query::{
     QueryCache, QueryEngine, QueryIndex, QueryOptions, QuerySnapshot, QueryValue, TemplateGroup,
 };

@@ -208,7 +208,12 @@ impl ServiceManager {
     }
 
     /// Ingest a batch into a tenant's topic (creating it on first use).
-    pub fn ingest(&mut self, tenant: &str, topic: &str, batch: &[String]) -> IngestOutcome {
+    pub fn ingest<S: AsRef<str> + Sync>(
+        &mut self,
+        tenant: &str,
+        topic: &str,
+        batch: &[S],
+    ) -> IngestOutcome {
         self.topic_mut(tenant, topic).ingest(batch)
     }
 

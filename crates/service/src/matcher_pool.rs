@@ -27,6 +27,34 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// One record travelling through the lean streaming path: its arrival sequence
+/// number, the FNV line hash computed once at shard admission
+/// ([`logtok::hash_line`]), and the raw line. The hash rides along so nothing
+/// downstream — batch reordering, the per-worker match cache — re-hashes the
+/// full text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRecord {
+    /// Arrival sequence number assigned by the ingestion engine.
+    pub seq: u64,
+    /// FNV-1a hash of `line`, computed exactly once at admission.
+    pub line_hash: u64,
+    /// The raw record text.
+    pub line: String,
+}
+
+impl StreamRecord {
+    /// Wrap `line`, hashing it. The streaming engine is the normal caller; the
+    /// constructor is public so tests and benches can build batches directly.
+    pub fn new(seq: u64, line: String) -> Self {
+        let line_hash = logtok::hash_line(&line);
+        StreamRecord {
+            seq,
+            line_hash,
+            line,
+        }
+    }
+}
+
 /// A batch of records submitted to the pool, tagged so results can be re-associated.
 #[derive(Debug)]
 enum Job {
@@ -40,7 +68,7 @@ enum Job {
     Ids {
         batch_id: u64,
         shard: usize,
-        records: Vec<(u64, String)>,
+        records: Vec<StreamRecord>,
         model: Arc<ParserModel>,
         /// Compiled automaton snapshot paired with `model`; `None` routes the
         /// batch through the tree walker (the configured escape hatch).
@@ -75,8 +103,9 @@ pub struct IdBatchResult {
     pub batch_id: u64,
     /// The shard this batch was flushed from.
     pub shard: usize,
-    /// `(sequence number, record)` pairs, exactly as submitted.
-    pub records: Vec<(u64, String)>,
+    /// The records exactly as submitted (workers reorder internally for cache
+    /// warmth but always hand the batch back in submission order).
+    pub records: Vec<StreamRecord>,
     /// One match id per record, in submission order.
     pub results: Vec<MatchId>,
 }
@@ -120,9 +149,13 @@ impl MatcherPool {
                 // One scratch per worker: the whole pool runs preprocessing on the
                 // zero-copy fast path. The match cache is also per-worker, so
                 // the automaton hot path takes no lock; generation tags keep it
-                // consistent across mid-stream snapshot swaps.
+                // consistent across mid-stream snapshot swaps. The order buffer
+                // (cache-warm batch reordering) is likewise recycled across
+                // batches, so the steady-state loop performs no per-record
+                // heap allocation.
                 let mut scratch = TokenScratch::new();
                 let mut cache = MatchCache::default();
+                let mut order: Vec<u32> = Vec::new();
                 loop {
                     // Hold the lock only while dequeueing, never while matching. A
                     // poisoned lock means a sibling worker panicked mid-dequeue; exit
@@ -161,33 +194,62 @@ impl MatcherPool {
                             model: job_model,
                             compiled,
                         } => {
-                            let results = records
-                                .iter()
-                                .map(|(_, r)| {
-                                    let node = match &compiled {
-                                        Some(compiled) => cache.match_record(
-                                            compiled,
-                                            &preprocessor,
-                                            &mut scratch,
-                                            r,
-                                        ),
-                                        None => {
-                                            let view = preprocessor.token_view(r, &mut scratch);
-                                            match_view(&job_model, &view)
-                                        }
-                                    };
-                                    match node {
-                                        Some(id) => MatchId {
-                                            node: Some(id),
-                                            saturation: job_model.nodes[id.0].saturation,
-                                        },
-                                        None => MatchId {
-                                            node: None,
-                                            saturation: 0.0,
-                                        },
+                            // Cache-warm batch reordering: process records
+                            // grouped by their precomputed line hash so exact
+                            // duplicates run back-to-back (the dominant shape
+                            // of production streams) — the duplicate of the
+                            // record just matched reuses its result directly,
+                            // and near-duplicates keep the MatchCache and DFA
+                            // working set hot. Results are written through the
+                            // permutation, so the batch is handed back in
+                            // submission order regardless.
+                            order.clear();
+                            order.extend(0..records.len() as u32);
+                            order.sort_unstable_by_key(|&i| records[i as usize].line_hash);
+                            let mut results = vec![
+                                MatchId {
+                                    node: None,
+                                    saturation: 0.0,
+                                };
+                                records.len()
+                            ];
+                            let mut prev: Option<(u32, MatchId)> = None;
+                            for &idx in &order {
+                                let record = &records[idx as usize];
+                                if let Some((prev_idx, id)) = prev {
+                                    let p = &records[prev_idx as usize];
+                                    if p.line_hash == record.line_hash && p.line == record.line {
+                                        results[idx as usize] = id;
+                                        continue;
                                     }
-                                })
-                                .collect();
+                                }
+                                let node = match &compiled {
+                                    Some(compiled) => cache.match_record_hashed(
+                                        compiled,
+                                        &preprocessor,
+                                        &mut scratch,
+                                        &record.line,
+                                        record.line_hash,
+                                    ),
+                                    None => {
+                                        let view =
+                                            preprocessor.token_view(&record.line, &mut scratch);
+                                        match_view(&job_model, &view)
+                                    }
+                                };
+                                let id = match node {
+                                    Some(id) => MatchId {
+                                        node: Some(id),
+                                        saturation: job_model.nodes[id.0].saturation,
+                                    },
+                                    None => MatchId {
+                                        node: None,
+                                        saturation: 0.0,
+                                    },
+                                };
+                                results[idx as usize] = id;
+                                prev = Some((idx, id));
+                            }
                             Outcome::Ids(IdBatchResult {
                                 batch_id,
                                 shard,
@@ -237,7 +299,7 @@ impl MatcherPool {
     pub fn submit_ids(
         &mut self,
         shard: usize,
-        records: Vec<(u64, String)>,
+        records: Vec<StreamRecord>,
         model: Arc<ParserModel>,
         compiled: Option<Arc<CompiledMatcher>>,
     ) -> u64 {
@@ -412,9 +474,9 @@ mod tests {
     fn lean_batches_return_ids_and_records() {
         let (model, pre) = model_and_preprocessor();
         let mut pool = MatcherPool::new(Arc::clone(&model), pre, 2);
-        let records: Vec<(u64, String)> = (0..20)
+        let records: Vec<StreamRecord> = (0..20)
             .map(|i| {
-                (
+                StreamRecord::new(
                     i,
                     format!("request {} routed to shard {} in {}ms", i, i % 8, i),
                 )
@@ -435,10 +497,11 @@ mod tests {
         let (model, pre) = model_and_preprocessor();
         let compiled = Arc::new(CompiledMatcher::compile(&model));
         let mut pool = MatcherPool::new(Arc::clone(&model), pre, 2);
-        // Repeat records so the per-worker match cache sees hits too.
-        let records: Vec<(u64, String)> = (0..40)
+        // Repeat records so the per-worker match cache (and the in-batch
+        // duplicate-reuse path behind hash reordering) sees hits too.
+        let records: Vec<StreamRecord> = (0..40)
             .map(|i| {
-                (
+                StreamRecord::new(
                     i,
                     format!("request {} routed to shard {} in {}ms", i % 5, i % 2, i % 3),
                 )
@@ -458,7 +521,10 @@ mod tests {
         pool.submit(vec!["request 1 routed to shard 1 in 5ms".to_string()]);
         pool.submit_ids(
             0,
-            vec![(0, "request 2 routed to shard 2 in 6ms".to_string())],
+            vec![StreamRecord::new(
+                0,
+                "request 2 routed to shard 2 in 6ms".to_string(),
+            )],
             model,
             None,
         );

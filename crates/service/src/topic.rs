@@ -638,7 +638,7 @@ impl LogTopic {
     /// Ingest a batch of records: match them online, buffer them for training, and run a
     /// training cycle (or, under [`MaintenancePolicy::Incremental`], an incremental
     /// maintenance run) if the trigger fires or drift is detected.
-    pub fn ingest(&mut self, batch: &[String]) -> IngestOutcome {
+    pub fn ingest<S: AsRef<str> + Sync>(&mut self, batch: &[S]) -> IngestOutcome {
         let mut outcome = IngestOutcome::default();
         // Online matching against the current model (template ids must be available
         // before the records are written to storage).
@@ -655,7 +655,7 @@ impl LogTopic {
             )
         };
         for (record, (matched, saturation)) in batch.iter().zip(&matches) {
-            self.apply_record(record.clone(), *matched, &mut outcome);
+            self.apply_record(record.as_ref().to_owned(), *matched, &mut outcome);
             if let Some(detector) = &mut self.drift {
                 // The batch entry point has no shard routing; observe on shard 0.
                 detector.observe(0, matched.is_some(), *saturation);
@@ -1357,7 +1357,7 @@ mod tests {
         topic.run_training();
         assert_eq!(topic.model().temporary_count(), 0);
         // And the new pattern is covered by a real template now.
-        let outcome = topic.ingest(&["cache eviction of key session:999 after 300s".into()]);
+        let outcome = topic.ingest(&["cache eviction of key session:999 after 300s"]);
         assert_eq!(outcome.matched, 1);
     }
 

@@ -142,12 +142,16 @@ impl Measurement {
         }
     }
 
-    /// Elements processed per second at the mean iteration time, when the
-    /// benchmark declared [`Throughput::Elements`].
+    /// Elements processed per second at the *fastest* sampled iteration, when
+    /// the benchmark declared [`Throughput::Elements`]. Wall-clock noise on a
+    /// shared runner is strictly additive (a scheduler tick can only make an
+    /// iteration slower, never faster), so the minimum is the reproducible
+    /// estimator of the code's intrinsic rate; the mean is still recorded in
+    /// `mean_ns` for artifact readers who want it.
     pub fn elements_per_sec(&self) -> Option<f64> {
         match self.throughput {
-            Some(Throughput::Elements(elements)) if self.mean_ns > 0 => {
-                Some(elements as f64 * 1e9 / self.mean_ns as f64)
+            Some(Throughput::Elements(elements)) if self.min_ns > 0 => {
+                Some(elements as f64 * 1e9 / self.min_ns as f64)
             }
             _ => None,
         }
