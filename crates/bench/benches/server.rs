@@ -1,0 +1,140 @@
+//! Loopback throughput of the HTTP front end: ingest batches and planned AST
+//! queries over a real socket, through the full stack — `minihttp` parsing,
+//! admission control, the engine thread, and the `ServiceManager` underneath.
+//! Run with `cargo bench --bench server`.
+//!
+//! Like the other benches, a custom `main` drains the harness's measurement
+//! registry afterwards and writes `BENCH_server.json` (path override:
+//! `BYTEBRAIN_BENCH_OUT`); `BYTEBRAIN_BENCH_SMOKE=1` runs at reduced scale for CI
+//! plumbing checks. No throughput floor is enforced — the loopback numbers fold in
+//! HTTP parsing and scheduling on whatever cores CI grants — but `check_bench`
+//! requires both rows to exist with positive rates.
+
+use criterion::{Criterion, Throughput};
+use minihttp::ClientConn;
+use server::{serve, ServerConfig};
+use service::api::IngestRequest;
+use service::ServiceManager;
+
+fn smoke_mode() -> bool {
+    std::env::var("BYTEBRAIN_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+fn lines(start: usize, n: usize) -> Vec<String> {
+    (start..start + n)
+        .map(|i| {
+            format!(
+                "job {} finished on host node-{:02} in {}ms",
+                i,
+                i % 16,
+                i % 700
+            )
+        })
+        .collect()
+}
+
+fn bench_server(c: &mut Criterion, smoke: bool) {
+    let batch = if smoke { 512 } else { 8_192 };
+
+    // Warm the topic before serving: the cold-start training run should not be
+    // inside the timed loop.
+    let mut manager = ServiceManager::new();
+    manager.ingest("bench", "logs", &lines(0, 4_096));
+    let server = serve(manager, ServerConfig::default()).expect("serve");
+    let mut client = ClientConn::connect(server.addr()).expect("connect");
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+
+    // One POST /ingest per iteration: JSON body parse, admission, engine apply,
+    // JSON response — `batch` records per round trip.
+    group.throughput(Throughput::Elements(batch as u64));
+    let mut offset = 4_096;
+    group.bench_function("http_ingest", |b| {
+        b.iter(|| {
+            let body = serde_json::to_string(&IngestRequest {
+                records: lines(offset, batch),
+            })
+            .expect("render body");
+            offset += batch;
+            let response = client
+                .request_with_headers(
+                    "POST",
+                    "/v1/bench/logs/ingest",
+                    &[("Content-Type", "application/json")],
+                    body.as_bytes(),
+                )
+                .expect("ingest round-trips");
+            assert_eq!(response.status, 200, "{}", response.body_str());
+            response.body.len()
+        })
+    });
+
+    // One planned AST query per iteration (predicate + top-k over the indexed
+    // path); the elements rate is queries per second.
+    group.throughput(Throughput::Elements(1));
+    let query_body = r#"{"topic":"logs","query":{"predicate":{"template_matches":"job <*> finished"},"threshold":0.5,"aggregate":{"top_k":5}}}"#;
+    group.bench_function("http_query", |b| {
+        b.iter(|| {
+            let response = client
+                .request_with_headers(
+                    "POST",
+                    "/v1/bench/query",
+                    &[("Content-Type", "application/json")],
+                    query_body.as_bytes(),
+                )
+                .expect("query round-trips");
+            assert_eq!(response.status, 200, "{}", response.body_str());
+            response.body.len()
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+/// Render the drained measurement registry as the `BENCH_server.json` artifact.
+fn write_bench_json(smoke: bool) {
+    use serde::Value;
+
+    let out = std::env::var("BYTEBRAIN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
+    let rows: Vec<Value> = criterion::take_measurements()
+        .into_iter()
+        .map(|m| {
+            let mut fields = vec![
+                (
+                    "group".to_string(),
+                    Value::String(m.group.clone().unwrap_or_default()),
+                ),
+                ("name".to_string(), Value::String(m.name.clone())),
+                ("mean_ns".to_string(), Value::UInt(m.mean_ns as u64)),
+                ("min_ns".to_string(), Value::UInt(m.min_ns as u64)),
+            ];
+            if let Some(rate) = m.elements_per_sec() {
+                fields.push(("records_per_sec".to_string(), Value::Float(rate)));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::String("server".to_string())),
+        (
+            "mode".to_string(),
+            Value::String(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("rows".to_string(), Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("bench rows serialize");
+    std::fs::write(&out, json + "\n").expect("write bench artifact");
+    println!("[bench] wrote {out}");
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let mut criterion = Criterion::default();
+    bench_server(&mut criterion, smoke);
+    write_bench_json(smoke);
+}

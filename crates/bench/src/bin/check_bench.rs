@@ -1,7 +1,7 @@
 //! Validate committed bench artifacts (CI gate for the bench plumbing).
 //!
 //! Usage: `check_bench [path...]` (default: `BENCH_ingest.json`,
-//! `BENCH_storage.json` and `BENCH_query.json`). Exits non-zero — failing the
+//! `BENCH_storage.json`, `BENCH_query.json` and `BENCH_server.json`). Exits non-zero — failing the
 //! CI step — when a file is missing, is not valid JSON, or lacks its required
 //! rows with positive `records_per_sec` rates. Per-artifact requirements:
 //!
@@ -18,6 +18,10 @@
 //!   (not retrain) its way back to serving.
 //! - `BENCH_query.json`: `query_ast` rows `planned_selective`,
 //!   `scan_selective`, `planned_cached`, `planned_group_by`, `scan_group_by`.
+//! - `BENCH_server.json`: `server` rows `http_ingest` and `http_query` — the
+//!   loopback HTTP front end (parse → admission → engine → response). No floor:
+//!   the rates fold in socket and scheduling costs on whatever cores CI grants,
+//!   but both rows must exist with positive rates.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -105,6 +109,10 @@ fn check_artifact(path: &str) -> bool {
             ("query_ast", "planned_group_by", 0.0),
             ("query_ast", "scan_group_by", 0.0),
         ],
+        "server" => &[
+            ("server", "http_ingest", 0.0),
+            ("server", "http_query", 0.0),
+        ],
         other => return fail(&format!("{path}: unknown bench kind {other:?}")),
     };
 
@@ -137,6 +145,7 @@ fn main() -> ExitCode {
             "BENCH_ingest.json".to_string(),
             "BENCH_storage.json".to_string(),
             "BENCH_query.json".to_string(),
+            "BENCH_server.json".to_string(),
         ]
     } else {
         paths

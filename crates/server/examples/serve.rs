@@ -1,0 +1,47 @@
+//! Run the multi-tenant HTTP front end on a fixed port.
+//!
+//! ```bash
+//! cargo run --release -p server --example serve
+//! ```
+//!
+//! Then, from another shell:
+//!
+//! ```bash
+//! curl -s -X POST localhost:7171/v1/acme/web/ingest \
+//!   -d '{"records":["Accepted password for carol from 10.0.0.7 port 22"]}'
+//! curl -s -X POST localhost:7171/v1/acme/query \
+//!   -d '{"topic":"web","query":{"threshold":0.6,"aggregate":{"top_k":5}}}'
+//! curl -s localhost:7171/v1/acme/web/stats
+//! curl -s localhost:7171/metrics
+//! ```
+
+use server::{serve, ServerConfig};
+use service::{AdmissionConfig, ServiceManager, TenantQuota};
+
+fn main() -> std::io::Result<()> {
+    let config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        // Every tenant gets the same demo quota: 50k records/s sustained with
+        // a 100k-record burst. Overshoot answers 429 + Retry-After.
+        admission: AdmissionConfig::default().with_default_quota(
+            TenantQuota::default()
+                .with_rate(50_000.0)
+                .with_burst(100_000),
+        ),
+        ..ServerConfig::default()
+    };
+    let server = serve(ServiceManager::new(), config)?;
+    println!("listening on http://{}", server.addr());
+    println!("try:");
+    println!(
+        "  curl -s -X POST localhost:7171/v1/acme/web/ingest -d '{{\"records\":[\"a b c\"]}}'"
+    );
+    println!(
+        "  curl -s -X POST localhost:7171/v1/acme/query -d '{{\"topic\":\"web\",\"query\":{{}}}}'"
+    );
+    println!("  curl -s localhost:7171/metrics");
+    println!("(ctrl-c to stop)");
+    loop {
+        std::thread::park();
+    }
+}

@@ -170,6 +170,9 @@ pub struct IngestStats {
     pub max_in_flight_observed: usize,
     /// Model snapshots hot-swapped in via [`StreamIngestor::swap_model`].
     pub model_swaps: u64,
+    /// Records rejected by [`StreamIngestor::push_bounded`] because the pool stayed
+    /// saturated past the caller's wait bound.
+    pub overload_rejections: u64,
 }
 
 impl IngestStats {
@@ -188,6 +191,30 @@ impl IngestStats {
         self.shards.iter().map(|s| s.unmatched).sum()
     }
 }
+
+/// Typed rejection from [`StreamIngestor::push_bounded`]: the pool stayed at
+/// `max_in_flight` for the whole wait bound, so the record was **not** accepted.
+/// The record rides back in the error so the caller can retry or shed it without
+/// cloning up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The rejected record, returned unconsumed.
+    pub record: String,
+    /// How long the caller was willing to wait for a free slot.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest overloaded: no pool slot freed within {:?} (max_in_flight saturated)",
+            self.waited
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
 
 /// One record that has completed matching.
 #[derive(Debug, Clone)]
@@ -410,6 +437,39 @@ impl StreamIngestor {
                 self.push_to_shard(shard, record);
             }
         }
+    }
+
+    /// Bounded-wait variant of [`StreamIngestor::push_routed`]: when `max_in_flight`
+    /// batches are outstanding, wait at most `wait` for a slot to free instead of
+    /// parking indefinitely, and return the record inside [`Overloaded`] if none
+    /// does. On `Ok` the record has been accepted and any flush it triggered was
+    /// guaranteed non-blocking (one push causes at most one flush, and a slot was
+    /// just verified free). `wait == Duration::ZERO` makes this a pure try-push.
+    pub fn push_bounded(
+        &mut self,
+        record: impl Into<String>,
+        wait: Duration,
+    ) -> Result<(), Overloaded> {
+        self.drain_ready();
+        if self.in_flight >= self.config.max_in_flight {
+            self.stats.backpressure_waits += 1;
+            let deadline = Instant::now() + wait;
+            while self.in_flight >= self.config.max_in_flight {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.pool.recv_ids_timeout(remaining) {
+                    Some(result) => self.absorb(result),
+                    None => {
+                        self.stats.overload_rejections += 1;
+                        return Err(Overloaded {
+                            record: record.into(),
+                            waited: wait,
+                        });
+                    }
+                }
+            }
+        }
+        self.push_routed(record);
+        Ok(())
     }
 
     fn push_to_shard(&mut self, shard: usize, record: String) {
@@ -854,6 +914,40 @@ mod tests {
             assert_eq!(a.node, b.node, "engines diverged on {:?}", a.record);
             assert_eq!(a.saturation, b.saturation);
         }
+    }
+
+    #[test]
+    fn saturated_pool_yields_overloaded_instead_of_hanging() {
+        let (model, pre) = trained();
+        // One shard, one worker, one slot: the 40k-record batch flushed below keeps
+        // the single worker busy for tens of milliseconds, so the zero-wait push
+        // that follows finds the pool saturated before the worker can drain it.
+        let config = IngestConfig::default()
+            .with_shards(1)
+            .with_batch_records(40_000)
+            .with_max_in_flight(1)
+            .with_workers(1);
+        let mut ingestor = StreamIngestor::new(model, pre, config);
+        for record in stream(40_000) {
+            ingestor.push(record);
+        }
+        assert_eq!(
+            ingestor.stats().submitted_batches,
+            1,
+            "the size bound must have flushed exactly one in-flight batch"
+        );
+        let rejected = ingestor
+            .push_bounded("job 99999 finished on host node-03 in 5ms", Duration::ZERO)
+            .expect_err("zero-wait push against a saturated pool must be rejected");
+        assert_eq!(rejected.record, "job 99999 finished on host node-03 in 5ms");
+        assert_eq!(ingestor.stats().overload_rejections, 1);
+        // A generous bound lets the slot free up: the same record is then accepted.
+        ingestor
+            .push_bounded(rejected.record, Duration::from_secs(30))
+            .expect("bounded push must succeed once the worker drains the batch");
+        let report = ingestor.finish();
+        assert_eq!(report.records.len(), 40_001, "rejected record re-admitted");
+        assert_eq!(report.stats.overload_rejections, 1);
     }
 
     #[test]

@@ -46,7 +46,9 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod anomaly;
+pub mod api;
 pub mod compare;
 pub mod ingest;
 pub mod library;
@@ -58,11 +60,17 @@ pub mod store;
 pub mod topic;
 pub mod trigger;
 
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionMetrics, AdmittedBatch, Shed, TenantAdmissionStats,
+    TenantQuota,
+};
 pub use anomaly::{AnomalyDetector, AnomalyKind, AnomalyReport};
+pub use api::{ErrorBody, IngestRequest, IngestResponse, StatsResponse};
 pub use bytebrain::{CompiledMatcher, MatchCache, MatchEngine};
 pub use compare::{compare_snapshots, compare_windows, DistributionShift};
 pub use ingest::{
-    IngestConfig, IngestReport, IngestStats, MatchedRecord, Routing, ShardCounters, StreamIngestor,
+    IngestConfig, IngestReport, IngestStats, MatchedRecord, Overloaded, Routing, ShardCounters,
+    StreamIngestor,
 };
 pub use library::TemplateLibrary;
 pub use manager::{FleetStats, ServiceManager, TenantDefaults};
@@ -73,6 +81,7 @@ pub use query::{
 pub use storage::{RecoveredTopic, StorageConfig, TopicMeta, TopicStorage};
 pub use store::{ModelStore, SnapshotInfo, SnapshotKind};
 pub use topic::{
-    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
+    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, StreamOverloaded, TopicConfig,
+    TopicStats,
 };
 pub use trigger::{TrainingTrigger, TriggerDecision};

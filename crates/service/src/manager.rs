@@ -10,7 +10,8 @@ use crate::ingest::IngestConfig;
 use crate::query::{QueryOptions, QuerySnapshot, QueryValue, TemplateGroup};
 use crate::storage::{self, RetentionOutcome, StorageConfig, TopicStorage};
 use crate::topic::{
-    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, TopicConfig, TopicStats,
+    IngestOutcome, LogTopic, MaintenancePolicy, StreamOutcome, StreamOverloaded, TopicConfig,
+    TopicStats,
 };
 use bytebrain::{MatchEngine, QueryPlan};
 use std::collections::BTreeMap;
@@ -236,6 +237,26 @@ impl ServiceManager {
         let parallelism = topic.config().train.parallelism.max(1);
         let config = config.clone().with_workers(config.workers.min(parallelism));
         topic.ingest_stream(records, &config)
+    }
+
+    /// Bounded-back-pressure variant of [`ServiceManager::ingest_stream`]: sheds
+    /// instead of blocking indefinitely when the pool saturates past `wait`. See
+    /// [`LogTopic::ingest_stream_bounded`] for the prefix/remainder contract.
+    pub fn ingest_stream_bounded<I>(
+        &mut self,
+        tenant: &str,
+        topic: &str,
+        records: I,
+        config: &IngestConfig,
+        wait: std::time::Duration,
+    ) -> Result<StreamOutcome, Box<StreamOverloaded>>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let topic = self.topic_mut(tenant, topic);
+        let parallelism = topic.config().train.parallelism.max(1);
+        let config = config.clone().with_workers(config.workers.min(parallelism));
+        topic.ingest_stream_bounded(records, &config, wait)
     }
 
     /// Query a tenant's topic: group its stored records by template at the requested

@@ -344,6 +344,30 @@ impl MatcherPool {
         }
     }
 
+    /// Bounded-wait variant of [`MatcherPool::recv_ids`]: blocks for at most
+    /// `timeout`, returning `None` either when no lean batch finished in time or
+    /// when the workers are gone. Callers that must distinguish the two cases can
+    /// check [`MatcherPool::workers_alive`].
+    pub fn recv_ids_timeout(&mut self, timeout: std::time::Duration) -> Option<IdBatchResult> {
+        if let Some(buffered) = self.ids_buffer.pop_front() {
+            return Some(buffered);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.result_rx.recv_timeout(remaining).ok()? {
+                Outcome::Ids(result) => return Some(result),
+                Outcome::Full(result) => self.full_buffer.push_back(result),
+            }
+        }
+    }
+
+    /// Whether the worker threads still hold their result sender (i.e. the pool can
+    /// still make progress).
+    pub fn workers_alive(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
     /// Non-blocking variant of [`MatcherPool::recv_ids`]: returns immediately with
     /// `None` when no lean batch has finished yet.
     pub fn try_recv_ids(&mut self) -> Option<IdBatchResult> {

@@ -177,6 +177,29 @@ pub struct StreamOutcome {
     pub stats: IngestStats,
 }
 
+/// Typed shed from [`LogTopic::ingest_stream_bounded`]: the pool stayed saturated
+/// past the wait bound mid-stream. The accepted prefix was applied and committed
+/// exactly as [`LogTopic::ingest_stream`] would have; `rejected` holds the record
+/// that hit the bound plus every record after it, unconsumed and in order.
+#[derive(Debug)]
+pub struct StreamOverloaded {
+    /// Outcome of the accepted (applied and committed) prefix.
+    pub outcome: StreamOutcome,
+    /// The shed suffix: first the record that timed out, then the un-pushed tail.
+    pub rejected: Vec<String>,
+}
+
+impl std::fmt::Display for StreamOverloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream overloaded: {} records shed after an accepted prefix of {}",
+            self.rejected.len(),
+            self.outcome.outcome.matched + self.outcome.outcome.unmatched
+        )
+    }
+}
+
 /// A log topic with online matching and periodic training.
 #[derive(Debug)]
 pub struct LogTopic {
@@ -859,13 +882,53 @@ impl LogTopic {
     where
         I: IntoIterator<Item = String>,
     {
+        let (outcome, rejected) = self.stream_inner(records, config, None);
+        debug_assert!(rejected.is_empty(), "unbounded stream never rejects");
+        outcome
+    }
+
+    /// Bounded-back-pressure variant of [`LogTopic::ingest_stream`]: when the pool's
+    /// `max_in_flight` stays saturated past `wait` for some record, the stream stops
+    /// there instead of parking indefinitely. The already-accepted prefix is applied
+    /// (and committed to storage) exactly as the unbounded path would, and the
+    /// rejected record plus the entire un-pushed remainder ride back in
+    /// [`StreamOverloaded`] so the caller can retry or shed them.
+    pub fn ingest_stream_bounded<I>(
+        &mut self,
+        records: I,
+        config: &IngestConfig,
+        wait: Duration,
+    ) -> Result<StreamOutcome, Box<StreamOverloaded>>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let (outcome, rejected) = self.stream_inner(records, config, Some(wait));
+        if rejected.is_empty() {
+            Ok(outcome)
+        } else {
+            Err(Box::new(StreamOverloaded { outcome, rejected }))
+        }
+    }
+
+    fn stream_inner<I>(
+        &mut self,
+        records: I,
+        config: &IngestConfig,
+        wait: Option<Duration>,
+    ) -> (StreamOutcome, Vec<String>)
+    where
+        I: IntoIterator<Item = String>,
+    {
         if self.model.is_empty() {
             let batch: Vec<String> = records.into_iter().collect();
             let outcome = self.ingest(&batch);
-            return StreamOutcome {
-                outcome,
-                stats: IngestStats::default(),
-            };
+            return (
+                StreamOutcome {
+                    outcome,
+                    stats: IngestStats::default(),
+                },
+                Vec::new(),
+            );
         }
         let check_interval = match &self.config.maintenance {
             MaintenancePolicy::FullRetrain => None,
@@ -882,8 +945,21 @@ impl LogTopic {
         let mut outcome = IngestOutcome::default();
         let mut since_check = 0usize;
         let mut swapped = false;
-        for record in records {
-            ingestor.push_routed(record);
+        let mut rejected: Vec<String> = Vec::new();
+        let mut records = records.into_iter();
+        for record in records.by_ref() {
+            match wait {
+                None => ingestor.push_routed(record),
+                Some(bound) => {
+                    if let Err(overloaded) = ingestor.push_bounded(record, bound) {
+                        // Shed: keep the consistent accepted prefix, hand the
+                        // rejected record and the un-pushed tail back verbatim.
+                        rejected.push(overloaded.record);
+                        rejected.extend(records);
+                        break;
+                    }
+                }
+            }
             if let Some(interval) = check_interval {
                 since_check += 1;
                 if since_check >= interval {
@@ -924,10 +1000,13 @@ impl LogTopic {
         self.apply_stream_records(report.records, swapped, &mut outcome);
         self.maintain(&mut outcome);
         self.commit_storage();
-        StreamOutcome {
-            outcome,
-            stats: report.stats,
-        }
+        (
+            StreamOutcome {
+                outcome,
+                stats: report.stats,
+            },
+            rejected,
+        )
     }
 
     /// Apply a chunk of completed streaming records (already in arrival order) to the

@@ -1,0 +1,766 @@
+//! Offline stand-in for an HTTP server/client stack.
+//!
+//! The build environment has no network access to crates.io, so this workspace vendors
+//! the minimal HTTP/1.1 surface the `server` crate needs — the same pattern as the
+//! `serde`/`criterion` shims. What is implemented:
+//!
+//! * **Server**: a blocking `accept` loop over [`std::net::TcpListener`] feeding a
+//!   fixed pool of worker threads (the "event loop" of the front end). Each worker
+//!   serves whole connections: HTTP/1.1 request parsing with `Content-Length` bodies,
+//!   keep-alive by default (`Connection: close` honoured), one handler call per
+//!   request.
+//! * **Graceful shutdown**: [`Server::shutdown`] stops accepting, wakes the accept
+//!   loop, and *drains* — every request already being read or processed completes and
+//!   its response is written before the workers exit. Idle keep-alive connections are
+//!   closed at the next poll tick.
+//! * **Client**: [`ClientConn`], a keep-alive HTTP/1.1 client connection used by the
+//!   loopback integration tests and benches.
+//!
+//! Not implemented (the workspace never produces them): chunked transfer encoding,
+//! trailers, expect/continue, TLS, pipelining beyond sequential keep-alive.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to re-check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request target as received (path + optional query string, percent-encoded).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names are case-preserved,
+    /// lookup via [`Request::header`] is case-insensitive.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+
+    /// The path without its query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (reason phrase is derived).
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are written automatically).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain; charset=utf-8` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Builder: append a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// The request handler the server calls once per parsed request. Handlers run on
+/// worker threads and may block (e.g. waiting for an ingest engine reply).
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (each worker owns one connection at a time).
+    pub workers: usize,
+    /// Idle keep-alive connections are closed after this long without a new request.
+    pub keep_alive_timeout: Duration,
+    /// A started request (first byte seen) must complete within this long.
+    pub request_timeout: Duration,
+    /// Requests with larger bodies are rejected with `413`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            keep_alive_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Aggregate counters of one server's lifetime (monotonic, lock-free reads).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully parsed and handled.
+    pub requests: AtomicU64,
+    /// Requests rejected before the handler ran (parse error, oversized body).
+    pub rejected: AtomicU64,
+}
+
+/// The running HTTP server: accept thread + worker pool. Dropping the server without
+/// calling [`Server::shutdown`] also shuts down (without the graceful-drain guarantee
+/// for connections never picked up by a worker).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `handler` on a pool of
+    /// worker threads.
+    pub fn bind(addr: &str, config: ServerConfig, handler: Handler) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServerCounters::default());
+        let (conn_tx, conn_rx) = channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&conn_rx);
+                let handler = Arc::clone(&handler);
+                let shutdown = Arc::clone(&shutdown);
+                let counters = Arc::clone(&counters);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("minihttp-worker-{i}"))
+                    .spawn(move || loop {
+                        // Receive one connection; exit when the accept loop has
+                        // closed the channel and every queued connection is served.
+                        let stream = { rx.lock().expect("conn_rx lock").recv() };
+                        match stream {
+                            Ok(stream) => {
+                                serve_connection(stream, &handler, &shutdown, &config, &counters)
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("minihttp-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            counters.connections.fetch_add(1, Ordering::Relaxed);
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    // Dropping conn_tx lets the workers drain and exit.
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            counters,
+        })
+    }
+
+    /// The bound local address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime counters (connections / requests / rejects).
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Graceful shutdown: stop accepting, then block until every in-flight request
+    /// has been handled and its response written. Idle keep-alive connections close
+    /// at the next poll tick (bounded by the internal 25ms `POLL_TICK`).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one connection until close / idle timeout / shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    counters: &ServerCounters,
+) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf, shutdown, config) {
+            Ok(Some(request)) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                let close = request
+                    .header("connection")
+                    .map(|v| v.eq_ignore_ascii_case("close"))
+                    .unwrap_or(false)
+                    || shutdown.load(Ordering::SeqCst);
+                let response = handler(&request);
+                if write_response(&mut stream, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            // Clean end: EOF between requests, idle timeout, or shutdown while idle.
+            Ok(None) => return,
+            Err(reject) => {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::text(reject.status, reject.msg),
+                    true,
+                );
+                return;
+            }
+        }
+    }
+}
+
+struct Reject {
+    status: u16,
+    msg: String,
+}
+
+impl Reject {
+    fn bad(msg: impl Into<String>) -> Self {
+        Reject {
+            status: 400,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Read one complete request off the connection, polling the shutdown flag while
+/// blocked. `Ok(None)` means the connection ended cleanly between requests.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> Result<Option<Request>, Reject> {
+    let idle_since = Instant::now();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some((request, consumed)) = try_parse(buf, config)? {
+            buf.drain(..consumed);
+            return Ok(Some(request));
+        }
+        let mid_request = !buf.is_empty();
+        if mid_request {
+            // Drain in-flight: a started request is read to completion even during
+            // shutdown, but never past the request timeout.
+            if idle_since.elapsed() > config.request_timeout {
+                return Err(Reject::bad("request timed out"));
+            }
+        } else {
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            if idle_since.elapsed() > config.keep_alive_timeout {
+                return Ok(None);
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if mid_request {
+                    Err(Reject::bad("connection closed mid-request"))
+                } else {
+                    Ok(None)
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// Try to parse one complete request from `buf`; `Ok(Some((request, bytes_consumed)))`
+/// when the head and full body are present.
+fn try_parse(buf: &[u8], config: &ServerConfig) -> Result<Option<(Request, usize)>, Reject> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > 64 * 1024 {
+            return Err(Reject::bad("header section too large"));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| Reject::bad("non-UTF8 header"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| Reject::bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| Reject::bad("missing method"))?;
+    let path = parts.next().ok_or_else(|| Reject::bad("missing path"))?;
+    let version = parts.next().ok_or_else(|| Reject::bad("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(Reject::bad("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Reject::bad("malformed header line"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| Reject::bad("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > config.max_body_bytes {
+        return Err(Reject {
+            status: 413,
+            msg: format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                config.max_body_bytes
+            ),
+        });
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: buf[body_start..body_start + content_length].to_vec(),
+    };
+    Ok(Some((request, body_start + content_length)))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason_of(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    head.push_str(if close {
+        "Connection: close\r\n"
+    } else {
+        "Connection: keep-alive\r\n"
+    });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+// --- client ----------------------------------------------------------------------------
+
+/// A response as received by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy conversion never fails).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 client connection (sequential request/response).
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(ClientConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`ClientConn::request`] with extra headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: minihttp\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if !body.is_empty() || method == "POST" || method == "PUT" {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                let head = std::str::from_utf8(&self.buf[..head_end])
+                    .map_err(|_| invalid("non-UTF8 response head"))?;
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+                let status: u16 = status_line
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| invalid("bad status line"))?;
+                let mut headers = Vec::new();
+                for line in lines {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (name, value) = line
+                        .split_once(':')
+                        .ok_or_else(|| invalid("malformed response header"))?;
+                    headers.push((name.trim().to_string(), value.trim().to_string()));
+                }
+                let content_length = headers
+                    .iter()
+                    .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                    .and_then(|(_, v)| v.parse::<usize>().ok())
+                    .unwrap_or(0);
+                let body_start = head_end + 4;
+                if self.buf.len() >= body_start + content_length {
+                    let body = self.buf[body_start..body_start + content_length].to_vec();
+                    self.buf.drain(..body_start + content_length);
+                    return Ok(ClientResponse {
+                        status,
+                        headers,
+                        body,
+                    });
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(invalid("connection closed before full response"));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Percent-decode a path segment (`%41` → `A`, `+` left intact). Invalid escapes pass
+/// through verbatim, so decoding never fails.
+pub fn percent_decode(segment: &str) -> String {
+    let bytes = segment.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = &segment[i + 1..i + 3];
+            if let Ok(byte) = u8::from_str_radix(hex, 16) {
+                out.push(byte);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Server {
+        let handler: Handler = Arc::new(|req: &Request| {
+            Response::text(
+                200,
+                format!(
+                    "{} {} body={}",
+                    req.method,
+                    req.path,
+                    req.body_str().unwrap_or("<binary>")
+                ),
+            )
+        });
+        Server::bind("127.0.0.1:0", ServerConfig::default(), handler).expect("bind")
+    }
+
+    #[test]
+    fn round_trips_requests_with_bodies() {
+        let server = echo_server();
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        let response = client
+            .request("POST", "/v1/t/ingest", b"hello world")
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body_str(), "POST /v1/t/ingest body=hello world");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let server = echo_server();
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            let response = client.request("GET", &format!("/ping/{i}"), b"").unwrap();
+            assert_eq!(response.status, 200);
+            assert!(response.body_str().contains(&format!("/ping/{i}")));
+        }
+        assert_eq!(server.counters().connections.load(Ordering::Relaxed), 1);
+        assert_eq!(server.counters().requests.load(Ordering::Relaxed), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served_in_parallel() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = ClientConn::connect(addr).unwrap();
+                    let response = client
+                        .request("POST", "/work", format!("client-{i}").as_bytes())
+                        .unwrap();
+                    assert_eq!(response.status, 200);
+                    assert!(response.body_str().contains(&format!("client-{i}")));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_with_413() {
+        let handler: Handler = Arc::new(|_req: &Request| Response::new(200));
+        let config = ServerConfig {
+            max_body_bytes: 16,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        let response = client.request("POST", "/big", &[b'x'; 64]).unwrap();
+        assert_eq!(response.status, 413);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        // The handler parks long enough that shutdown must arrive while the request
+        // is in flight; the response must still be delivered intact.
+        let handler: Handler = Arc::new(|_req: &Request| {
+            std::thread::sleep(Duration::from_millis(200));
+            Response::text(200, "slow but done")
+        });
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let addr = server.addr();
+        let client = std::thread::spawn(move || {
+            let mut client = ClientConn::connect(addr).unwrap();
+            client.request("GET", "/slow", b"").unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown(); // must block until the in-flight request completed
+        let response = client.join().unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body_str(), "slow but done");
+    }
+
+    #[test]
+    fn shutdown_closes_idle_keep_alive_connections() {
+        let server = echo_server();
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        let response = client.request("GET", "/one", b"").unwrap();
+        assert_eq!(response.status, 200);
+        // The connection now sits idle; shutdown must not hang on it.
+        let start = Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown hung on an idle keep-alive connection"
+        );
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        assert_eq!(percent_decode("plain-name_1"), "plain-name_1");
+        assert_eq!(percent_decode("a%2Fb%20c"), "a/b c");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("tail%2"), "tail%2");
+    }
+}
