@@ -11,8 +11,11 @@
 //!
 //! * `POST /v1/{tenant}/{topic}/ingest` — batched log lines ([`service::api::IngestRequest`]).
 //!   Sheds with **429** + `Retry-After` when the tenant's token bucket, byte quota,
-//!   or queue bound says no, or when the engine's own `max_in_flight` stays
-//!   saturated past the configured wait.
+//!   or queue bound says no — except a batch that alone exceeds its byte quota,
+//!   which is a permanent **413**. When the engine's own `max_in_flight` stays
+//!   saturated past the configured wait, the committed prefix is reported as a
+//!   **200** whose body carries `accepted` and `shed` counts: the client resends
+//!   only the last `shed` records, never the whole batch.
 //! * `POST /v1/{tenant}/query` — body `{"topic": ..., "query": <Query AST JSON>}`;
 //!   planned and executed through the indexed path, responses rendered by
 //!   [`service::api::query_value_to_json`] so they are byte-identical to direct
@@ -412,7 +415,6 @@ fn ingest(state: &ServerState, tenant: &str, topic: &str, request: &Request) -> 
     if parsed.records.is_empty() {
         return error_response(400, &ErrorBody::new("records must be non-empty"));
     }
-    let record_count = parsed.records.len();
     let (reply_tx, reply_rx) = channel();
     {
         let mut sched = state.sched.lock().expect("sched lock");
@@ -425,28 +427,27 @@ fn ingest(state: &ServerState, tenant: &str, topic: &str, request: &Request) -> 
                 state.work.notify_all();
             }
             Err(shed) => {
-                let retry_ms = shed.retry_after().as_millis() as u64;
-                return error_response(429, &ErrorBody::shed(shed.to_string(), retry_ms));
+                // Transient sheds are retryable (429 + Retry-After); a batch that
+                // can never fit its quota is a permanent 413 — retrying as-is would
+                // loop forever.
+                return match shed.retry_after() {
+                    Some(retry) => error_response(
+                        429,
+                        &ErrorBody::shed(shed.to_string(), retry.as_millis() as u64),
+                    ),
+                    None => error_response(413, &ErrorBody::new(shed.to_string())),
+                };
             }
         }
     }
     match reply_rx.recv() {
-        Ok(applied) if applied.shed == 0 => {
-            let response = IngestResponse::from_outcome(&applied.outcome);
-            Response::json(200, serde_json::to_string(&response).expect("renders"))
-        }
         Ok(applied) => {
-            let accepted = applied.outcome.matched + applied.outcome.unmatched;
-            error_response(
-                429,
-                &ErrorBody::shed(
-                    format!(
-                        "engine overloaded: accepted {accepted} of {record_count} records, shed {}",
-                        applied.shed
-                    ),
-                    250,
-                ),
-            )
+            // Even when the engine shed a suffix, the accepted prefix is already
+            // committed — report a success-shaped body with the shed count so the
+            // client resends only the tail, never the whole (part-duplicate) batch.
+            let response =
+                IngestResponse::from_outcome(&applied.outcome).with_shed(applied.shed as u64);
+            Response::json(200, serde_json::to_string(&response).expect("renders"))
         }
         Err(_) => error_response(503, &ErrorBody::new("engine stopped before reply")),
     }

@@ -10,7 +10,7 @@
 use minihttp::ClientConn;
 use server::{apply_batch, serve, EngineConfig, ServerConfig};
 use service::api::{self, IngestRequest, IngestResponse, StatsResponse};
-use service::{AdmissionConfig, ServiceManager, StorageConfig, TenantQuota};
+use service::{AdmissionConfig, IngestConfig, ServiceManager, StorageConfig, TenantQuota};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -269,6 +269,116 @@ fn quota_exhaustion_returns_429_then_recovers() {
     assert!(
         response.header("Retry-After").is_some(),
         "429 must carry Retry-After"
+    );
+    server.shutdown();
+}
+
+/// Percent-escapes abutting multibyte UTF-8 path chars must not take down HTTP
+/// workers: more such requests than the worker pool holds, then normal service.
+#[test]
+fn multibyte_percent_paths_do_not_kill_the_server() {
+    let server = serve(ServiceManager::new(), ServerConfig::default()).expect("serve");
+    for _ in 0..6 {
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        let (status, body) = post(&mut client, "/v1/%aé/query", "{}");
+        assert_eq!(status, 400, "{body}");
+    }
+    let mut client = ClientConn::connect(server.addr()).unwrap();
+    let (status, _) = get(&mut client, "/healthz");
+    assert_eq!(status, 200, "server must still be serving");
+    server.shutdown();
+}
+
+/// A batch that alone exceeds its tenant's in-flight byte bound can never be
+/// admitted: it must be a permanent 413, not a 429 the client retries forever.
+#[test]
+fn oversized_batch_is_rejected_with_413_not_429() {
+    let quota = TenantQuota::default().with_max_in_flight_bytes(1_000);
+    let config = ServerConfig {
+        admission: AdmissionConfig::default().with_tenant_quota("capped", quota),
+        ..ServerConfig::default()
+    };
+    let server = serve(ServiceManager::new(), config).expect("serve");
+    let mut client = ClientConn::connect(server.addr()).unwrap();
+    let response = client
+        .request_with_headers(
+            "POST",
+            "/v1/capped/logs/ingest",
+            &[("Content-Type", "application/json")],
+            ingest_body(&vec!["x".repeat(2_000)]).as_bytes(),
+        )
+        .expect("request round-trips");
+    assert_eq!(response.status, 413, "{}", response.body_str());
+    assert!(
+        response.header("Retry-After").is_none(),
+        "a permanent rejection must not invite a retry"
+    );
+    // A batch that fits is still served normally.
+    let (status, body) = post(
+        &mut client,
+        "/v1/capped/logs/ingest",
+        &ingest_body(&lines("capped", 0, 5)),
+    );
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+}
+
+/// When the engine sheds a suffix of an admitted batch, the committed prefix must
+/// be reported as a 200 with accepted/shed counts — not a 429 that tricks the
+/// client into resending (and duplicating) the already-committed prefix.
+#[test]
+fn engine_shed_reports_committed_prefix_as_success() {
+    let engine = EngineConfig {
+        // A 1-slot, 1-worker pool with zero wait: once the first big batch is in
+        // flight, the very next push finds the slot occupied (matching 256 long
+        // records far outlasts one buffer append) and the remainder is shed.
+        ingest: IngestConfig::default()
+            .with_shards(1)
+            .with_workers(1)
+            .with_max_in_flight(1)
+            .with_batch_records(256),
+        stream_threshold: 8,
+        engine_wait: Duration::ZERO,
+    };
+    let server = serve(
+        ServiceManager::new(),
+        ServerConfig {
+            engine,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let mut client = ClientConn::connect(server.addr()).unwrap();
+    let make = |start: u64, n: u64| -> Vec<String> {
+        (start..start + n)
+            .map(|i| format!("job {i} finished with payload {}", "word ".repeat(200)))
+            .collect()
+    };
+    // Prime the topic: an empty model bypasses the streaming engine entirely, so
+    // train it first with a plain batch.
+    let (status, body) = post(&mut client, "/v1/t/logs/ingest", &ingest_body(&make(0, 300)));
+    assert_eq!(status, 200, "{body}");
+    let primed: IngestResponse = serde_json::from_str(&body).expect("prime body");
+
+    let total = 5_000u64;
+    let (status, body) = post(
+        &mut client,
+        "/v1/t/logs/ingest",
+        &ingest_body(&make(300, total)),
+    );
+    assert_eq!(status, 200, "partial application is a success: {body}");
+    let parsed: IngestResponse = serde_json::from_str(&body).expect("success-shaped body");
+    assert!(parsed.shed > 0, "saturated 1-slot pool must shed: {body}");
+    assert_eq!(parsed.accepted + parsed.shed, total, "{body}");
+    // The accepted count is exactly what was committed: resending the last `shed`
+    // records (and only those) reconstructs the full batch without duplicates.
+    let (status, stats_body) = get(&mut client, "/v1/t/logs/stats");
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&stats_body).expect("stats body");
+    assert_eq!(
+        stats.total_records,
+        primed.accepted + parsed.accepted,
+        "{stats_body}"
     );
     server.shutdown();
 }

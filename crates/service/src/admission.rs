@@ -100,8 +100,9 @@ impl AdmissionConfig {
     }
 }
 
-/// Why a batch was shed instead of admitted. Every variant carries a back-off hint
-/// the server surfaces as `Retry-After`.
+/// Why a batch was shed instead of admitted. Transient variants carry a back-off
+/// hint the server surfaces as `Retry-After`; [`Shed::BatchTooLarge`] is permanent
+/// (no amount of waiting admits it) and maps to HTTP 413 instead of 429.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Shed {
     /// The tenant's token bucket cannot cover the batch yet.
@@ -127,15 +128,24 @@ pub enum Shed {
         /// Heuristic back-off hint.
         retry_after: Duration,
     },
+    /// The batch alone exceeds the tenant's in-flight byte bound: it could never be
+    /// admitted even with zero bytes in flight, so retrying is pointless.
+    BatchTooLarge {
+        /// The batch's byte size.
+        bytes: u64,
+        /// The configured bound.
+        limit_bytes: u64,
+    },
 }
 
 impl Shed {
-    /// The back-off hint, whatever the cause.
-    pub fn retry_after(&self) -> Duration {
+    /// The back-off hint; `None` for permanent rejections that no wait can cure.
+    pub fn retry_after(&self) -> Option<Duration> {
         match self {
             Shed::RateLimited { retry_after }
             | Shed::ByteQuota { retry_after, .. }
-            | Shed::QueueFull { retry_after, .. } => *retry_after,
+            | Shed::QueueFull { retry_after, .. } => Some(*retry_after),
+            Shed::BatchTooLarge { .. } => None,
         }
     }
 }
@@ -157,6 +167,10 @@ impl std::fmt::Display for Shed {
             Shed::QueueFull { queued, limit, .. } => {
                 write!(f, "admission queue full ({queued} of {limit} batches)")
             }
+            Shed::BatchTooLarge { bytes, limit_bytes } => write!(
+                f,
+                "batch of {bytes} bytes can never fit the {limit_bytes}-byte in-flight bound; split it"
+            ),
         }
     }
 }
@@ -226,7 +240,10 @@ impl TokenBucket {
         self.refilled_at = now;
     }
 
-    /// Take `need` tokens, or report how long until they will exist.
+    /// Take `need` tokens, or report how long until they will exist. The reported
+    /// wait is clamped to [`MAX_RETRY_AFTER`]: a near-zero rate makes
+    /// `deficit / rate` overflow past what `Duration::from_secs_f64` accepts, and a
+    /// panic here would poison the scheduler mutex of every caller.
     fn take(&mut self, need: f64, now: Instant) -> Result<(), Duration> {
         self.refill(now);
         if need <= self.tokens {
@@ -234,7 +251,12 @@ impl TokenBucket {
             Ok(())
         } else {
             let deficit = need - self.tokens;
-            Err(Duration::from_secs_f64(deficit / self.rate))
+            let secs = deficit / self.rate;
+            Err(if secs.is_finite() && secs < MAX_RETRY_AFTER.as_secs_f64() {
+                Duration::from_secs_f64(secs)
+            } else {
+                MAX_RETRY_AFTER
+            })
         }
     }
 }
@@ -394,6 +416,10 @@ impl Admission {
 /// Heuristic back-off for quota kinds with no refill clock.
 const STATIC_RETRY_AFTER: Duration = Duration::from_millis(250);
 
+/// Upper bound on any reported back-off; also the cap that keeps a pathological
+/// `deficit / rate` from overflowing `Duration::from_secs_f64`.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(3600);
+
 fn admission_verdict(
     state: &mut TenantState,
     count: u64,
@@ -411,6 +437,11 @@ fn admission_verdict(
         }
     }
     if let Some(limit_bytes) = state.quota.max_in_flight_bytes {
+        // A batch bigger than the whole bound cannot be admitted even from an idle
+        // state — surface that as a permanent rejection, not a retryable shed.
+        if bytes > limit_bytes {
+            return Err(Shed::BatchTooLarge { bytes, limit_bytes });
+        }
         if state.stats.in_flight_bytes + bytes > limit_bytes {
             return Err(Shed::ByteQuota {
                 in_flight_bytes: state.stats.in_flight_bytes,
@@ -580,6 +611,52 @@ mod tests {
         assert!(admission
             .submit("pleb", "topic", batch(100_000, "big"), now)
             .is_err());
+    }
+
+    #[test]
+    fn oversized_batch_is_a_permanent_rejection() {
+        let quota = TenantQuota::default().with_max_in_flight_bytes(100);
+        let config = AdmissionConfig::default().with_default_quota(quota);
+        let mut admission = Admission::new(config);
+        let now = Instant::now();
+        // Zero bytes in flight, yet the batch alone exceeds the bound: no retry
+        // could ever admit it, so it must not look like a transient shed.
+        let shed = admission
+            .submit("t", "topic", vec!["x".repeat(150)], now)
+            .expect_err("150 bytes can never fit a 100-byte bound");
+        assert_eq!(
+            shed,
+            Shed::BatchTooLarge {
+                bytes: 150,
+                limit_bytes: 100
+            }
+        );
+        assert_eq!(shed.retry_after(), None);
+        // A batch that fits is still a transient ByteQuota shed once in flight.
+        admission
+            .submit("t", "topic", vec!["y".repeat(80)], now)
+            .expect("80 bytes fit");
+        let shed = admission
+            .submit("t", "topic", vec!["y".repeat(80)], now)
+            .expect_err("second 80 bytes exceed the bound transiently");
+        assert!(matches!(shed, Shed::ByteQuota { .. }), "{shed:?}");
+        assert!(shed.retry_after().is_some());
+    }
+
+    #[test]
+    fn pathological_rates_clamp_retry_after_instead_of_panicking() {
+        let quota = TenantQuota::default()
+            .with_rate(f64::MIN_POSITIVE)
+            .with_burst(1);
+        let config = AdmissionConfig::default().with_default_quota(quota);
+        let mut admission = Admission::new(config);
+        let shed = admission
+            .submit("t", "topic", batch(1_000_000, "huge"), Instant::now())
+            .expect_err("bucket can never cover the batch");
+        let Shed::RateLimited { retry_after } = shed else {
+            panic!("expected RateLimited, got {shed:?}");
+        };
+        assert_eq!(retry_after, MAX_RETRY_AFTER);
     }
 
     #[test]

@@ -40,11 +40,16 @@ pub struct IngestRequest {
     pub records: Vec<String>,
 }
 
-/// Body of a successful ingest response.
+/// Body of a successful (possibly partially applied) ingest response.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestResponse {
     /// Records admitted and applied to the topic.
     pub accepted: u64,
+    /// Records shed by engine back-pressure after the batch was admitted. The
+    /// `accepted` prefix is already committed (and, on a durable root, persisted),
+    /// so clients must retry only the **last `shed` records** of the batch —
+    /// resending the whole batch would duplicate the committed prefix.
+    pub shed: u64,
     /// Records that matched an existing template.
     pub matched: u64,
     /// Records that matched no template (inserted as temporaries).
@@ -56,15 +61,22 @@ pub struct IngestResponse {
 }
 
 impl IngestResponse {
-    /// Build the response from a topic-level outcome.
+    /// Build the response from a topic-level outcome (nothing shed).
     pub fn from_outcome(outcome: &IngestOutcome) -> Self {
         IngestResponse {
             accepted: (outcome.matched + outcome.unmatched) as u64,
+            shed: 0,
             matched: outcome.matched as u64,
             unmatched: outcome.unmatched as u64,
             trained: outcome.trained,
             maintained: outcome.maintained as u64,
         }
+    }
+
+    /// Builder: record how many trailing records the engine shed.
+    pub fn with_shed(mut self, shed: u64) -> Self {
+        self.shed = shed;
+        self
     }
 }
 

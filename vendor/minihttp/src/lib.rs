@@ -5,10 +5,13 @@
 //! `serde`/`criterion` shims. What is implemented:
 //!
 //! * **Server**: a blocking `accept` loop over [`std::net::TcpListener`] feeding a
-//!   fixed pool of worker threads (the "event loop" of the front end). Each worker
-//!   serves whole connections: HTTP/1.1 request parsing with `Content-Length` bodies,
-//!   keep-alive by default (`Connection: close` honoured), one handler call per
-//!   request.
+//!   fixed pool of worker threads (the "event loop" of the front end) through a
+//!   **bounded** queue — connections past [`ServerConfig::max_pending_connections`]
+//!   are refused with an immediate `503` rather than queued without bound. Each
+//!   worker serves whole connections: HTTP/1.1 request parsing with `Content-Length`
+//!   bodies, keep-alive by default (`Connection: close` honoured), one handler call
+//!   per request. Handler panics are caught (`500`, connection closed) so a panic
+//!   can never unwind — and permanently shrink — the worker pool.
 //! * **Graceful shutdown**: [`Server::shutdown`] stops accepting, wakes the accept
 //!   loop, and *drains* — every request already being read or processed completes and
 //!   its response is written before the workers exit. Idle keep-alive connections are
@@ -21,8 +24,9 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -142,6 +146,11 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Requests with larger bodies are rejected with `413`.
     pub max_body_bytes: usize,
+    /// Accepted connections not yet picked up by a worker are queued up to this
+    /// bound; past it new connections are refused with an immediate `503` and
+    /// closed, so a connection flood degrades predictably instead of growing an
+    /// unbounded queue of open sockets.
+    pub max_pending_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +160,7 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
             max_body_bytes: 64 << 20,
+            max_pending_connections: 1024,
         }
     }
 }
@@ -164,6 +174,10 @@ pub struct ServerCounters {
     pub requests: AtomicU64,
     /// Requests rejected before the handler ran (parse error, oversized body).
     pub rejected: AtomicU64,
+    /// Connections refused with `503` because the pending-connection queue was full.
+    pub refused: AtomicU64,
+    /// Handler invocations that panicked (caught; answered with `500`).
+    pub panicked: AtomicU64,
 }
 
 /// The running HTTP server: accept thread + worker pool. Dropping the server without
@@ -194,7 +208,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ServerCounters::default());
-        let (conn_tx, conn_rx) = channel::<TcpStream>();
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.max_pending_connections.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -231,8 +245,18 @@ impl Server {
                         }
                         if let Ok(stream) = stream {
                             counters.connections.fetch_add(1, Ordering::Relaxed);
-                            if conn_tx.send(stream).is_err() {
-                                break;
+                            match conn_tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(mut stream)) => {
+                                    // Queue bound reached: refuse instead of growing
+                                    // an unbounded backlog of open sockets.
+                                    counters.refused.fetch_add(1, Ordering::Relaxed);
+                                    let _ = stream.write_all(
+                                        b"HTTP/1.1 503 Service Unavailable\r\n\
+                                          Content-Length: 0\r\nConnection: close\r\n\r\n",
+                                    );
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                     }
@@ -310,7 +334,21 @@ fn serve_connection(
                     .map(|v| v.eq_ignore_ascii_case("close"))
                     .unwrap_or(false)
                     || shutdown.load(Ordering::SeqCst);
-                let response = handler(&request);
+                // A panicking handler must not unwind the worker thread — the pool
+                // is never respawned, so each escape would permanently shrink it.
+                let response =
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
+                        Ok(response) => response,
+                        Err(_) => {
+                            counters.panicked.fetch_add(1, Ordering::Relaxed);
+                            let _ = write_response(
+                                &mut stream,
+                                &Response::text(500, "handler panicked"),
+                                true,
+                            );
+                            return;
+                        }
+                    };
                 if write_response(&mut stream, &response, close).is_err() || close {
                     return;
                 }
@@ -607,16 +645,25 @@ impl ClientConn {
 }
 
 /// Percent-decode a path segment (`%41` → `A`, `+` left intact). Invalid escapes pass
-/// through verbatim, so decoding never fails.
+/// through verbatim, so decoding never fails. Operates on bytes only: a `%` followed
+/// by non-hex bytes — including the middle of a multibyte UTF-8 char — is not an
+/// escape, never a slice at a non-char-boundary.
 pub fn percent_decode(segment: &str) -> String {
+    fn hex_digit(byte: u8) -> Option<u8> {
+        match byte {
+            b'0'..=b'9' => Some(byte - b'0'),
+            b'a'..=b'f' => Some(byte - b'a' + 10),
+            b'A'..=b'F' => Some(byte - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = segment.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'%' && i + 2 < bytes.len() {
-            let hex = &segment[i + 1..i + 3];
-            if let Ok(byte) = u8::from_str_radix(hex, 16) {
-                out.push(byte);
+            if let (Some(hi), Some(lo)) = (hex_digit(bytes[i + 1]), hex_digit(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
                 i += 3;
                 continue;
             }
@@ -762,5 +809,89 @@ mod tests {
         assert_eq!(percent_decode("a%2Fb%20c"), "a/b c");
         assert_eq!(percent_decode("bad%zz"), "bad%zz");
         assert_eq!(percent_decode("tail%2"), "tail%2");
+    }
+
+    #[test]
+    fn percent_decoding_survives_multibyte_neighbours() {
+        // '%' with a multibyte char inside its 2-byte lookahead used to slice the
+        // &str at a non-char boundary and panic; now it passes through verbatim.
+        assert_eq!(percent_decode("%aé"), "%aé");
+        assert_eq!(percent_decode("%é"), "%é");
+        assert_eq!(percent_decode("a%éb%41"), "a%ébA");
+        assert_eq!(percent_decode("日%本"), "日%本");
+        // A valid escape directly before a multibyte char still decodes.
+        assert_eq!(percent_decode("%41é"), "Aé");
+    }
+
+    #[test]
+    fn handler_panics_do_not_shrink_the_worker_pool() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            if req.path.starts_with("/boom") {
+                panic!("handler bug");
+            }
+            Response::text(200, "ok")
+        });
+        let config = ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+        // More panicking requests than workers: with unwinding workers the pool
+        // would be empty after two and the server permanently unresponsive.
+        for i in 0..6 {
+            let mut client = ClientConn::connect(server.addr()).unwrap();
+            let response = client.request("GET", &format!("/boom/{i}"), b"").unwrap();
+            assert_eq!(response.status, 500);
+        }
+        let mut client = ClientConn::connect(server.addr()).unwrap();
+        let response = client.request("GET", "/fine", b"").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(server.counters().panicked.load(Ordering::Relaxed), 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_flood_past_the_queue_bound_is_refused_with_503() {
+        let handler: Handler = Arc::new(|_req: &Request| {
+            std::thread::sleep(Duration::from_millis(300));
+            Response::text(200, "slow")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            max_pending_connections: 1,
+            // Accepted-but-idle flood sockets should close fast once a worker
+            // picks them up, keeping this test snappy.
+            keep_alive_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+        // First connection occupies the single worker, second the single queue
+        // slot; the rest must be refused immediately instead of queued.
+        let busy = std::thread::spawn({
+            let addr = server.addr();
+            move || {
+                let mut client = ClientConn::connect(addr).unwrap();
+                client.request("GET", "/slow", b"").unwrap().status
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let mut refused = 0;
+        let mut floods = Vec::new();
+        for _ in 0..8 {
+            floods.push(TcpStream::connect(server.addr()).unwrap());
+        }
+        for mut stream in floods {
+            let mut out = Vec::new();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            if stream.read_to_end(&mut out).is_ok()
+                && String::from_utf8_lossy(&out).starts_with("HTTP/1.1 503")
+            {
+                refused += 1;
+            }
+        }
+        assert!(refused >= 1, "flood connections must be refused with 503");
+        assert!(server.counters().refused.load(Ordering::Relaxed) >= 1);
+        assert_eq!(busy.join().unwrap(), 200, "in-flight request unaffected");
+        server.shutdown();
     }
 }
